@@ -1,0 +1,203 @@
+// Command tipbrowse is the TIP Browser of the paper's Figure 2, rendered
+// in the terminal: it runs a query, browses the result by a temporal
+// attribute, highlights tuples valid in an adjustable time window, draws
+// their valid periods as time-line segments, and supports the window
+// slider and the NOW override for what-if analysis.
+//
+// Usage:
+//
+//	tipbrowse -demo                        # scripted slider demo
+//	tipbrowse -demo -rows 50               # bigger demo database
+//	tipbrowse -connect host:port -query "SELECT ..." -by valid
+//	tipbrowse -query "SELECT ..." -by valid   # embedded with -db/-rows
+//
+// Interactive commands (stdin):
+//
+//	left / right      slide the window by half its width
+//	zoom in|out       halve / double the window
+//	window A B        set the window to [A, B]
+//	now X | now off   what-if NOW override / back to real time
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tip"
+	"tip/internal/blade"
+	"tip/internal/browser"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/exec"
+	"tip/internal/temporal"
+	"tip/internal/workload"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "run the scripted demo")
+	rows := flag.Int("rows", 20, "synthetic prescriptions for embedded/demo mode")
+	connect := flag.String("connect", "", "browse against a tipserver")
+	query := flag.String("query", "", "query whose result to browse")
+	by := flag.String("by", "valid", "temporal attribute to browse by")
+	width := flag.Int("width", 60, "time-line width in characters")
+	flag.Parse()
+
+	if *demo {
+		runDemo(*rows, *width)
+		return
+	}
+
+	res, now := load(*connect, *rows, *query)
+	b, err := browser.New(res, *by, now, *width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b.Render())
+	interact(b)
+}
+
+// load obtains the result to browse, embedded or over the wire.
+func load(connect string, rows int, query string) (*exec.Result, temporal.Chronon) {
+	if query == "" {
+		query = `SELECT patient, drug, valid FROM Prescription ORDER BY patient`
+	}
+	if connect != "" {
+		reg := blade.NewRegistry()
+		core.MustRegister(reg)
+		c, err := client.Connect(connect, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		res, err := c.Exec(query, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nowRes, err := c.Exec(`SELECT now()`, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, nowRes.Rows[0][0].Obj().(temporal.Chronon)
+	}
+	db := tip.Open()
+	s := db.Session()
+	data := workload.Generate(workload.DefaultConfig(rows))
+	if err := workload.LoadTIP(s.Raw(), db.Blade(), data); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Exec(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, s.Now()
+}
+
+// interact runs the command loop.
+func interact(b *browser.Browser) {
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("browse> ")
+	for in.Scan() {
+		fields := strings.Fields(strings.ToLower(in.Text()))
+		if len(fields) == 0 {
+			fmt.Print("browse> ")
+			continue
+		}
+		w := b.Window()
+		half := temporal.Span(int64(w.Hi)-int64(w.Lo)) / 2
+		switch fields[0] {
+		case "quit", "q":
+			return
+		case "left":
+			b.Slide(-half)
+		case "right":
+			b.Slide(half)
+		case "zoom":
+			if len(fields) > 1 && fields[1] == "in" {
+				b.Zoom(0.5)
+			} else {
+				b.Zoom(2)
+			}
+		case "window":
+			if len(fields) != 3 {
+				fmt.Println("usage: window 1999-01-01 1999-03-31")
+				break
+			}
+			lo, err1 := temporal.ParseChronon(fields[1])
+			hi, err2 := temporal.ParseChronon(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad window dates")
+				break
+			}
+			if err := b.SetWindow(lo, hi); err != nil {
+				fmt.Println(err)
+			}
+		case "now":
+			if len(fields) != 2 {
+				fmt.Println("usage: now 2005-01-01 | now off")
+				break
+			}
+			if fields[1] == "off" {
+				b.SetNow(temporal.ChrononOf(time.Now()))
+				break
+			}
+			c, err := temporal.ParseChronon(fields[1])
+			if err != nil {
+				fmt.Println("bad date")
+				break
+			}
+			b.SetNow(c)
+		default:
+			fmt.Println("commands: left right zoom[ in|out] window A B now X|off quit")
+		}
+		fmt.Print(b.Render())
+		fmt.Print("browse> ")
+	}
+}
+
+// runDemo renders a scripted browsing session: a full view, a window
+// sweep (the slider), and a what-if NOW override.
+func runDemo(rows, width int) {
+	db := tip.Open()
+	db.SetClock(temporal.MustDate(1999, 11, 12))
+	s := db.Session()
+	data := workload.Generate(workload.DefaultConfig(rows))
+	if err := workload.LoadTIP(s.Raw(), db.Blade(), data); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Exec(
+		`SELECT patient, drug, valid FROM Prescription ORDER BY patient LIMIT 12`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := browser.New(res, "valid", s.Now(), width)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- full extent ---")
+	fmt.Print(b.Render())
+
+	fmt.Println("\n--- slider sweep: quarterly windows across 1998 ---")
+	for q := 0; q < 4; q++ {
+		lo := temporal.MustDate(1998, 1+3*q, 1)
+		hi, _ := lo.AddSpan(89 * temporal.Day)
+		if err := b.SetWindow(lo, hi); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[window %d of 4]\n", q+1)
+		fmt.Print(b.Render())
+	}
+
+	fmt.Println("\n--- what-if: NOW overridden to 2005-01-01 (open prescriptions grow) ---")
+	b.SetNow(temporal.MustDate(2005, 1, 1))
+	if err := b.SetWindow(temporal.MustDate(1997, 1, 1), temporal.MustDate(2005, 1, 1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b.Render())
+}

@@ -1,0 +1,86 @@
+// Command tipserver runs a TIP-enabled database server: the DBMS process
+// of the paper's Figure 1. Clients connect with the TIP wire protocol
+// (internal/client, cmd/tipsql, cmd/tipbrowse).
+//
+// Usage:
+//
+//	tipserver -addr :4711                      # empty in-memory database
+//	tipserver -addr :4711 -db medical.tipdb    # load/save a snapshot
+//	tipserver -addr :4711 -durable ./dbdir     # WAL-backed, crash-safe
+//	tipserver -addr :4711 -demo 500            # synthetic medical demo data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tip"
+	"tip/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
+	dbPath := flag.String("db", "", "snapshot file to load on start and save on shutdown")
+	durable := flag.String("durable", "", "directory for a WAL-backed, crash-safe database")
+	demo := flag.Int("demo", 0, "load N synthetic prescriptions on start")
+	flag.Parse()
+
+	var db *tip.DB
+	if *durable != "" {
+		opened, err := tip.OpenDurable(*durable)
+		if err != nil {
+			log.Fatalf("open durable %s: %v", *durable, err)
+		}
+		db = opened
+		log.Printf("durable database at %s (WAL-backed)", *durable)
+	}
+	if db == nil && *dbPath != "" {
+		if _, err := os.Stat(*dbPath); err == nil {
+			loaded, err := tip.OpenFile(*dbPath)
+			if err != nil {
+				log.Fatalf("load %s: %v", *dbPath, err)
+			}
+			db = loaded
+			log.Printf("loaded snapshot %s", *dbPath)
+		}
+	}
+	if db == nil {
+		db = tip.Open()
+	}
+	if *demo > 0 {
+		rows := workload.Generate(workload.DefaultConfig(*demo))
+		if err := workload.LoadTIP(db.Session().Raw(), db.Blade(), rows); err != nil {
+			log.Fatalf("demo data: %v", err)
+		}
+		log.Printf("loaded %d synthetic prescriptions", *demo)
+	}
+
+	srv, err := db.Serve(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tipserver listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	_ = srv.Close()
+	switch {
+	case *durable != "":
+		if err := db.Checkpoint(); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		_ = db.Close()
+		log.Print("checkpointed")
+	case *dbPath != "":
+		if err := db.Save(*dbPath); err != nil {
+			log.Fatalf("save %s: %v", *dbPath, err)
+		}
+		log.Printf("saved snapshot %s", *dbPath)
+	}
+}

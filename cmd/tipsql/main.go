@@ -1,0 +1,135 @@
+// Command tipsql is an interactive SQL shell for TIP databases. It can
+// run embedded (against an in-memory or snapshot-backed database) or as
+// a network client against a tipserver.
+//
+// Usage:
+//
+//	tipsql                          # embedded, empty database
+//	tipsql -db medical.tipdb        # embedded, snapshot-backed
+//	tipsql -connect 127.0.0.1:4711  # network client (Figure 1)
+//	tipsql -demo 200                # embedded with synthetic data
+//
+// Statements end with ';'. Shell commands: \q quits, \t lists tables,
+// \save <path> snapshots an embedded database.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tip"
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/exec"
+	"tip/internal/types"
+	"tip/internal/workload"
+)
+
+// executor abstracts the embedded and networked back ends.
+type executor interface {
+	Exec(sql string, params map[string]types.Value) (*exec.Result, error)
+}
+
+func main() {
+	connect := flag.String("connect", "", "connect to a tipserver instead of running embedded")
+	dbPath := flag.String("db", "", "embedded: snapshot file to load")
+	demo := flag.Int("demo", 0, "embedded: load N synthetic prescriptions")
+	flag.Parse()
+
+	var run executor
+	var db *tip.DB
+	switch {
+	case *connect != "":
+		reg := blade.NewRegistry()
+		core.MustRegister(reg)
+		c, err := client.Connect(*connect, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		run = c
+		fmt.Printf("connected to %s\n", *connect)
+	default:
+		if *dbPath != "" {
+			if _, err := os.Stat(*dbPath); err == nil {
+				loaded, err := tip.OpenFile(*dbPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				db = loaded
+			}
+		}
+		if db == nil {
+			db = tip.Open()
+		}
+		if *demo > 0 {
+			rows := workload.Generate(workload.DefaultConfig(*demo))
+			if err := workload.LoadTIP(db.Session().Raw(), db.Blade(), rows); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("loaded %d synthetic prescriptions\n", *demo)
+		}
+		run = db.Session().Raw()
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("tip> ")
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch {
+			case trimmed == `\q`:
+				return
+			case trimmed == `\t`:
+				execute(run, "SHOW TABLES")
+			case strings.HasPrefix(trimmed, `\d `):
+				execute(run, "DESCRIBE "+strings.TrimSpace(strings.TrimPrefix(trimmed, `\d `)))
+			case strings.HasPrefix(trimmed, `\save `):
+				if db == nil {
+					fmt.Println("error: \\save only works embedded")
+					break
+				}
+				path := strings.TrimSpace(strings.TrimPrefix(trimmed, `\save `))
+				if err := db.Save(path); err != nil {
+					fmt.Printf("error: %v\n", err)
+				} else {
+					fmt.Printf("saved %s\n", path)
+				}
+			default:
+				fmt.Println(`commands: \q quit, \t tables, \d <table>, \save <path>`)
+			}
+			fmt.Print("tip> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			execute(run, buf.String())
+			buf.Reset()
+			fmt.Print("tip> ")
+		} else if buf.Len() > 0 {
+			fmt.Print("...> ")
+		}
+	}
+}
+
+func execute(run executor, sql string) {
+	sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	if sql == "" {
+		return
+	}
+	res, err := run.Exec(sql, nil)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Print(exec.FormatResult(res))
+}

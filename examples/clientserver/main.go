@@ -1,0 +1,109 @@
+// Clientserver: the paper's Figure 1 from application code. A TIP
+// server is started in-process; two clients connect over TCP — one with
+// the native TIP client library (full customised type mapping: Element
+// and Span values arrive as Go objects) and one through the standard
+// database/sql interface (TIP values map to their literal text).
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+
+	"tip"
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+func main() {
+	// --- server side: a TIP-enabled database listening on TCP ---------
+	db := tip.Open()
+	db.SetClock(tip.MustChronon(1999, 11, 12, 0, 0, 0))
+	srv, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("tipserver listening on %s\n\n", srv.Addr())
+
+	// --- native client: customised type mapping -----------------------
+	reg := blade.NewRegistry()
+	core.MustRegister(reg) // the client library's type tables
+	c, err := client.Connect(srv.Addr(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	mustExec := func(q string, params map[string]types.Value) {
+		if _, err := c.Exec(q, params); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustExec(`CREATE TABLE Prescription (patient VARCHAR(20), drug VARCHAR(20), valid Element)`, nil)
+	mustExec(`INSERT INTO Prescription VALUES
+		('Mr.Showbiz', 'Diabeta', '{[1999-10-01, NOW]}'),
+		('Mr.Showbiz', 'Aspirin', '{[1999-09-01, 1999-10-15]}')`, nil)
+
+	res, err := c.Exec(`SELECT drug, valid, length(valid) FROM Prescription WHERE patient = :p ORDER BY drug`,
+		map[string]types.Value{"p": types.NewString("Mr.Showbiz")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("native client (values arrive as Go temporal objects):")
+	for _, row := range res.Rows {
+		el := row[1].Obj().(temporal.Element) // a real temporal.Element
+		span := row[2].Obj().(temporal.Span)  // a real temporal.Span
+		first, _ := el.First()                // use the kernel API directly
+		fmt.Printf("  %-8s %-28s first period %v, length %v\n",
+			row[0].Str(), el, first, span)
+	}
+
+	// --- database/sql client: the standard interface -------------------
+	client.RegisterDriver()
+	sqlDB, err := sql.Open("tip", srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sqlDB.Close()
+
+	fmt.Println("\ndatabase/sql client (TIP values map to literal text):")
+	rows, err := sqlDB.Query(
+		`SELECT drug, valid FROM Prescription WHERE overlaps(valid, :win) ORDER BY drug`,
+		sql.Named("win", "[1999-10-05, 1999-10-10]"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var drug, valid string
+		if err := rows.Scan(&drug, &valid); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %s\n", drug, valid)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Transactions work through both interfaces; sessions are
+	// independent, so a rollback here never disturbs the native client.
+	tx, err := sqlDB.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO Prescription VALUES ('Ms.Quiet', 'Tylenol', '{[1999-11-01, NOW]}')`); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+	var n int
+	if err := sqlDB.QueryRow(`SELECT COUNT(*) FROM Prescription`).Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter rollback the table still has %d rows\n", n)
+}

@@ -1,0 +1,81 @@
+// Medical: the paper's §2/§4 demonstration end to end — the Prescription
+// schema, inserts with TIP literals, and the four example queries (Q1-Q4)
+// exactly as printed in the paper, plus the Allen-operator and aggregate
+// routines around them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tip"
+)
+
+func must(res *tip.Result, err error) *tip.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	db := tip.Open()
+	db.SetClock(tip.MustChronon(1999, 11, 12, 0, 0, 0)) // the demo ran in late 1999
+	s := db.Session()
+
+	fmt.Println("-- Q1: the paper's CREATE TABLE and INSERT --")
+	s.MustExec(`CREATE TABLE Prescription (
+		doctor CHAR(20), patient CHAR(20), patientdob Chronon,
+		drug CHAR(20), dosage INT, frequency Span, valid Element)`, nil)
+	s.MustExec(`INSERT INTO Prescription VALUES
+		('Dr.Pepper', 'Mr.Showbiz', '1963-08-13', 'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')`, nil)
+
+	// Supporting cast for the remaining queries.
+	s.MustExec(`INSERT INTO Prescription VALUES
+		('Dr.Salt', 'Mr.Showbiz', '1963-08-13', 'Aspirin', 2, '0 12:00:00', '{[1999-09-01, 1999-10-15]}'),
+		('Dr.No',   'Baby.Doe',   '1999-01-01', 'Tylenol', 1, '1',          '{[1999-01-10, 1999-01-20]}'),
+		('Dr.No',   'Kid.Roe',    '1995-03-01', 'Tylenol', 1, '1',          '{[1999-02-01, 1999-02-10]}'),
+		('Dr.Who',  'Mx.Overlap', '1980-01-01', 'DrugA',   1, '1',          '{[1999-01-01, 1999-03-01]}'),
+		('Dr.Who',  'Mx.Overlap', '1980-01-01', 'DrugB',   1, '1',          '{[1999-02-01, 1999-04-01]}')`, nil)
+	fmt.Print(tip.Format(must(s.Exec(`SELECT patient, drug, valid FROM Prescription ORDER BY patient, drug`, nil))))
+
+	fmt.Println("\n-- Q2: Tylenol patients younger than :w weeks at first prescription --")
+	q2 := `SELECT patient FROM Prescription
+	       WHERE drug = 'Tylenol' AND start(valid) - patientdob < '7 00:00:00'::Span * :w`
+	for _, w := range []int{1, 2, 500} {
+		res := must(s.Exec(q2, map[string]any{"w": w}))
+		fmt.Printf("w = %d:\n%s", w, tip.Format(res))
+	}
+
+	fmt.Println("\n-- Q3: who took Diabeta and Aspirin simultaneously, and exactly when --")
+	fmt.Print(tip.Format(must(s.Exec(`
+		SELECT p1.patient, intersect(p1.valid, p2.valid) AS together
+		FROM Prescription p1, Prescription p2
+		WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin'
+		AND p1.patient = p2.patient
+		AND overlaps(p1.valid, p2.valid)`, nil))))
+
+	fmt.Println("\n-- Q4: total time on medication (note SUM(length) double-counts) --")
+	fmt.Print(tip.Format(must(s.Exec(`
+		SELECT patient,
+		       length(group_union(valid)) AS coalesced,
+		       SUM(length(valid)) AS naive_sum
+		FROM Prescription GROUP BY patient ORDER BY patient`, nil))))
+
+	fmt.Println("\n-- Allen's operators on prescription periods --")
+	fmt.Print(tip.Format(must(s.Exec(`
+		SELECT p1.drug, p2.drug,
+		       allen(first(p1.valid), first(p2.valid)) AS relation
+		FROM Prescription p1, Prescription p2
+		WHERE p1.patient = 'Mx.Overlap' AND p2.patient = 'Mx.Overlap'
+		AND p1.drug < p2.drug`, nil))))
+
+	fmt.Println("\n-- NOW semantics: the same query at four evaluation times --")
+	active := `SELECT patient, drug FROM Prescription WHERE contains(valid, now()) ORDER BY drug`
+	for _, when := range []string{"1999-02-15", "1999-09-15", "1999-11-12", "2005-01-01"} {
+		s.MustExec(fmt.Sprintf("SET NOW = '%s'", when), nil)
+		res := must(s.Exec(active, nil))
+		fmt.Printf("NOW = %s:\n%s", when, tip.Format(res))
+	}
+	s.MustExec(`SET NOW = DEFAULT`, nil)
+}

@@ -1,0 +1,82 @@
+// Quickstart: open an embedded TIP database, store temporal data using
+// plain SQL with TIP literals, and ask temporal questions — the
+// five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tip"
+)
+
+func main() {
+	// An in-memory TIP-enabled database. Pinning the clock makes the
+	// output reproducible; drop SetClock to use real time.
+	db := tip.Open()
+	now := tip.MustChronon(1999, 11, 12, 0, 0, 0)
+	db.SetClock(now)
+	s := db.Session()
+
+	// TIP types appear in DDL like any built-in type.
+	s.MustExec(`CREATE TABLE Employment (
+		person  VARCHAR(20),
+		company VARCHAR(20),
+		valid   Element)`, nil)
+
+	// String literals convert to TIP values automatically; NOW makes a
+	// period grow with time.
+	s.MustExec(`INSERT INTO Employment VALUES
+		('ada',   'Initech',  '{[1997-03-01, 1998-06-30]}'),
+		('ada',   'Hooli',    '{[1998-09-01, NOW]}'),
+		('grace', 'Initech',  '{[1997-01-01, 1997-12-31], [1999-02-01, NOW]}'),
+		('alan',  'Hooli',    '{[1998-01-01, 1998-03-31]}')`, nil)
+
+	// Who works somewhere right now?
+	res, err := s.Exec(`
+		SELECT person, company FROM Employment
+		WHERE contains(valid, now())
+		ORDER BY person`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("currently employed:")
+	fmt.Print(tip.Format(res))
+
+	// How long has each person been employed in total? Overlapping
+	// spells must be coalesced first — that is group_union.
+	res, err = s.Exec(`
+		SELECT person, length(group_union(valid)) AS employed
+		FROM Employment GROUP BY person ORDER BY person`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntotal time employed (coalesced):")
+	fmt.Print(tip.Format(res))
+
+	// Did ada and grace ever work at the same company at the same time?
+	res, err = s.Exec(`
+		SELECT a.company, intersect(a.valid, b.valid) AS together
+		FROM Employment a, Employment b
+		WHERE a.person = 'ada' AND b.person = 'grace'
+		AND a.company = b.company
+		AND overlaps(a.valid, b.valid)`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nada and grace overlapped at:")
+	fmt.Print(tip.Format(res))
+
+	// Parameters carry Go values, including TIP values.
+	cutoff, _ := tip.ParseSpan("365")
+	res, err = s.Exec(`
+		SELECT person FROM Employment
+		GROUP BY person
+		HAVING length(group_union(valid)) > :cutoff
+		ORDER BY person`, map[string]any{"cutoff": cutoff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nemployed for more than a year overall:")
+	fmt.Print(tip.Format(res))
+}

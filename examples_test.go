@@ -1,0 +1,26 @@
+package tip_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun executes each example end to end; examples are the
+// documentation, so they must not rot. Skipped under -short (each run
+// compiles a main package).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	for _, dir := range []string{"quickstart", "medical", "whatif", "warehouse", "clientserver"} {
+		t.Run(dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module tip
+
+go 1.22

@@ -1,0 +1,191 @@
+package blade
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tip/internal/types"
+)
+
+// Engine built-ins, registered through the public blade API so the
+// extension machinery carries every query's arithmetic, not just the
+// temporal routines.
+
+func (r *Registry) registerBuiltinRoutines() {
+	intBin := func(name string, f func(a, b int64) (int64, error)) {
+		r.MustRegisterRoutine(&Routine{
+			Name: name, Params: []*types.Type{types.TInt, types.TInt},
+			Result: types.TInt, Strict: true,
+			Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+				v, err := f(args[0].Int(), args[1].Int())
+				if err != nil {
+					return types.Value{}, err
+				}
+				return types.NewInt(v), nil
+			}})
+	}
+	floatBin := func(name string, f func(a, b float64) (float64, error)) {
+		r.MustRegisterRoutine(&Routine{
+			Name: name, Params: []*types.Type{types.TFloat, types.TFloat},
+			Result: types.TFloat, Strict: true,
+			Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+				v, err := f(args[0].Float(), args[1].Float())
+				if err != nil {
+					return types.Value{}, err
+				}
+				return types.NewFloat(v), nil
+			}})
+	}
+
+	intBin("+", func(a, b int64) (int64, error) { return a + b, nil })
+	intBin("-", func(a, b int64) (int64, error) { return a - b, nil })
+	intBin("*", func(a, b int64) (int64, error) { return a * b, nil })
+	intBin("/", func(a, b int64) (int64, error) {
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	})
+	intBin("%", func(a, b int64) (int64, error) {
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a % b, nil
+	})
+	floatBin("+", func(a, b float64) (float64, error) { return a + b, nil })
+	floatBin("-", func(a, b float64) (float64, error) { return a - b, nil })
+	floatBin("*", func(a, b float64) (float64, error) { return a * b, nil })
+	floatBin("/", func(a, b float64) (float64, error) {
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	})
+
+	r.MustRegisterRoutine(&Routine{
+		Name: "||", Params: []*types.Type{types.TString, types.TString},
+		Result: types.TString, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			return types.NewString(args[0].Str() + args[1].Str()), nil
+		}})
+
+	r.MustRegisterRoutine(&Routine{
+		Name: "upper", Params: []*types.Type{types.TString},
+		Result: types.TString, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			return types.NewString(strings.ToUpper(args[0].Str())), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "lower", Params: []*types.Type{types.TString},
+		Result: types.TString, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			return types.NewString(strings.ToLower(args[0].Str())), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "trim", Params: []*types.Type{types.TString},
+		Result: types.TString, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			return types.NewString(strings.TrimSpace(args[0].Str())), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "char_length", Params: []*types.Type{types.TString},
+		Result: types.TInt, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			return types.NewInt(int64(len(args[0].Str()))), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "abs", Params: []*types.Type{types.TInt},
+		Result: types.TInt, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return types.NewInt(v), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "abs", Params: []*types.Type{types.TFloat},
+		Result: types.TFloat, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			v := args[0].Float()
+			if v < 0 {
+				v = -v
+			}
+			return types.NewFloat(v), nil
+		}})
+
+	// greatest/least over INT pairs, handy for the layered baseline's
+	// interval clipping SQL.
+	r.MustRegisterRoutine(&Routine{
+		Name: "greatest", Params: []*types.Type{types.TInt, types.TInt},
+		Result: types.TInt, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			a, b := args[0].Int(), args[1].Int()
+			if a > b {
+				return types.NewInt(a), nil
+			}
+			return types.NewInt(b), nil
+		}})
+	r.MustRegisterRoutine(&Routine{
+		Name: "least", Params: []*types.Type{types.TInt, types.TInt},
+		Result: types.TInt, Strict: true,
+		Fn: func(_ *Ctx, args []types.Value) (types.Value, error) {
+			a, b := args[0].Int(), args[1].Int()
+			if a < b {
+				return types.NewInt(a), nil
+			}
+			return types.NewInt(b), nil
+		}})
+}
+
+func (r *Registry) registerBuiltinCasts() {
+	r.MustRegisterCast(&Cast{From: types.TInt, To: types.TFloat, Implicit: true,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewFloat(float64(v.Int())), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TFloat, To: types.TInt,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewInt(int64(v.Float())), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TString, To: types.TInt,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			n, err := strconv.ParseInt(strings.TrimSpace(v.Str()), 10, 64)
+			if err != nil {
+				return types.Value{}, fmt.Errorf("bad INT literal %q", v.Str())
+			}
+			return types.NewInt(n), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TString, To: types.TFloat,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64)
+			if err != nil {
+				return types.Value{}, fmt.Errorf("bad FLOAT literal %q", v.Str())
+			}
+			return types.NewFloat(f), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TInt, To: types.TString,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewString(strconv.FormatInt(v.Int(), 10)), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TFloat, To: types.TString,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewString(v.Format()), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TBool, To: types.TString,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewString(v.Format()), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TString, To: types.TDate, Implicit: true,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			d, err := types.ParseDate(v.Str())
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewDate(d), nil
+		}})
+	r.MustRegisterCast(&Cast{From: types.TDate, To: types.TString,
+		Fn: func(_ *Ctx, v types.Value) (types.Value, error) {
+			return types.NewString(v.Format()), nil
+		}})
+}

@@ -1,0 +1,263 @@
+// Package browser implements the TIP Browser of the paper's Figure 2 as
+// a terminal renderer: it browses query results according to a chosen
+// temporal attribute (of type Chronon, Instant, Period or Element),
+// keeps an adjustable time window over the time line, highlights the
+// result tuples valid in the window, draws their valid periods as
+// segments of an ASCII time line, and provides the slider (window
+// movement) and the NOW override for what-if analysis.
+package browser
+
+import (
+	"fmt"
+	"strings"
+
+	"tip/internal/exec"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Browser is one browsing view over a materialised query result.
+type Browser struct {
+	res   *exec.Result
+	col   int
+	now   temporal.Chronon
+	win   temporal.Interval
+	width int
+}
+
+// New builds a browser over a result, keyed on the named temporal
+// attribute. The initial window spans the attribute's full extent in
+// the data; width is the time line's character width.
+func New(res *exec.Result, column string, now temporal.Chronon, width int) (*Browser, error) {
+	col := -1
+	for i, c := range res.Cols {
+		if strings.EqualFold(c, column) {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("browser: no column %s in result", column)
+	}
+	if width < 10 {
+		width = 10
+	}
+	b := &Browser{res: res, col: col, now: now, width: width}
+	lo, hi, ok := b.extent()
+	if !ok {
+		// No temporal data at all; centre a one-year window on NOW.
+		lo, hi = now-180*86400, now+180*86400
+	}
+	b.win = temporal.Interval{Lo: lo, Hi: hi}
+	return b, nil
+}
+
+// intervalsOf maps one temporal attribute value to bound intervals.
+func (b *Browser) intervalsOf(v types.Value) []temporal.Interval {
+	if v.Null {
+		return nil
+	}
+	switch obj := v.Obj().(type) {
+	case temporal.Element:
+		return obj.Bind(b.now)
+	case temporal.Period:
+		iv, ok := obj.Bind(b.now)
+		if !ok {
+			return nil
+		}
+		return []temporal.Interval{iv}
+	case temporal.Chronon:
+		return []temporal.Interval{{Lo: obj, Hi: obj}}
+	case temporal.Instant:
+		c := obj.Bind(b.now)
+		return []temporal.Interval{{Lo: c, Hi: c}}
+	}
+	if v.T.Kind == types.KindDate {
+		c := types.DateToChronon(v.Int())
+		return []temporal.Interval{{Lo: c, Hi: c + 86399}}
+	}
+	return nil
+}
+
+// extent finds the min/max chronons covered by the temporal attribute.
+func (b *Browser) extent() (temporal.Chronon, temporal.Chronon, bool) {
+	lo, hi := temporal.MaxChronon, temporal.MinChronon
+	found := false
+	for _, row := range b.res.Rows {
+		for _, iv := range b.intervalsOf(row[b.col]) {
+			found = true
+			if iv.Lo < lo {
+				lo = iv.Lo
+			}
+			if iv.Hi > hi {
+				hi = iv.Hi
+			}
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Window returns the current window.
+func (b *Browser) Window() temporal.Interval { return b.win }
+
+// SetWindow positions the window explicitly.
+func (b *Browser) SetWindow(lo, hi temporal.Chronon) error {
+	if lo > hi {
+		return fmt.Errorf("browser: window start after end")
+	}
+	b.win = temporal.Interval{Lo: lo, Hi: hi}
+	return nil
+}
+
+// Slide moves the window along the time line — the paper's slider.
+func (b *Browser) Slide(by temporal.Span) {
+	b.win.Lo += temporal.Chronon(by)
+	b.win.Hi += temporal.Chronon(by)
+}
+
+// Zoom scales the window around its centre; factor 0.5 halves it,
+// 2 doubles it.
+func (b *Browser) Zoom(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	centre := int64(b.win.Lo) + (int64(b.win.Hi)-int64(b.win.Lo))/2
+	half := float64(int64(b.win.Hi)-int64(b.win.Lo)) / 2 * factor
+	if half < 1 {
+		half = 1
+	}
+	b.win.Lo = temporal.Chronon(centre - int64(half))
+	b.win.Hi = temporal.Chronon(centre + int64(half))
+}
+
+// Now returns the browser's value of NOW.
+func (b *Browser) Now() temporal.Chronon { return b.now }
+
+// SetNow overrides NOW — the paper's what-if facility. Validity and
+// timeline rendering immediately reinterpret NOW-relative values.
+func (b *Browser) SetNow(now temporal.Chronon) { b.now = now }
+
+// RowValid reports whether row i's temporal attribute overlaps the
+// window — the highlight predicate.
+func (b *Browser) RowValid(i int) bool {
+	for _, iv := range b.intervalsOf(b.res.Rows[i][b.col]) {
+		if iv.Overlaps(b.win) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidRows returns the indices of the highlighted rows.
+func (b *Browser) ValidRows() []int {
+	var out []int
+	for i := range b.res.Rows {
+		if b.RowValid(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Timeline renders row i's valid periods as segments within the window:
+// '#' where the attribute covers the time line, '·' elsewhere.
+func (b *Browser) Timeline(i int) string {
+	cells := make([]byte, b.width)
+	for j := range cells {
+		cells[j] = '.'
+	}
+	span := int64(b.win.Hi) - int64(b.win.Lo) + 1
+	for _, iv := range b.intervalsOf(b.res.Rows[i][b.col]) {
+		if !iv.Overlaps(b.win) {
+			continue
+		}
+		lo, hi := iv.Lo, iv.Hi
+		if lo < b.win.Lo {
+			lo = b.win.Lo
+		}
+		if hi > b.win.Hi {
+			hi = b.win.Hi
+		}
+		from := int((int64(lo) - int64(b.win.Lo)) * int64(b.width) / span)
+		to := int((int64(hi) - int64(b.win.Lo)) * int64(b.width) / span)
+		if to >= b.width {
+			to = b.width - 1
+		}
+		for j := from; j <= to; j++ {
+			cells[j] = '#'
+		}
+	}
+	return string(cells)
+}
+
+// Render draws the full browsing view: header, one line per tuple with a
+// validity marker ('*' = valid in window), the formatted attribute
+// values, and the time-line column; then the window scale.
+func (b *Browser) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NOW = %s    window = [%s, %s]\n", b.now, b.win.Lo, b.win.Hi)
+	widths := make([]int, len(b.res.Cols))
+	for i, c := range b.res.Cols {
+		widths[i] = len(c)
+	}
+	formatted := make([][]string, len(b.res.Rows))
+	for ri, row := range b.res.Rows {
+		formatted[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.Format()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			formatted[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	sb.WriteString("  ")
+	for i, c := range b.res.Cols {
+		fmt.Fprintf(&sb, "%-*s ", widths[i], c)
+	}
+	fmt.Fprintf(&sb, "| %s\n", center("timeline", b.width))
+	for ri := range b.res.Rows {
+		if b.RowValid(ri) {
+			sb.WriteString("* ")
+		} else {
+			sb.WriteString("  ")
+		}
+		for ci := range b.res.Cols {
+			fmt.Fprintf(&sb, "%-*s ", widths[ci], formatted[ri][ci])
+		}
+		fmt.Fprintf(&sb, "| %s\n", b.Timeline(ri))
+	}
+	// Slider scale.
+	pad := 2
+	for _, w := range widths {
+		pad += w + 1
+	}
+	sb.WriteString(strings.Repeat(" ", pad))
+	fmt.Fprintf(&sb, "| %s\n", b.scale())
+	return sb.String()
+}
+
+// scale draws the window's start and end dates under the time line.
+func (b *Browser) scale() string {
+	lo := b.win.Lo.String()
+	hi := b.win.Hi.String()
+	if len(lo)+len(hi)+2 > b.width {
+		return lo
+	}
+	gap := b.width - len(lo) - len(hi)
+	return lo + strings.Repeat(" ", gap) + hi
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}

@@ -1,0 +1,263 @@
+package browser_test
+
+import (
+	"strings"
+	"testing"
+
+	"tip/internal/blade"
+	"tip/internal/browser"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/exec"
+	"tip/internal/temporal"
+)
+
+var testNow = temporal.MustDate(1999, 11, 12)
+
+func demoResult(t *testing.T) *exec.Result {
+	t.Helper()
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return testNow })
+	s := db.NewSession()
+	stmts := []string{
+		`CREATE TABLE rx (patient VARCHAR(12), drug VARCHAR(12), valid Element)`,
+		`INSERT INTO rx VALUES ('winter', 'DrugA', '{[1999-01-01, 1999-02-28]}')`,
+		`INSERT INTO rx VALUES ('summer', 'DrugB', '{[1999-06-01, 1999-08-31]}')`,
+		`INSERT INTO rx VALUES ('split', 'DrugC', '{[1999-01-15, 1999-02-15], [1999-07-01, 1999-07-31]}')`,
+		`INSERT INTO rx VALUES ('open', 'DrugD', '{[1999-10-01, NOW]}')`,
+	}
+	for _, q := range stmts {
+		if _, err := s.Exec(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Exec(`SELECT patient, drug, valid FROM rx ORDER BY patient`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBrowserWindowHighlight(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows sorted: open, split, summer, winter.
+	if err := b.SetWindow(temporal.MustDate(1999, 1, 1), temporal.MustDate(1999, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	valid := b.ValidRows()
+	if len(valid) != 2 { // split and winter
+		t.Fatalf("winter window valid rows = %v", valid)
+	}
+	if b.RowValid(0) { // 'open' starts in October
+		t.Error("open prescription should not be valid in winter window")
+	}
+
+	if err := b.SetWindow(temporal.MustDate(1999, 11, 1), temporal.MustDate(1999, 11, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RowValid(0) {
+		t.Error("open prescription should be valid in November")
+	}
+	if b.RowValid(3) {
+		t.Error("winter prescription should not be valid in November")
+	}
+}
+
+func TestBrowserSliderAndZoom(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetWindow(temporal.MustDate(1999, 1, 1), temporal.MustDate(1999, 1, 31)); err != nil {
+		t.Fatal(err)
+	}
+	// Slide by five months: into June.
+	b.Slide(151 * temporal.Day)
+	w := b.Window()
+	if w.Lo != temporal.MustDate(1999, 6, 1) {
+		t.Errorf("slid window = %v", w.Lo)
+	}
+	if !b.RowValid(2) { // summer
+		t.Error("summer row should be valid after sliding")
+	}
+	// Zoom out doubles the window.
+	before := int64(w.Hi) - int64(w.Lo)
+	b.Zoom(2)
+	w = b.Window()
+	after := int64(w.Hi) - int64(w.Lo)
+	if after < 2*before-4 || after > 2*before+4 {
+		t.Errorf("zoom: %d → %d", before, after)
+	}
+}
+
+func TestBrowserTimelineSegments(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetWindow(temporal.MustDate(1999, 1, 1), temporal.MustDate(1999, 12, 31)); err != nil {
+		t.Fatal(err)
+	}
+	// The split prescription (row 1) must render two segments.
+	tl := b.Timeline(1)
+	if len(tl) != 60 {
+		t.Fatalf("timeline width = %d", len(tl))
+	}
+	segments := 0
+	in := false
+	for _, c := range tl {
+		if c == '#' && !in {
+			segments++
+			in = true
+		}
+		if c == '.' {
+			in = false
+		}
+	}
+	if segments != 2 {
+		t.Errorf("split row rendered %d segments in %q", segments, tl)
+	}
+	// Winter row covers the left edge only.
+	winter := b.Timeline(3)
+	if winter[0] != '#' || winter[len(winter)-1] != '.' {
+		t.Errorf("winter timeline = %q", winter)
+	}
+}
+
+func TestBrowserNowOverrideWhatIf(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a December window the open prescription [1999-10-01, NOW] is
+	// invalid when NOW is November...
+	if err := b.SetWindow(temporal.MustDate(1999, 12, 1), temporal.MustDate(1999, 12, 31)); err != nil {
+		t.Fatal(err)
+	}
+	if b.RowValid(0) {
+		t.Error("open prescription should end at NOW = November")
+	}
+	// ...but what-if NOW were next year?
+	b.SetNow(temporal.MustDate(2000, 6, 1))
+	if !b.RowValid(0) {
+		t.Error("with NOW overridden to 2000, the open prescription covers December")
+	}
+}
+
+func TestBrowserRender(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetWindow(temporal.MustDate(1999, 1, 1), temporal.MustDate(1999, 3, 31)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.Render()
+	if !strings.Contains(out, "NOW = 1999-11-12") {
+		t.Errorf("render header missing: %q", out)
+	}
+	if !strings.Contains(out, "* split") && !strings.Contains(out, "*  split") {
+		// The marker precedes the row; allow for column padding.
+		if !strings.Contains(out, "*") {
+			t.Errorf("no validity markers in render:\n%s", out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + column header + 4 rows + scale
+	if len(lines) != 7 {
+		t.Errorf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+// TestBrowserByEveryTemporalType checks the paper's claim that browsing
+// works "according to any attribute of type Chronon, Instant, Period, or
+// Element".
+func TestBrowserByEveryTemporalType(t *testing.T) {
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return testNow })
+	s := db.NewSession()
+	stmts := []string{
+		`CREATE TABLE ev (name VARCHAR(8), c Chronon, i Instant, p Period, e Element)`,
+		// NOW-284 binds to 1999-02-01 under the pinned 1999-11-12 clock.
+		`INSERT INTO ev VALUES ('early', '1999-02-01', 'NOW-284', '[1999-01-01, 1999-03-01]', '{[1999-02-01, 1999-02-15]}')`,
+		`INSERT INTO ev VALUES ('late', '1999-11-05', 'NOW-7', '[1999-09-01, NOW]', '{[1999-10-01, NOW]}')`,
+	}
+	for _, q := range stmts {
+		if _, err := s.Exec(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Exec(`SELECT name, c, i, p, e FROM ev ORDER BY name`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"c", "i", "p", "e"} {
+		b, err := browser.New(res, col, testNow, 30)
+		if err != nil {
+			t.Fatalf("column %s: %v", col, err)
+		}
+		// A February window: only the 'early' row should be valid for
+		// every attribute type.
+		if err := b.SetWindow(temporal.MustDate(1999, 2, 1), temporal.MustDate(1999, 2, 28)); err != nil {
+			t.Fatal(err)
+		}
+		valid := b.ValidRows()
+		if len(valid) != 1 || valid[0] != 0 {
+			t.Errorf("column %s: valid rows = %v", col, valid)
+		}
+		// An early-November window catches only the NOW-relative rows.
+		if err := b.SetWindow(temporal.MustDate(1999, 11, 1), temporal.MustDate(1999, 11, 12)); err != nil {
+			t.Fatal(err)
+		}
+		valid = b.ValidRows()
+		if len(valid) != 1 || valid[0] != 1 {
+			t.Errorf("column %s: november rows = %v", col, valid)
+		}
+	}
+}
+
+func TestBrowserErrors(t *testing.T) {
+	res := demoResult(t)
+	if _, err := browser.New(res, "nosuch", testNow, 40); err == nil {
+		t.Error("unknown column should fail")
+	}
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetWindow(temporal.MustDate(1999, 2, 1), temporal.MustDate(1999, 1, 1)); err == nil {
+		t.Error("reversed window should fail")
+	}
+}
+
+func TestBrowserInitialWindowCoversExtent(t *testing.T) {
+	res := demoResult(t)
+	b, err := browser.New(res, "valid", testNow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Window()
+	if w.Lo > temporal.MustDate(1999, 1, 1) || w.Hi < testNow {
+		t.Errorf("initial window %v..%v should cover the data", w.Lo, w.Hi)
+	}
+	// Every row is valid in the full-extent window.
+	if len(b.ValidRows()) != len(res.Rows) {
+		t.Error("full-extent window should highlight every row")
+	}
+}

@@ -1,0 +1,166 @@
+// Package catalog maintains the engine's schema metadata: tables, their
+// columns (with blade-resolved types), and secondary indexes. The catalog
+// is type-registry-agnostic — column types are interned *types.Type
+// pointers handed in by the engine after blade resolution.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tip/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    *types.Type
+	NotNull bool
+}
+
+// IndexKind distinguishes index implementations.
+type IndexKind int
+
+// Index kinds: hash for equality, period for temporal overlap search.
+const (
+	HashIndex IndexKind = iota
+	PeriodIndex
+)
+
+// IndexMeta describes one secondary index.
+type IndexMeta struct {
+	Name   string
+	Table  string
+	Column string
+	Kind   IndexKind
+}
+
+// TableMeta describes one table.
+type TableMeta struct {
+	Name    string
+	Columns []Column
+	colPos  map[string]int
+}
+
+// NewTableMeta builds table metadata, validating column name uniqueness.
+func NewTableMeta(name string, cols []Column) (*TableMeta, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %s has no columns", name)
+	}
+	m := &TableMeta{Name: name, Columns: cols, colPos: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := m.colPos[key]; dup {
+			return nil, fmt.Errorf("catalog: duplicate column %s in table %s", c.Name, name)
+		}
+		m.colPos[key] = i
+	}
+	return m, nil
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive).
+func (m *TableMeta) ColumnIndex(name string) (int, bool) {
+	i, ok := m.colPos[strings.ToLower(name)]
+	return i, ok
+}
+
+// Catalog is the schema registry.
+type Catalog struct {
+	tables  map[string]*TableMeta
+	indexes map[string]*IndexMeta
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*TableMeta),
+		indexes: make(map[string]*IndexMeta),
+	}
+}
+
+// CreateTable registers a table.
+func (c *Catalog) CreateTable(m *TableMeta) error {
+	key := strings.ToLower(m.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("catalog: table %s already exists", m.Name)
+	}
+	c.tables[key] = m
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: no table %s", name)
+	}
+	delete(c.tables, key)
+	for iname, im := range c.indexes {
+		if strings.EqualFold(im.Table, name) {
+			delete(c.indexes, iname)
+		}
+	}
+	return nil
+}
+
+// Table resolves a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*TableMeta, bool) {
+	m, ok := c.tables[strings.ToLower(name)]
+	return m, ok
+}
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, m := range c.tables {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex registers index metadata after validating the target.
+func (c *Catalog) CreateIndex(im *IndexMeta) error {
+	key := strings.ToLower(im.Name)
+	if _, ok := c.indexes[key]; ok {
+		return fmt.Errorf("catalog: index %s already exists", im.Name)
+	}
+	tm, ok := c.Table(im.Table)
+	if !ok {
+		return fmt.Errorf("catalog: no table %s", im.Table)
+	}
+	if _, ok := tm.ColumnIndex(im.Column); !ok {
+		return fmt.Errorf("catalog: no column %s in table %s", im.Column, im.Table)
+	}
+	c.indexes[key] = im
+	return nil
+}
+
+// DropIndex removes index metadata.
+func (c *Catalog) DropIndex(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.indexes[key]; !ok {
+		return fmt.Errorf("catalog: no index %s", name)
+	}
+	delete(c.indexes, key)
+	return nil
+}
+
+// Index resolves an index by name.
+func (c *Catalog) Index(name string) (*IndexMeta, bool) {
+	im, ok := c.indexes[strings.ToLower(name)]
+	return im, ok
+}
+
+// TableIndexes returns the indexes on the given table, sorted by name.
+func (c *Catalog) TableIndexes(table string) []*IndexMeta {
+	var out []*IndexMeta
+	for _, im := range c.indexes {
+		if strings.EqualFold(im.Table, table) {
+			out = append(out, im)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"testing"
+
+	"tip/internal/types"
+)
+
+func meta(t *testing.T, name string, cols ...string) *TableMeta {
+	t.Helper()
+	cs := make([]Column, len(cols))
+	for i, c := range cols {
+		cs[i] = Column{Name: c, Type: types.TInt}
+	}
+	m, err := NewTableMeta(name, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTableMeta(t *testing.T) {
+	m := meta(t, "t", "a", "B")
+	if i, ok := m.ColumnIndex("a"); !ok || i != 0 {
+		t.Error("column a")
+	}
+	// Case-insensitive.
+	if i, ok := m.ColumnIndex("b"); !ok || i != 1 {
+		t.Error("column b case-insensitive")
+	}
+	if _, ok := m.ColumnIndex("c"); ok {
+		t.Error("missing column resolved")
+	}
+	if _, err := NewTableMeta("bad", nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewTableMeta("bad", []Column{{Name: "x"}, {Name: "X"}}); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+}
+
+func TestCatalogTables(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(meta(t, "Emp", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(meta(t, "emp", "a")); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	if _, ok := c.Table("EMP"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := c.CreateTable(meta(t, "dept", "a")); err != nil {
+		t.Fatal(err)
+	}
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "Emp" || names[1] != "dept" {
+		t.Errorf("names = %v", names)
+	}
+	if err := c.DropTable("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("emp"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestCatalogIndexes(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(meta(t, "t", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(&IndexMeta{Name: "ia", Table: "t", Column: "a", Kind: HashIndex}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(&IndexMeta{Name: "ia", Table: "t", Column: "b"}); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	if err := c.CreateIndex(&IndexMeta{Name: "ix", Table: "missing", Column: "a"}); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	if err := c.CreateIndex(&IndexMeta{Name: "ix", Table: "t", Column: "zzz"}); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if err := c.CreateIndex(&IndexMeta{Name: "ib", Table: "t", Column: "b", Kind: PeriodIndex}); err != nil {
+		t.Fatal(err)
+	}
+	idxs := c.TableIndexes("T")
+	if len(idxs) != 2 || idxs[0].Name != "ia" || idxs[1].Name != "ib" {
+		t.Errorf("indexes = %v", idxs)
+	}
+	if _, ok := c.Index("IA"); !ok {
+		t.Error("case-insensitive index lookup failed")
+	}
+	// Dropping the table drops its indexes.
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("ia"); ok {
+		t.Error("index survived table drop")
+	}
+	if err := c.DropIndex("ia"); err == nil {
+		t.Error("dropping missing index should fail")
+	}
+}

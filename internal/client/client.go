@@ -1,0 +1,108 @@
+// Package client is the TIP client library — the Go analogue of the
+// paper's TIP C and Java libraries. It speaks the TIP wire protocol to a
+// TIP server and performs customised type mapping: values of TIP
+// datatypes arrive as native temporal objects (temporal.Chronon,
+// temporal.Element, ...), not strings, exactly as the TIP Browser maps
+// JDBC results to TIP Java objects.
+//
+// A thin database/sql driver is also provided (see driver.go) for
+// applications that prefer the standard interface; it maps TIP values to
+// their literal text.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"tip/internal/blade"
+	"tip/internal/exec"
+	"tip/internal/protocol"
+	"tip/internal/types"
+)
+
+// Conn is one client connection. It is safe for sequential use; guard
+// concurrent use with the embedded lock (Exec serialises internally).
+type Conn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	reg  *blade.Registry
+}
+
+// Connect dials a TIP server. The registry must have the same blades
+// registered as the server, so wire values decode to native objects.
+func Connect(addr string, reg *blade.Registry) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Conn{conn: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc), reg: reg}
+	if err := protocol.WriteFrame(c.w, protocol.EncodeHello("tip-go-client")); err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	frame, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if len(frame) == 0 || frame[0] != protocol.MsgWelcome {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: bad handshake")
+	}
+	if _, err := protocol.DecodeString(frame[1:]); err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return c, nil
+}
+
+// Exec sends one SQL statement with optional named parameters and returns
+// the decoded result. Server-side errors come back as *ServerError.
+func (c *Conn) Exec(sql string, params map[string]types.Value) (*exec.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := protocol.WriteFrame(c.w, protocol.EncodeQuery(protocol.Query{SQL: sql, Params: params})); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	frame, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("client: empty frame")
+	}
+	switch frame[0] {
+	case protocol.MsgResult:
+		res, err := protocol.DecodeResult(c.reg, frame[1:])
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		return res, nil
+	case protocol.MsgError:
+		msg, err := protocol.DecodeString(frame[1:])
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		return nil, &ServerError{Message: msg}
+	default:
+		return nil, fmt.Errorf("client: unexpected message kind %d", frame[0])
+	}
+}
+
+// Close sends a quit and closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = protocol.WriteFrame(c.w, []byte{protocol.MsgQuit})
+	return c.conn.Close()
+}
+
+// ServerError is an error reported by the server (a SQL error, not a
+// transport failure); the connection remains usable.
+type ServerError struct{ Message string }
+
+func (e *ServerError) Error() string { return e.Message }

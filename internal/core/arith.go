@@ -1,0 +1,195 @@
+package core
+
+import (
+	"tip/internal/blade"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// registerArithmetic installs the overloaded arithmetic operators of §2:
+// a Chronon minus a Chronon returns a Span, a Chronon plus a Span a
+// Chronon — and a Chronon plus a Chronon stays a type error because no
+// such overload exists.
+func (b *Blade) registerArithmetic(reg *blade.Registry) {
+	rt := func(name string, params []*types.Type, result *types.Type, fn blade.RoutineFn) {
+		reg.MustRegisterRoutine(&blade.Routine{
+			Name: name, Params: params, Result: result, Strict: true, Fn: fn,
+		})
+	}
+
+	// Chronon ± Span.
+	rt("+", []*types.Type{b.Chronon, b.Span}, b.Chronon,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, err := args[0].Obj().(temporal.Chronon).AddSpan(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ChrononValue(c), nil
+		})
+	rt("+", []*types.Type{b.Span, b.Chronon}, b.Chronon,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, err := args[1].Obj().(temporal.Chronon).AddSpan(args[0].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ChrononValue(c), nil
+		})
+	rt("-", []*types.Type{b.Chronon, b.Span}, b.Chronon,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, err := args[0].Obj().(temporal.Chronon).AddSpan(-args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ChrononValue(c), nil
+		})
+	// Chronon - Chronon = Span.
+	rt("-", []*types.Type{b.Chronon, b.Chronon}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.SpanValue(args[0].Obj().(temporal.Chronon).SubChronon(args[1].Obj().(temporal.Chronon))), nil
+		})
+
+	// Span arithmetic.
+	rt("+", []*types.Type{b.Span, b.Span}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			s, err := args[0].Obj().(temporal.Span).Add(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.SpanValue(s), nil
+		})
+	rt("-", []*types.Type{b.Span, b.Span}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			s, err := args[0].Obj().(temporal.Span).Sub(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.SpanValue(s), nil
+		})
+	spanMulInt := func(_ *blade.Ctx, s temporal.Span, k int64) (types.Value, error) {
+		out, err := s.Mul(k)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return b.SpanValue(out), nil
+	}
+	// Span * INT and INT * Span: the paper's '7 00:00:00'::Span * :w.
+	rt("*", []*types.Type{b.Span, types.TInt}, b.Span,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return spanMulInt(ctx, args[0].Obj().(temporal.Span), args[1].Int())
+		})
+	rt("*", []*types.Type{types.TInt, b.Span}, b.Span,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return spanMulInt(ctx, args[1].Obj().(temporal.Span), args[0].Int())
+		})
+	rt("*", []*types.Type{b.Span, types.TFloat}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			s, err := args[0].Obj().(temporal.Span).MulFloat(args[1].Float())
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.SpanValue(s), nil
+		})
+	rt("/", []*types.Type{b.Span, types.TInt}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			s, err := args[0].Obj().(temporal.Span).Div(args[1].Int())
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.SpanValue(s), nil
+		})
+	// Span / Span = FLOAT (how many of one duration fit in another).
+	rt("/", []*types.Type{b.Span, b.Span}, types.TFloat,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			f, err := args[0].Obj().(temporal.Span).Ratio(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewFloat(f), nil
+		})
+	// Unary minus on Span (the executor dispatches unknown unary minus
+	// to the routine "neg").
+	rt("neg", []*types.Type{b.Span}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.SpanValue(args[0].Obj().(temporal.Span).Neg()), nil
+		})
+
+	// Instant ± Span, preserving NOW-relativity.
+	rt("+", []*types.Type{b.Instant, b.Span}, b.Instant,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			i, err := args[0].Obj().(temporal.Instant).AddSpan(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.InstantValue(i), nil
+		})
+	rt("-", []*types.Type{b.Instant, b.Span}, b.Instant,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			i, err := args[0].Obj().(temporal.Instant).AddSpan(-args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.InstantValue(i), nil
+		})
+	// Instant - Instant: bound subtraction under the transaction time.
+	rt("-", []*types.Type{b.Instant, b.Instant}, b.Span,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			a := args[0].Obj().(temporal.Instant).Bind(ctx.Now)
+			c := args[1].Obj().(temporal.Instant).Bind(ctx.Now)
+			return b.SpanValue(a.SubChronon(c)), nil
+		})
+
+	// Period ± Span and Element ± Span: shifting along the time line.
+	rt("+", []*types.Type{b.Period, b.Span}, b.Period,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			p, err := args[0].Obj().(temporal.Period).Shift(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.PeriodValue(p), nil
+		})
+	rt("-", []*types.Type{b.Period, b.Span}, b.Period,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			p, err := args[0].Obj().(temporal.Period).Shift(-args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.PeriodValue(p), nil
+		})
+	rt("+", []*types.Type{b.Element, b.Span}, b.Element,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			e, err := args[0].Obj().(temporal.Element).Shift(args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ElementValue(e), nil
+		})
+	rt("-", []*types.Type{b.Element, b.Span}, b.Element,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			e, err := args[0].Obj().(temporal.Element).Shift(-args[1].Obj().(temporal.Span))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ElementValue(e), nil
+		})
+
+	// Element set equality is NOW-dependent; register "=" and "<>" so
+	// comparisons use denotational semantics rather than a structural
+	// order (Elements have no total order).
+	rt("=", []*types.Type{b.Element, b.Element}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			eq := args[0].Obj().(temporal.Element).Equal(args[1].Obj().(temporal.Element), ctx.Now)
+			return types.NewBool(eq), nil
+		})
+	rt("<>", []*types.Type{b.Element, b.Element}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			eq := args[0].Obj().(temporal.Element).Equal(args[1].Obj().(temporal.Element), ctx.Now)
+			return types.NewBool(!eq), nil
+		})
+
+	// now() — the current transaction time as a Chronon; handy in SQL
+	// even though the symbol NOW normally appears inside literals.
+	rt("now", nil, b.Chronon,
+		func(ctx *blade.Ctx, _ []types.Value) (types.Value, error) {
+			return b.ChrononValue(ctx.Now), nil
+		})
+}

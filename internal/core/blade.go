@@ -1,0 +1,225 @@
+// Package core implements the TIP DataBlade: the registration of the five
+// temporal datatypes (Chronon, Span, Instant, Period, Element) and their
+// support routines, casts and aggregates into the extensible engine. Once
+// Register has run, the TIP types behave as if they were built into the
+// DBMS — exactly the deployment model of the paper's DataBlade.
+//
+// The catalogue follows §2 of the paper:
+//
+//   - five datatypes with literal text syntax and an efficient binary
+//     format;
+//   - casts between TIP datatypes whenever appropriate, including the
+//     automatic string casts that let SQL literals carry TIP values;
+//   - overloaded arithmetic and comparison operators (a Chronon minus a
+//     Chronon is a Span; a Chronon plus a Chronon is a type error; a
+//     comparison against a NOW-relative Instant depends on the current
+//     transaction time);
+//   - routines: Allen's operators for Periods, and union, intersect,
+//     difference, overlaps, contains, length, start, ... for Elements;
+//   - aggregates: group_union (the temporal coalescing aggregate),
+//     group_intersect, and SUM/AVG over Spans.
+package core
+
+import (
+	"fmt"
+
+	"tip/internal/blade"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Blade holds the interned TIP types after registration.
+type Blade struct {
+	Chronon *types.Type
+	Span    *types.Type
+	Instant *types.Type
+	Period  *types.Type
+	Element *types.Type
+}
+
+// Register installs the TIP DataBlade into a registry. It is the
+// programmatic equivalent of Informix's "install TIP DataBlade" step.
+func Register(reg *blade.Registry) (*Blade, error) {
+	b := &Blade{}
+	var err error
+	if b.Chronon, err = reg.RegisterType(chrononUDT()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if b.Span, err = reg.RegisterType(spanUDT()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if b.Instant, err = reg.RegisterType(instantUDT()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if b.Period, err = reg.RegisterType(periodUDT()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if b.Element, err = reg.RegisterType(elementUDT()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	b.registerCasts(reg)
+	b.registerArithmetic(reg)
+	b.registerPeriodRoutines(reg)
+	b.registerElementRoutines(reg)
+	b.registerGranularity(reg)
+	b.registerAggregates(reg)
+	return b, nil
+}
+
+// MustRegister is Register that panics on failure; for initialisation
+// paths that cannot reasonably continue.
+func MustRegister(reg *blade.Registry) *Blade {
+	b, err := Register(reg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- datatypes
+
+func chrononUDT() *types.UDT {
+	return &types.UDT{
+		Name: "Chronon",
+		Parse: func(s string) (any, error) {
+			return temporal.ParseChronon(s)
+		},
+		Format: func(v any) string { return v.(temporal.Chronon).String() },
+		Encode: func(v any, buf []byte) []byte { return v.(temporal.Chronon).AppendBinary(buf) },
+		Decode: func(buf []byte) (any, []byte, error) { return decodeAdapter(temporal.DecodeChronon, buf) },
+		Compare: func(a, b any, _ temporal.Chronon) (int, error) {
+			return a.(temporal.Chronon).Compare(b.(temporal.Chronon)), nil
+		},
+		StableKey: true,
+	}
+}
+
+func spanUDT() *types.UDT {
+	return &types.UDT{
+		Name: "Span",
+		Parse: func(s string) (any, error) {
+			return temporal.ParseSpan(s)
+		},
+		Format: func(v any) string { return v.(temporal.Span).String() },
+		Encode: func(v any, buf []byte) []byte { return v.(temporal.Span).AppendBinary(buf) },
+		Decode: func(buf []byte) (any, []byte, error) { return decodeAdapter(temporal.DecodeSpan, buf) },
+		Compare: func(a, b any, _ temporal.Chronon) (int, error) {
+			return a.(temporal.Span).Compare(b.(temporal.Span)), nil
+		},
+		StableKey: true,
+	}
+}
+
+func instantUDT() *types.UDT {
+	return &types.UDT{
+		Name: "Instant",
+		Parse: func(s string) (any, error) {
+			return temporal.ParseInstant(s)
+		},
+		Format: func(v any) string { return v.(temporal.Instant).String() },
+		Encode: func(v any, buf []byte) []byte { return v.(temporal.Instant).AppendBinary(buf) },
+		Decode: func(buf []byte) (any, []byte, error) { return decodeAdapter(temporal.DecodeInstant, buf) },
+		// Instants order by their binding at the current transaction
+		// time: the comparison the paper highlights as time-dependent.
+		Compare: func(a, b any, now temporal.Chronon) (int, error) {
+			return a.(temporal.Instant).Compare(b.(temporal.Instant), now), nil
+		},
+		Key: func(v any, now temporal.Chronon) string {
+			return v.(temporal.Instant).Bind(now).String()
+		},
+	}
+}
+
+func periodUDT() *types.UDT {
+	return &types.UDT{
+		Name: "Period",
+		Parse: func(s string) (any, error) {
+			return temporal.ParsePeriod(s)
+		},
+		Format: func(v any) string { return v.(temporal.Period).String() },
+		Encode: func(v any, buf []byte) []byte { return v.(temporal.Period).AppendBinary(buf) },
+		Decode: func(buf []byte) (any, []byte, error) { return decodeAdapter(temporal.DecodePeriod, buf) },
+		// Periods order lexicographically by their bound endpoints;
+		// periods that bind empty sort first.
+		Compare: func(a, b any, now temporal.Chronon) (int, error) {
+			pa, okA := a.(temporal.Period).Bind(now)
+			pb, okB := b.(temporal.Period).Bind(now)
+			switch {
+			case !okA && !okB:
+				return 0, nil
+			case !okA:
+				return -1, nil
+			case !okB:
+				return 1, nil
+			case pa.Lo != pb.Lo:
+				return pa.Lo.Compare(pb.Lo), nil
+			default:
+				return pa.Hi.Compare(pb.Hi), nil
+			}
+		},
+		Key: func(v any, now temporal.Chronon) string {
+			iv, ok := v.(temporal.Period).Bind(now)
+			if !ok {
+				return "<empty>"
+			}
+			return iv.Period().String()
+		},
+	}
+}
+
+func elementUDT() *types.UDT {
+	return &types.UDT{
+		Name: "Element",
+		// Parse accepts an element literal, or any narrower temporal
+		// literal (period, instant, chronon) lifted into a singleton
+		// element — the widening casts applied at the text level.
+		Parse: func(s string) (any, error) {
+			e, err := temporal.ParseElement(s)
+			if err == nil {
+				return e, nil
+			}
+			if p, perr := temporal.ParsePeriod(s); perr == nil {
+				return p.Element(), nil
+			}
+			if i, ierr := temporal.ParseInstant(s); ierr == nil {
+				return temporal.Period{Start: i, End: i}.Element(), nil
+			}
+			return nil, err
+		},
+		Format: func(v any) string { return v.(temporal.Element).String() },
+		Encode: func(v any, buf []byte) []byte { return v.(temporal.Element).AppendBinary(buf) },
+		Decode: func(buf []byte) (any, []byte, error) { return decodeAdapter(temporal.DecodeElement, buf) },
+		// Elements have no natural total order; GROUP BY and DISTINCT use
+		// the canonical bound form, so denotationally equal elements
+		// group together.
+		Key: func(v any, now temporal.Chronon) string {
+			return v.(temporal.Element).BoundElement(now).String()
+		},
+	}
+}
+
+// decodeAdapter lifts a typed temporal decoder into the UDT Decode shape.
+func decodeAdapter[T any](dec func([]byte) (T, []byte, error), buf []byte) (any, []byte, error) {
+	v, rest, err := dec(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, rest, nil
+}
+
+// ------------------------------------------------------------- value helpers
+
+// ChrononValue wraps a temporal.Chronon as an engine value.
+func (b *Blade) ChrononValue(c temporal.Chronon) types.Value { return types.NewUDT(b.Chronon, c) }
+
+// SpanValue wraps a temporal.Span as an engine value.
+func (b *Blade) SpanValue(s temporal.Span) types.Value { return types.NewUDT(b.Span, s) }
+
+// InstantValue wraps a temporal.Instant as an engine value.
+func (b *Blade) InstantValue(i temporal.Instant) types.Value { return types.NewUDT(b.Instant, i) }
+
+// PeriodValue wraps a temporal.Period as an engine value.
+func (b *Blade) PeriodValue(p temporal.Period) types.Value { return types.NewUDT(b.Period, p) }
+
+// ElementValue wraps a temporal.Element as an engine value.
+func (b *Blade) ElementValue(e temporal.Element) types.Value { return types.NewUDT(b.Element, e) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"tip/internal/blade"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// registerCasts installs the conversions between TIP datatypes that the
+// paper describes ("TIP provides casts between TIP datatypes whenever
+// appropriate"), plus bridges to the engine's built-in DATE type. String
+// casts were installed automatically when each type was registered.
+//
+// Widening casts are implicit (a Chronon is usable wherever an Instant,
+// Period or Element is expected); narrowing casts that lose information
+// or consult NOW are explicit.
+func (b *Blade) registerCasts(reg *blade.Registry) {
+	// Chronon → Instant (implicit widening).
+	reg.MustRegisterCast(&blade.Cast{From: b.Chronon, To: b.Instant, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.InstantValue(v.Obj().(temporal.Chronon).Instant()), nil
+		}})
+	// Instant → Chronon (explicit: substitutes the current transaction
+	// time for NOW, the paper's "NOW-1 becomes 1999-11-11" example).
+	reg.MustRegisterCast(&blade.Cast{From: b.Instant, To: b.Chronon,
+		Fn: func(ctx *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.ChrononValue(v.Obj().(temporal.Instant).Bind(ctx.Now)), nil
+		}})
+	// Chronon → Period (implicit: the degenerate period [c, c]).
+	reg.MustRegisterCast(&blade.Cast{From: b.Chronon, To: b.Period, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.PeriodValue(v.Obj().(temporal.Chronon).Period()), nil
+		}})
+	// Instant → Period (implicit: the degenerate period [i, i]).
+	reg.MustRegisterCast(&blade.Cast{From: b.Instant, To: b.Period, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			i := v.Obj().(temporal.Instant)
+			return b.PeriodValue(temporal.Period{Start: i, End: i}), nil
+		}})
+	// Period → Element (implicit: the singleton set).
+	reg.MustRegisterCast(&blade.Cast{From: b.Period, To: b.Element, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.ElementValue(v.Obj().(temporal.Period).Element()), nil
+		}})
+	// Chronon → Element and Instant → Element (implicit, composing the
+	// two steps so a single implicit cast suffices during resolution).
+	reg.MustRegisterCast(&blade.Cast{From: b.Chronon, To: b.Element, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.ElementValue(v.Obj().(temporal.Chronon).Period().Element()), nil
+		}})
+	reg.MustRegisterCast(&blade.Cast{From: b.Instant, To: b.Element, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			i := v.Obj().(temporal.Instant)
+			return b.ElementValue(temporal.Period{Start: i, End: i}.Element()), nil
+		}})
+	// Element → Period (explicit: only a single-period element converts).
+	reg.MustRegisterCast(&blade.Cast{From: b.Element, To: b.Period,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			e := v.Obj().(temporal.Element)
+			if e.NumPeriods() != 1 {
+				return types.Value{}, fmt.Errorf("element with %d periods does not convert to Period", e.NumPeriods())
+			}
+			p, _ := e.First()
+			return b.PeriodValue(p), nil
+		}})
+	// Period → Instant casts (explicit: start of the period).
+	reg.MustRegisterCast(&blade.Cast{From: b.Period, To: b.Instant,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.InstantValue(v.Obj().(temporal.Period).Start), nil
+		}})
+	// DATE bridges: a built-in DATE widens implicitly to a midnight
+	// Chronon; the reverse truncates and is explicit.
+	reg.MustRegisterCast(&blade.Cast{From: types.TDate, To: b.Chronon, Implicit: true,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.ChrononValue(types.DateToChronon(v.Int())), nil
+		}})
+	reg.MustRegisterCast(&blade.Cast{From: b.Chronon, To: types.TDate,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return types.NewDate(types.ChrononToDate(v.Obj().(temporal.Chronon))), nil
+		}})
+	// Span ↔ INT (explicit, seconds).
+	reg.MustRegisterCast(&blade.Cast{From: b.Span, To: types.TInt,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return types.NewInt(v.Obj().(temporal.Span).Seconds()), nil
+		}})
+	reg.MustRegisterCast(&blade.Cast{From: types.TInt, To: b.Span,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.SpanValue(temporal.Span(v.Int())), nil
+		}})
+	// Chronon ↔ INT (explicit, seconds since epoch) for the layered
+	// baseline's flat encoding.
+	reg.MustRegisterCast(&blade.Cast{From: b.Chronon, To: types.TInt,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return types.NewInt(int64(v.Obj().(temporal.Chronon))), nil
+		}})
+	reg.MustRegisterCast(&blade.Cast{From: types.TInt, To: b.Chronon,
+		Fn: func(_ *blade.Ctx, v types.Value) (types.Value, error) {
+			return b.ChrononValue(temporal.Chronon(v.Int())), nil
+		}})
+}

@@ -1,0 +1,253 @@
+package core_test
+
+// Catalogue sweep: every TIP routine, operator overload and cast of §2,
+// exercised through SQL. One table-driven test per catalogue area keeps
+// each row a distinct behaviour.
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalCases runs single-value queries against a fresh pinned database.
+func evalCases(t *testing.T, cases [][2]string) {
+	t.Helper()
+	_, s, _ := newTestDB(t)
+	for _, c := range cases {
+		res, err := s.Exec(c[0], nil)
+		if err != nil {
+			t.Errorf("%s: %v", c[0], err)
+			continue
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			t.Errorf("%s: shape %dx%d", c[0], len(res.Rows), len(res.Cols))
+			continue
+		}
+		if got := res.Rows[0][0].Format(); got != c[1] {
+			t.Errorf("%s = %s, want %s", c[0], got, c[1])
+		}
+	}
+}
+
+func TestSpanOperators(t *testing.T) {
+	evalCases(t, [][2]string{
+		{`SELECT '7'::Span + '0 12:00:00'::Span`, "7 12:00:00"},
+		{`SELECT '7'::Span - '1'::Span`, "6"},
+		{`SELECT '7'::Span * 2`, "14"},
+		{`SELECT 2 * '7'::Span`, "14"},
+		{`SELECT '7'::Span * 0.5`, "3 12:00:00"},
+		{`SELECT '7'::Span / 7`, "1"},
+		{`SELECT '14'::Span / '7'::Span`, "2.0"},
+		{`SELECT -('7'::Span)`, "-7"},
+		{`SELECT '7'::Span > '6'::Span`, "TRUE"},
+		{`SELECT '-7'::Span < '0'::Span`, "TRUE"},
+	})
+}
+
+func TestChrononOperators(t *testing.T) {
+	evalCases(t, [][2]string{
+		{`SELECT '1999-01-01'::Chronon + '7'::Span`, "1999-01-08"},
+		{`SELECT '7'::Span + '1999-01-01'::Chronon`, "1999-01-08"},
+		{`SELECT '1999-01-08'::Chronon - '7'::Span`, "1999-01-01"},
+		{`SELECT '1999-01-08'::Chronon - '1999-01-01'::Chronon`, "7"},
+		{`SELECT '1999-01-01'::Chronon < '1999-01-02'::Chronon`, "TRUE"},
+		{`SELECT '1999-01-01'::Chronon = '1999-01-01 00:00:00'::Chronon`, "TRUE"},
+		{`SELECT now()`, "1999-11-12"},
+	})
+}
+
+func TestInstantOperators(t *testing.T) {
+	evalCases(t, [][2]string{
+		{`SELECT 'NOW'::Instant + '7'::Span`, "NOW+7"},
+		{`SELECT 'NOW'::Instant - '1'::Span`, "NOW-1"},
+		// Instant subtraction binds NOW (pinned to 1999-11-12).
+		{`SELECT 'NOW'::Instant - '1999-11-05'::Chronon::Instant`, "7"},
+		// The paper's time-dependent comparison: NOW-1 vs a chronon.
+		{`SELECT 'NOW-1'::Instant = '1999-11-11'::Chronon`, "TRUE"},
+		{`SELECT 'NOW-1'::Instant < '2000-01-01'::Chronon`, "TRUE"},
+		// Explicit Instant → Chronon cast substitutes NOW.
+		{`SELECT 'NOW-1'::Instant::Chronon`, "1999-11-11"},
+		{`SELECT bind('NOW-1'::Instant)`, "1999-11-11"},
+	})
+}
+
+func TestPeriodRoutines(t *testing.T) {
+	evalCases(t, [][2]string{
+		{`SELECT start('[1999-01-01, 1999-06-01]'::Period)`, "1999-01-01"},
+		{`SELECT end('[1999-01-01, 1999-06-01]'::Period)`, "1999-06-01"},
+		{`SELECT start('[NOW-7, NOW]'::Period)`, "1999-11-05"},
+		{`SELECT rawstart('[NOW-7, NOW]'::Period)`, "NOW-7"},
+		{`SELECT rawend('[NOW-7, NOW]'::Period)`, "NOW"},
+		{`SELECT length('[1999-01-01, 1999-01-08]'::Period)`, "7"},
+		{`SELECT period('1999-01-01'::Chronon, 'NOW'::Instant)`, "[1999-01-01, NOW]"},
+		{`SELECT bind('[1999-01-01, NOW]'::Period)`, "[1999-01-01, 1999-11-12]"},
+		{`SELECT '[1999-01-01, 1999-02-01]'::Period + '7'::Span`, "[1999-01-08, 1999-02-08]"},
+		{`SELECT '[1999-01-08, 1999-02-08]'::Period - '7'::Span`, "[1999-01-01, 1999-02-01]"},
+	})
+}
+
+func TestAllenRoutinesInSQL(t *testing.T) {
+	p := func(s string) string { return `'` + s + `'::Period` }
+	jan := p("[1999-01-01, 1999-01-31]")
+	feb := p("[1999-02-01, 1999-02-28]")
+	q1 := p("[1999-01-01, 1999-03-31]")
+	midJan := p("[1999-01-10, 1999-01-20]")
+	evalCases(t, [][2]string{
+		{`SELECT before(` + jan + `, ` + p("[1999-03-01, 1999-03-31]") + `)`, "TRUE"},
+		// jan ends at *midnight* Jan 31, so a whole day of chronons
+		// separates it from feb: strictly after, not met_by.
+		{`SELECT after(` + feb + `, ` + jan + `)`, "TRUE"},
+		{`SELECT meets(` + p("[1999-01-01, 1999-01-31 23:59:59]") + `, ` + feb + `)`, "TRUE"},
+		{`SELECT met_by(` + feb + `, ` + p("[1999-01-01, 1999-01-31 23:59:59]") + `)`, "TRUE"},
+		{`SELECT starts(` + jan + `, ` + q1 + `)`, "TRUE"},
+		{`SELECT started_by(` + q1 + `, ` + jan + `)`, "TRUE"},
+		{`SELECT during(` + midJan + `, ` + jan + `)`, "TRUE"},
+		{`SELECT finishes(` + p("[1999-03-01, 1999-03-31]") + `, ` + q1 + `)`, "TRUE"},
+		{`SELECT finished_by(` + q1 + `, ` + p("[1999-03-01, 1999-03-31]") + `)`, "TRUE"},
+		{`SELECT equals(` + jan + `, ` + jan + `)`, "TRUE"},
+		{`SELECT allen_overlaps(` + p("[1999-01-01, 1999-02-10]") + `, ` + feb + `)`, "TRUE"},
+		{`SELECT allen_overlapped_by(` + feb + `, ` + p("[1999-01-01, 1999-02-10]") + `)`, "TRUE"},
+		{`SELECT allen_contains(` + jan + `, ` + midJan + `)`, "TRUE"},
+		{`SELECT allen(` + jan + `, ` + feb + `)`, "before"},
+		{`SELECT allen(` + p("[1999-01-01, 1999-01-31 23:59:59]") + `, ` + feb + `)`, "meets"},
+		{`SELECT allen(` + midJan + `, ` + jan + `)`, "during"},
+	})
+}
+
+func TestElementRoutinesInSQL(t *testing.T) {
+	e1 := `'{[1999-01-01, 1999-03-01], [1999-06-01, 1999-08-01]}'::Element`
+	e2 := `'{[1999-02-01, 1999-07-01]}'::Element`
+	evalCases(t, [][2]string{
+		{`SELECT union(` + e1 + `, ` + e2 + `)`, "{[1999-01-01, 1999-08-01]}"},
+		{`SELECT intersect(` + e1 + `, ` + e2 + `)`,
+			"{[1999-02-01, 1999-03-01], [1999-06-01, 1999-07-01]}"},
+		{`SELECT difference(` + e1 + `, ` + e2 + `)`,
+			"{[1999-01-01, 1999-01-31 23:59:59], [1999-07-01 00:00:01, 1999-08-01]}"},
+		{`SELECT overlaps(` + e1 + `, ` + e2 + `)`, "TRUE"},
+		{`SELECT contains(` + e1 + `, '{[1999-01-10, 1999-01-20]}'::Element)`, "TRUE"},
+		{`SELECT contains(` + e1 + `, '1999-06-15'::Chronon)`, "TRUE"},
+		{`SELECT contains(` + e1 + `, '1999-04-01'::Chronon)`, "FALSE"},
+		{`SELECT length(` + e1 + `)`, "120"},
+		{`SELECT start(` + e1 + `)`, "1999-01-01"},
+		{`SELECT end(` + e1 + `)`, "1999-08-01"},
+		{`SELECT first(` + e1 + `)`, "[1999-01-01, 1999-03-01]"},
+		{`SELECT last(` + e1 + `)`, "[1999-06-01, 1999-08-01]"},
+		{`SELECT nperiods(` + e1 + `)`, "2"},
+		{`SELECT isempty('{}'::Element)`, "TRUE"},
+		{`SELECT isempty(` + e1 + `)`, "FALSE"},
+		{`SELECT bind('{[1999-10-01, NOW]}'::Element)`, "{[1999-10-01, 1999-11-12]}"},
+		{`SELECT ` + e1 + ` + '7'::Span`,
+			"{[1999-01-08, 1999-03-08], [1999-06-08, 1999-08-08]}"},
+		{`SELECT ` + e1 + ` - '7'::Span`,
+			"{[1998-12-25, 1999-02-22], [1999-05-25, 1999-07-25]}"},
+		{`SELECT ` + e1 + ` = ` + e1, "TRUE"},
+		{`SELECT ` + e1 + ` <> ` + e2, "TRUE"},
+		// A NOW-relative element that denotes the empty set today.
+		{`SELECT isempty('{[2005-01-01, NOW]}'::Element)`, "TRUE"},
+		{`SELECT start('{}'::Element)`, "NULL"},
+		{`SELECT complement('{}'::Element)`, "{[0001-01-01, 9999-12-31 23:59:59]}"},
+	})
+}
+
+func TestCastCatalogue(t *testing.T) {
+	evalCases(t, [][2]string{
+		// Widening (implicit casts also fire in routine resolution).
+		{`SELECT '1999-01-01'::Chronon::Period`, "[1999-01-01, 1999-01-01]"},
+		{`SELECT '1999-01-01'::Chronon::Element`, "{[1999-01-01, 1999-01-01]}"},
+		{`SELECT 'NOW'::Instant::Period`, "[NOW, NOW]"},
+		{`SELECT 'NOW'::Instant::Element`, "{[NOW, NOW]}"},
+		{`SELECT '[1999-01-01, 1999-02-01]'::Period::Element`, "{[1999-01-01, 1999-02-01]}"},
+		// Narrowing (explicit only).
+		{`SELECT '{[1999-01-01, 1999-02-01]}'::Element::Period`, "[1999-01-01, 1999-02-01]"},
+		{`SELECT '[1999-01-01, 1999-02-01]'::Period::Instant`, "1999-01-01"},
+		// DATE bridges.
+		{`SELECT '1999-11-12'::DATE::Chronon`, "1999-11-12"},
+		{`SELECT '1999-11-12 13:00:00'::Chronon::DATE`, "1999-11-12"},
+		// Seconds bridges for the layered encoding.
+		{`SELECT '0 00:01:00'::Span::INT`, "60"},
+		{`SELECT 60::Span`, "0 00:01:00"},
+		{`SELECT 0::Chronon`, "1970-01-01"},
+		{`SELECT '1970-01-01'::Chronon::INT`, "0"},
+		// Text casts both ways.
+		{`SELECT '{[1999-01-01, 1999-02-01]}'::Element::VARCHAR`, "{[1999-01-01, 1999-02-01]}"},
+		// Implicit widening also applies in mixed routine calls:
+		// overlaps(Element, Period literal).
+		{`SELECT overlaps('{[1999-01-01, 1999-03-01]}'::Element, '[1999-02-01, 1999-04-01]'::Period)`, "TRUE"},
+	})
+}
+
+func TestCastErrors(t *testing.T) {
+	_, s, _ := newTestDB(t)
+	cases := []string{
+		`SELECT '{[1999-01-01, 1999-02-01], [1999-05-01, 1999-06-01]}'::Element::Period`,
+		`SELECT 'garbage'::Chronon`,
+		`SELECT '1999-13-01'::Chronon`,
+		`SELECT '{oops'::Element`,
+	}
+	for _, q := range cases {
+		if _, err := s.Exec(q, nil); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestAggregateCatalogue(t *testing.T) {
+	_, s, _ := newTestDB(t)
+	mustExec(t, s, `CREATE TABLE t (k INT, e Element, sp Span)`)
+	mustExec(t, s, `INSERT INTO t VALUES
+		(1, '{[1999-01-01, 1999-02-01]}', '1'),
+		(1, '{[1999-01-15, 1999-03-01]}', '2'),
+		(1, '{[1999-06-01, 1999-07-01]}', '3'),
+		(2, NULL, NULL)`)
+	res := mustExec(t, s, `
+		SELECT group_union(e), group_intersect(e), SUM(sp), AVG(sp), MIN(sp), MAX(sp)
+		FROM t WHERE k = 1`)
+	row := res.Rows[0]
+	if got := row[0].Format(); got != "{[1999-01-01, 1999-03-01], [1999-06-01, 1999-07-01]}" {
+		t.Errorf("group_union = %s", got)
+	}
+	if got := row[1].Format(); got != "{}" {
+		t.Errorf("group_intersect = %s", got)
+	}
+	if got := row[2].Format(); got != "6" {
+		t.Errorf("SUM(span) = %s", got)
+	}
+	if got := row[3].Format(); got != "2" {
+		t.Errorf("AVG(span) = %s", got)
+	}
+	if got := row[4].Format(); got != "1" || row[5].Format() != "3" {
+		t.Errorf("MIN/MAX(span) = %s/%s", got, row[5].Format())
+	}
+	// Aggregates over all-NULL groups yield NULL.
+	res = mustExec(t, s, `SELECT group_union(e) FROM t WHERE k = 2`)
+	if !res.Rows[0][0].Null {
+		t.Errorf("group_union over NULLs = %v", res.Rows[0][0].Format())
+	}
+	// group_union accepts Periods through the implicit cast.
+	mustExec(t, s, `CREATE TABLE p (pp Period)`)
+	mustExec(t, s, `INSERT INTO p VALUES ('[1999-01-01, 1999-02-01]'), ('[1999-01-20, 1999-03-01]')`)
+	res = mustExec(t, s, `SELECT group_union(pp) FROM p`)
+	if got := res.Rows[0][0].Format(); got != "{[1999-01-01, 1999-03-01]}" {
+		t.Errorf("group_union over periods = %s", got)
+	}
+}
+
+func TestTypeErrorsFromTheCatalogue(t *testing.T) {
+	_, s, _ := newTestDB(t)
+	cases := []string{
+		`SELECT '1999-01-01'::Chronon + '1999-01-01'::Chronon`, // the paper's example
+		`SELECT '7'::Span + 1`,
+		`SELECT length(42)`,
+		`SELECT union('{[1999-01-01, 1999-02-01]}'::Element)`, // wrong arity
+		`SELECT '{}'::Element < '{}'::Element`,                // elements have no order
+	}
+	for _, q := range cases {
+		if _, err := s.Exec(q, nil); err == nil {
+			t.Errorf("%s should be a type error", q)
+		} else if !strings.Contains(err.Error(), "overload") &&
+			!strings.Contains(err.Error(), "ordering") &&
+			!strings.Contains(err.Error(), "compare") {
+			t.Errorf("%s: unexpected error text %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"tip/internal/blade"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Granularity and restriction routines — the part of the catalogue that
+// pushes TIP toward TSQL2's expressive power (the paper's future-work
+// direction): civil-field extraction from Chronons, calendar-period
+// constructors, and element restriction (temporal slicing).
+func (b *Blade) registerGranularity(reg *blade.Registry) {
+	rt := func(name string, params []*types.Type, result *types.Type, fn blade.RoutineFn) {
+		reg.MustRegisterRoutine(&blade.Routine{
+			Name: name, Params: params, Result: result, Strict: true, Fn: fn,
+		})
+	}
+
+	// Civil-field extraction: year(c), month(c), day(c), hour(c),
+	// minute(c), second(c), dow(c) (0 = Sunday).
+	field := func(name string, pick func(y, mo, d, h, mi, s int, c temporal.Chronon) int64) {
+		rt(name, []*types.Type{b.Chronon}, types.TInt,
+			func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+				c := args[0].Obj().(temporal.Chronon)
+				y, mo, d, h, mi, s := c.Civil()
+				return types.NewInt(pick(y, mo, d, h, mi, s, c)), nil
+			})
+	}
+	field("year", func(y, _, _, _, _, _ int, _ temporal.Chronon) int64 { return int64(y) })
+	field("month", func(_, mo, _, _, _, _ int, _ temporal.Chronon) int64 { return int64(mo) })
+	field("day", func(_, _, d, _, _, _ int, _ temporal.Chronon) int64 { return int64(d) })
+	field("hour", func(_, _, _, h, _, _ int, _ temporal.Chronon) int64 { return int64(h) })
+	field("minute", func(_, _, _, _, mi, _ int, _ temporal.Chronon) int64 { return int64(mi) })
+	field("second", func(_, _, _, _, _, s int, _ temporal.Chronon) int64 { return int64(s) })
+	field("dow", func(_, _, _, _, _, _ int, c temporal.Chronon) int64 {
+		return int64(c.Time().Weekday())
+	})
+
+	// chronon(y, m, d) and chronon(y, m, d, h, mi, s) constructors.
+	rt("chronon", []*types.Type{types.TInt, types.TInt, types.TInt}, b.Chronon,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, err := temporal.MakeChronon(int(args[0].Int()), int(args[1].Int()), int(args[2].Int()), 0, 0, 0)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ChrononValue(c), nil
+		})
+	rt("chronon", []*types.Type{types.TInt, types.TInt, types.TInt, types.TInt, types.TInt, types.TInt}, b.Chronon,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, err := temporal.MakeChronon(
+				int(args[0].Int()), int(args[1].Int()), int(args[2].Int()),
+				int(args[3].Int()), int(args[4].Int()), int(args[5].Int()))
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ChrononValue(c), nil
+		})
+
+	// span(days) and span(days, hours, minutes, seconds) constructors.
+	rt("span", []*types.Type{types.TInt}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.SpanValue(temporal.Span(args[0].Int()) * temporal.Day), nil
+		})
+	rt("span", []*types.Type{types.TInt, types.TInt, types.TInt, types.TInt}, b.Span,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			s := temporal.Span(args[0].Int())*temporal.Day +
+				temporal.Span(args[1].Int())*temporal.Hour +
+				temporal.Span(args[2].Int())*temporal.Minute +
+				temporal.Span(args[3].Int())*temporal.Second
+			return b.SpanValue(s), nil
+		})
+
+	// Calendar-period constructors: year_of(c), month_of(c), day_of(c)
+	// return the enclosing calendar period, handy for grouping by
+	// granule: GROUP BY month_of(start(valid)).
+	calendar := func(name string, bounds func(y, mo, d int) (temporal.Chronon, temporal.Chronon)) {
+		rt(name, []*types.Type{b.Chronon}, b.Period,
+			func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+				y, mo, d, _, _, _ := args[0].Obj().(temporal.Chronon).Civil()
+				lo, hi := bounds(y, mo, d)
+				p, err := temporal.MakePeriod(lo, hi)
+				if err != nil {
+					return types.Value{}, err
+				}
+				return b.PeriodValue(p), nil
+			})
+	}
+	calendar("year_of", func(y, _, _ int) (temporal.Chronon, temporal.Chronon) {
+		return temporal.MustChronon(y, 1, 1, 0, 0, 0), temporal.MustChronon(y, 12, 31, 23, 59, 59)
+	})
+	calendar("month_of", func(y, mo, _ int) (temporal.Chronon, temporal.Chronon) {
+		lo := temporal.MustChronon(y, mo, 1, 0, 0, 0)
+		ny, nm := y, mo+1
+		if nm > 12 {
+			ny, nm = y+1, 1
+		}
+		hi, err := temporal.MustChronon(ny, nm, 1, 0, 0, 0).AddSpan(-temporal.Second)
+		if err != nil {
+			panic(fmt.Sprintf("core: month_of bounds: %v", err))
+		}
+		return lo, hi
+	})
+	calendar("day_of", func(y, mo, d int) (temporal.Chronon, temporal.Chronon) {
+		return temporal.MustChronon(y, mo, d, 0, 0, 0), temporal.MustChronon(y, mo, d, 23, 59, 59)
+	})
+
+	// restrict(e, p): the part of element e inside period p — temporal
+	// slicing, the workhorse of time-window analysis.
+	rt("restrict", []*types.Type{b.Element, b.Period}, b.Element,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			e := args[0].Obj().(temporal.Element)
+			p := args[1].Obj().(temporal.Period)
+			return b.ElementValue(e.Intersect(p.Element(), ctx.Now)), nil
+		})
+
+	// precedes/succeeds for Elements: e1 entirely before/after e2.
+	rt("precedes", []*types.Type{b.Element, b.Element}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			e1 := args[0].Obj().(temporal.Element)
+			e2 := args[1].Obj().(temporal.Element)
+			end1, ok1 := e1.End(ctx.Now)
+			start2, ok2 := e2.Start(ctx.Now)
+			return types.NewBool(ok1 && ok2 && end1 < start2), nil
+		})
+	rt("succeeds", []*types.Type{b.Element, b.Element}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			e1 := args[0].Obj().(temporal.Element)
+			e2 := args[1].Obj().(temporal.Element)
+			start1, ok1 := e1.Start(ctx.Now)
+			end2, ok2 := e2.End(ctx.Now)
+			return types.NewBool(ok1 && ok2 && start1 > end2), nil
+		})
+
+	// gaps(e): the element of gaps between e's periods — useful for
+	// "when was the patient NOT on medication within their history".
+	rt("gaps", []*types.Type{b.Element}, b.Element,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			e := args[0].Obj().(temporal.Element)
+			ivs := e.Bind(ctx.Now)
+			if len(ivs) < 2 {
+				return b.ElementValue(temporal.EmptyElement), nil
+			}
+			hull, err := temporal.MakePeriod(ivs[0].Lo, ivs[len(ivs)-1].Hi)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return b.ElementValue(hull.Element().Difference(e, ctx.Now)), nil
+		})
+}

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"testing"
+
+	"tip/internal/temporal"
+)
+
+// one runs a single-row, single-column query and returns the formatted
+// cell.
+func one(t *testing.T, sql string) string {
+	t.Helper()
+	_, s, _ := newTestDB(t)
+	res := mustExec(t, s, sql)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("%s: shape %dx%d", sql, len(res.Rows), len(res.Cols))
+	}
+	return res.Rows[0][0].Format()
+}
+
+func TestCivilExtraction(t *testing.T) {
+	tests := []struct{ sql, want string }{
+		{`SELECT year('1999-11-12 13:30:45'::Chronon)`, "1999"},
+		{`SELECT month('1999-11-12'::Chronon)`, "11"},
+		{`SELECT day('1999-11-12'::Chronon)`, "12"},
+		{`SELECT hour('1999-11-12 13:30:45'::Chronon)`, "13"},
+		{`SELECT minute('1999-11-12 13:30:45'::Chronon)`, "30"},
+		{`SELECT second('1999-11-12 13:30:45'::Chronon)`, "45"},
+		{`SELECT dow('1999-11-12'::Chronon)`, "5"}, // a Friday
+	}
+	for _, tt := range tests {
+		if got := one(t, tt.sql); got != tt.want {
+			t.Errorf("%s = %s, want %s", tt.sql, got, tt.want)
+		}
+	}
+}
+
+func TestChrononSpanConstructors(t *testing.T) {
+	tests := []struct{ sql, want string }{
+		{`SELECT chronon(1999, 11, 12)`, "1999-11-12"},
+		{`SELECT chronon(1999, 11, 12, 13, 30, 45)`, "1999-11-12 13:30:45"},
+		{`SELECT span(7)`, "7"},
+		{`SELECT span(7, 12, 0, 0)`, "7 12:00:00"},
+		{`SELECT span(0, 8, 30, 15)`, "0 08:30:15"},
+	}
+	for _, tt := range tests {
+		if got := one(t, tt.sql); got != tt.want {
+			t.Errorf("%s = %s, want %s", tt.sql, got, tt.want)
+		}
+	}
+	_, s, _ := newTestDB(t)
+	if _, err := s.Exec(`SELECT chronon(1999, 13, 1)`, nil); err == nil {
+		t.Error("invalid month should fail")
+	}
+}
+
+func TestCalendarPeriods(t *testing.T) {
+	tests := []struct{ sql, want string }{
+		{`SELECT year_of('1999-11-12'::Chronon)`, "[1999-01-01, 1999-12-31 23:59:59]"},
+		{`SELECT month_of('1999-11-12'::Chronon)`, "[1999-11-01, 1999-11-30 23:59:59]"},
+		{`SELECT month_of('1999-12-12'::Chronon)`, "[1999-12-01, 1999-12-31 23:59:59]"},
+		{`SELECT month_of('2000-02-10'::Chronon)`, "[2000-02-01, 2000-02-29 23:59:59]"},
+		{`SELECT day_of('1999-11-12 13:00:00'::Chronon)`, "[1999-11-12, 1999-11-12 23:59:59]"},
+	}
+	for _, tt := range tests {
+		if got := one(t, tt.sql); got != tt.want {
+			t.Errorf("%s = %s, want %s", tt.sql, got, tt.want)
+		}
+	}
+}
+
+func TestRestrictAndGaps(t *testing.T) {
+	if got := one(t, `SELECT restrict('{[1999-01-01, 1999-06-30], [1999-09-01, 1999-12-31]}'::Element,
+			'[1999-06-01, 1999-10-01]'::Period)`); got != "{[1999-06-01, 1999-06-30], [1999-09-01, 1999-10-01]}" {
+		t.Errorf("restrict = %s", got)
+	}
+	if got := one(t, `SELECT gaps('{[1999-01-01, 1999-03-01], [1999-06-01, 1999-08-01]}'::Element)`); got != "{[1999-03-01 00:00:01, 1999-05-31 23:59:59]}" {
+		t.Errorf("gaps = %s", got)
+	}
+	if got := one(t, `SELECT gaps('{[1999-01-01, 1999-03-01]}'::Element)`); got != "{}" {
+		t.Errorf("gaps of single period = %s", got)
+	}
+}
+
+func TestPrecedesSucceeds(t *testing.T) {
+	tests := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT precedes('{[1999-01-01, 1999-02-01]}'::Element, '{[1999-03-01, 1999-04-01]}'::Element)`, "TRUE"},
+		{`SELECT precedes('{[1999-01-01, 1999-03-15]}'::Element, '{[1999-03-01, 1999-04-01]}'::Element)`, "FALSE"},
+		{`SELECT succeeds('{[1999-03-01, 1999-04-01]}'::Element, '{[1999-01-01, 1999-02-01]}'::Element)`, "TRUE"},
+		{`SELECT succeeds('{[1999-01-01, 1999-02-01]}'::Element, '{[1999-03-01, 1999-04-01]}'::Element)`, "FALSE"},
+	}
+	for _, tt := range tests {
+		if got := one(t, tt.sql); got != tt.want {
+			t.Errorf("%s = %s, want %s", tt.sql, got, tt.want)
+		}
+	}
+}
+
+// TestGranularityGroupBy exercises the motivating use: grouping history
+// by calendar granule.
+func TestGranularityGroupBy(t *testing.T) {
+	_, s, _ := newTestDB(t)
+	seedMedical(t, s)
+	res := mustExec(t, s, `
+		SELECT year(start(valid)), COUNT(*)
+		FROM Prescription GROUP BY year(start(valid)) ORDER BY 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1999 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Int() != 8 {
+		t.Errorf("count = %d", res.Rows[0][1].Int())
+	}
+	// Monthly medication profile via restrict.
+	res = mustExec(t, s, `
+		SELECT length(restrict(valid, month_of('1999-02-01'::Chronon)))
+		FROM Prescription WHERE patient = 'Mx.Overlap' ORDER BY drug`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	febA := res.Rows[0][0].Obj().(temporal.Span) // DrugA covers all of Feb
+	if febA < 27*temporal.Day {
+		t.Errorf("feb coverage = %v", febA)
+	}
+}

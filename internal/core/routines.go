@@ -1,0 +1,294 @@
+package core
+
+import (
+	"tip/internal/blade"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// registerPeriodRoutines installs Allen's interval operators for Periods
+// plus the period accessors. TIP exposes the strict Allen relations under
+// their classical names; `overlaps` and `contains` on Periods keep the
+// loose predicate semantics that temporal queries almost always want (the
+// strict Allen variants are available as allen_overlaps / allen_contains),
+// and `allen(p, q)` names the exact relation.
+func (b *Blade) registerPeriodRoutines(reg *blade.Registry) {
+	rt := func(name string, params []*types.Type, result *types.Type, fn blade.RoutineFn) {
+		reg.MustRegisterRoutine(&blade.Routine{
+			Name: name, Params: params, Result: result, Strict: true, Fn: fn,
+		})
+	}
+	pp := []*types.Type{b.Period, b.Period}
+	pred := func(name string, f func(p, q temporal.Period, now temporal.Chronon) bool) {
+		rt(name, pp, types.TBool, func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewBool(f(args[0].Obj().(temporal.Period), args[1].Obj().(temporal.Period), ctx.Now)), nil
+		})
+	}
+
+	pred("before", temporal.PeriodBefore)
+	pred("after", temporal.PeriodAfter)
+	pred("meets", temporal.PeriodMeets)
+	pred("met_by", temporal.PeriodMetBy)
+	pred("starts", temporal.PeriodStarts)
+	pred("started_by", func(p, q temporal.Period, now temporal.Chronon) bool {
+		return temporal.Allen(p, q, now) == temporal.AllenStartedBy
+	})
+	pred("during", temporal.PeriodDuring)
+	pred("finishes", temporal.PeriodFinishes)
+	pred("finished_by", func(p, q temporal.Period, now temporal.Chronon) bool {
+		return temporal.Allen(p, q, now) == temporal.AllenFinishedBy
+	})
+	pred("equals", temporal.PeriodEquals)
+	pred("allen_overlaps", temporal.PeriodOverlapsAllen)
+	pred("allen_overlapped_by", func(p, q temporal.Period, now temporal.Chronon) bool {
+		return temporal.Allen(p, q, now) == temporal.AllenOverlappedBy
+	})
+	pred("allen_contains", func(p, q temporal.Period, now temporal.Chronon) bool {
+		return temporal.Allen(p, q, now) == temporal.AllenContains
+	})
+
+	// allen(p, q) names the exact relation, e.g. 'overlaps'.
+	rt("allen", pp, types.TString, func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+		rel := temporal.Allen(args[0].Obj().(temporal.Period), args[1].Obj().(temporal.Period), ctx.Now)
+		return types.NewString(rel.String()), nil
+	})
+
+	// Period accessors. start/end return bound Chronons (usable in
+	// arithmetic); rawstart/rawend return the stored Instants.
+	rt("start", []*types.Type{b.Period}, b.Chronon,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ChrononValue(args[0].Obj().(temporal.Period).Start.Bind(ctx.Now)), nil
+		})
+	rt("end", []*types.Type{b.Period}, b.Chronon,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ChrononValue(args[0].Obj().(temporal.Period).End.Bind(ctx.Now)), nil
+		})
+	rt("rawstart", []*types.Type{b.Period}, b.Instant,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.InstantValue(args[0].Obj().(temporal.Period).Start), nil
+		})
+	rt("rawend", []*types.Type{b.Period}, b.Instant,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.InstantValue(args[0].Obj().(temporal.Period).End), nil
+		})
+	rt("length", []*types.Type{b.Period}, b.Span,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.SpanValue(args[0].Obj().(temporal.Period).Length(ctx.Now)), nil
+		})
+	rt("period", []*types.Type{b.Instant, b.Instant}, b.Period,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.PeriodValue(temporal.Period{
+				Start: args[0].Obj().(temporal.Instant),
+				End:   args[1].Obj().(temporal.Instant),
+			}), nil
+		})
+	// bind substitutes the transaction time for NOW.
+	rt("bind", []*types.Type{b.Instant}, b.Chronon,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ChrononValue(args[0].Obj().(temporal.Instant).Bind(ctx.Now)), nil
+		})
+	rt("bind", []*types.Type{b.Period}, b.Period,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			iv, ok := args[0].Obj().(temporal.Period).Bind(ctx.Now)
+			if !ok {
+				return types.NewNull(b.Period), nil
+			}
+			return b.PeriodValue(iv.Period()), nil
+		})
+}
+
+// registerElementRoutines installs the Element algebra of §2: union,
+// intersect, difference, overlaps, contains, length, start — all with
+// their expected set semantics, evaluated under the transaction time.
+func (b *Blade) registerElementRoutines(reg *blade.Registry) {
+	rt := func(name string, params []*types.Type, result *types.Type, fn blade.RoutineFn) {
+		reg.MustRegisterRoutine(&blade.Routine{
+			Name: name, Params: params, Result: result, Strict: true, Fn: fn,
+		})
+	}
+	ee := []*types.Type{b.Element, b.Element}
+	binOp := func(name string, f func(a, c temporal.Element, now temporal.Chronon) temporal.Element) {
+		rt(name, ee, b.Element, func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ElementValue(f(args[0].Obj().(temporal.Element), args[1].Obj().(temporal.Element), ctx.Now)), nil
+		})
+	}
+	binPred := func(name string, f func(a, c temporal.Element, now temporal.Chronon) bool) {
+		rt(name, ee, types.TBool, func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewBool(f(args[0].Obj().(temporal.Element), args[1].Obj().(temporal.Element), ctx.Now)), nil
+		})
+	}
+
+	binOp("union", temporal.Element.Union)
+	binOp("intersect", temporal.Element.Intersect)
+	binOp("difference", temporal.Element.Difference)
+	binPred("overlaps", temporal.Element.Overlaps)
+	binPred("contains", temporal.Element.Contains)
+
+	rt("complement", []*types.Type{b.Element}, b.Element,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ElementValue(args[0].Obj().(temporal.Element).Complement(ctx.Now)), nil
+		})
+	rt("length", []*types.Type{b.Element}, b.Span,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.SpanValue(args[0].Obj().(temporal.Element).Length(ctx.Now)), nil
+		})
+	// start(e): the start time of the first period in an Element — the
+	// routine the paper's Tylenol query uses. NULL for an element that
+	// denotes the empty set.
+	rt("start", []*types.Type{b.Element}, b.Chronon,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, ok := args[0].Obj().(temporal.Element).Start(ctx.Now)
+			if !ok {
+				return types.NewNull(b.Chronon), nil
+			}
+			return b.ChrononValue(c), nil
+		})
+	rt("end", []*types.Type{b.Element}, b.Chronon,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			c, ok := args[0].Obj().(temporal.Element).End(ctx.Now)
+			if !ok {
+				return types.NewNull(b.Chronon), nil
+			}
+			return b.ChrononValue(c), nil
+		})
+	rt("first", []*types.Type{b.Element}, b.Period,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			p, ok := args[0].Obj().(temporal.Element).First()
+			if !ok {
+				return types.NewNull(b.Period), nil
+			}
+			return b.PeriodValue(p), nil
+		})
+	rt("last", []*types.Type{b.Element}, b.Period,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			p, ok := args[0].Obj().(temporal.Element).Last()
+			if !ok {
+				return types.NewNull(b.Period), nil
+			}
+			return b.PeriodValue(p), nil
+		})
+	rt("nperiods", []*types.Type{b.Element}, types.TInt,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewInt(int64(args[0].Obj().(temporal.Element).NumPeriods())), nil
+		})
+	rt("isempty", []*types.Type{b.Element}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewBool(len(args[0].Obj().(temporal.Element).Bind(ctx.Now)) == 0), nil
+		})
+	rt("bind", []*types.Type{b.Element}, b.Element,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			return b.ElementValue(args[0].Obj().(temporal.Element).BoundElement(ctx.Now)), nil
+		})
+	// isopen: does any period end NOW-relatively (still growing)? The
+	// predicate temporal view maintenance uses to find current rows.
+	rt("isopen", []*types.Type{b.Element}, types.TBool,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			for _, p := range args[0].Obj().(temporal.Element).Periods() {
+				if p.End.Relative() {
+					return types.NewBool(true), nil
+				}
+			}
+			return types.NewBool(false), nil
+		})
+	rt("isopen", []*types.Type{b.Period}, types.TBool,
+		func(_ *blade.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewBool(args[0].Obj().(temporal.Period).End.Relative()), nil
+		})
+	// contains(e, chronon) — membership of a point in time.
+	rt("contains", []*types.Type{b.Element, b.Chronon}, types.TBool,
+		func(ctx *blade.Ctx, args []types.Value) (types.Value, error) {
+			ok := args[0].Obj().(temporal.Element).ContainsChronon(args[1].Obj().(temporal.Chronon), ctx.Now)
+			return types.NewBool(ok), nil
+		})
+}
+
+// registerAggregates installs the TIP aggregate functions: group_union
+// (the coalescing aggregate behind length(group_union(valid))),
+// group_intersect, and SUM/AVG over Spans.
+func (b *Blade) registerAggregates(reg *blade.Registry) {
+	reg.MustRegisterAggregate(&blade.Aggregate{
+		Name: "group_union", Param: b.Element, Result: b.Element,
+		New: func() blade.AggState { return &elementSetAgg{blade: b, union: true} },
+	})
+	reg.MustRegisterAggregate(&blade.Aggregate{
+		Name: "group_intersect", Param: b.Element, Result: b.Element,
+		New: func() blade.AggState { return &elementSetAgg{blade: b} },
+	})
+	reg.MustRegisterAggregate(&blade.Aggregate{
+		Name: "sum", Param: b.Span, Result: b.Span,
+		New: func() blade.AggState { return &spanSumAgg{blade: b} },
+	})
+	reg.MustRegisterAggregate(&blade.Aggregate{
+		Name: "avg", Param: b.Span, Result: b.Span,
+		New: func() blade.AggState { return &spanSumAgg{blade: b, average: true} },
+	})
+}
+
+// elementSetAgg folds elements with union or intersection. Union defers
+// normalisation: it gathers every input period and coalesces once at
+// Final, so a group of n single-period elements unions in O(n log n)
+// total rather than the O(n²) of stepwise union. Intersection shrinks
+// monotonically and folds stepwise.
+type elementSetAgg struct {
+	blade   *Blade
+	union   bool
+	periods []temporal.Period // union accumulator
+	acc     temporal.Element  // intersect accumulator
+	any     bool
+}
+
+func (a *elementSetAgg) Step(ctx *blade.Ctx, v types.Value) error {
+	e := v.Obj().(temporal.Element)
+	if a.union {
+		bound := e.BoundElement(ctx.Now)
+		a.periods = append(a.periods, bound.Periods()...)
+		a.any = true
+		return nil
+	}
+	if !a.any {
+		a.acc, a.any = e.BoundElement(ctx.Now), true
+		return nil
+	}
+	a.acc = a.acc.Intersect(e, ctx.Now)
+	return nil
+}
+
+func (a *elementSetAgg) Final(*blade.Ctx) (types.Value, error) {
+	if a.union {
+		e, err := temporal.MakeElement(a.periods...)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return a.blade.ElementValue(e), nil
+	}
+	return a.blade.ElementValue(a.acc), nil
+}
+
+// spanSumAgg sums (or averages) spans.
+type spanSumAgg struct {
+	blade   *Blade
+	average bool
+	sum     temporal.Span
+	n       int64
+}
+
+func (a *spanSumAgg) Step(_ *blade.Ctx, v types.Value) error {
+	s, err := a.sum.Add(v.Obj().(temporal.Span))
+	if err != nil {
+		return err
+	}
+	a.sum = s
+	a.n++
+	return nil
+}
+
+func (a *spanSumAgg) Final(*blade.Ctx) (types.Value, error) {
+	if a.average {
+		out, err := a.sum.Div(a.n)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return a.blade.SpanValue(out), nil
+	}
+	return a.blade.SpanValue(a.sum), nil
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"tip/internal/exec"
+	"tip/internal/index"
+	"tip/internal/sql/ast"
+	"tip/internal/temporal"
+	"tip/internal/txn"
+	"tip/internal/types"
+)
+
+// DML execution: INSERT, UPDATE, DELETE with NOT NULL enforcement,
+// implicit assignment casts, index maintenance and undo logging.
+
+func (s *Session) insert(st *ast.Insert, params map[string]types.Value) (*exec.Result, error) {
+	tbl, ok := s.db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", st.Table)
+	}
+	// Map the column list to positions (nil list means all columns in
+	// table order).
+	cols := make([]int, 0, len(tbl.Meta.Columns))
+	if st.Columns == nil {
+		for i := range tbl.Meta.Columns {
+			cols = append(cols, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			pos, ok := tbl.Meta.ColumnIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: no column %s in table %s", name, st.Table)
+			}
+			cols = append(cols, pos)
+		}
+	}
+
+	env := s.env(params)
+	var incoming []exec.Row
+	if st.Query != nil {
+		res, err := exec.Run(env, st.Query)
+		if err != nil {
+			return nil, err
+		}
+		incoming = res.Rows
+	} else {
+		for _, rowExprs := range st.Rows {
+			row := make(exec.Row, len(rowExprs))
+			for i, e := range rowExprs {
+				v, err := exec.EvalConst(env, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			incoming = append(incoming, row)
+		}
+	}
+
+	affected := 0
+	for _, in := range incoming {
+		if len(in) != len(cols) {
+			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(in), len(cols))
+		}
+		row := make(exec.Row, len(tbl.Meta.Columns))
+		for i, col := range tbl.Meta.Columns {
+			row[i] = types.NewNull(col.Type)
+		}
+		for i, pos := range cols {
+			cv, err := s.coerce(in[i], tbl.Meta.Columns[pos].Type)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", tbl.Meta.Columns[pos].Name, err)
+			}
+			row[pos] = cv
+		}
+		for i, col := range tbl.Meta.Columns {
+			if col.NotNull && row[i].Null {
+				return nil, fmt.Errorf("engine: column %s is NOT NULL", col.Name)
+			}
+		}
+		id := tbl.Heap.Insert(row)
+		if err := s.indexRow(tbl, id, row); err != nil {
+			_, _ = tbl.Heap.Delete(id)
+			return nil, err
+		}
+		if s.tx != nil {
+			s.tx.Log(txn.Entry{Op: txn.OpInsert, Table: tbl.Meta.Name, RowID: id})
+		}
+		affected++
+	}
+	return &exec.Result{Affected: affected}, nil
+}
+
+func (s *Session) update(st *ast.Update, params map[string]types.Value) (*exec.Result, error) {
+	tbl, ok := s.db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", st.Table)
+	}
+	env := s.env(params)
+	schema := exec.TableSchema(tbl)
+	var where exec.RowExpr
+	var err error
+	if st.Where != nil {
+		if where, err = exec.CompileRowExpr(env, schema, st.Where); err != nil {
+			return nil, err
+		}
+	}
+	type setter struct {
+		pos int
+		e   exec.RowExpr
+	}
+	setters := make([]setter, len(st.Set))
+	for i, a := range st.Set {
+		pos, ok := tbl.Meta.ColumnIndex(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("engine: no column %s in table %s", a.Column, st.Table)
+		}
+		ce, err := exec.CompileRowExpr(env, schema, a.Value)
+		if err != nil {
+			return nil, err
+		}
+		setters[i] = setter{pos: pos, e: ce}
+	}
+
+	ids, err := s.matchingRows(tbl, env, where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		old, _ := tbl.Heap.Get(id)
+		row := make(exec.Row, len(old))
+		copy(row, old)
+		for _, set := range setters {
+			v, err := set.e(env, old)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := s.coerce(v, tbl.Meta.Columns[set.pos].Type)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", tbl.Meta.Columns[set.pos].Name, err)
+			}
+			if tbl.Meta.Columns[set.pos].NotNull && cv.Null {
+				return nil, fmt.Errorf("engine: column %s is NOT NULL", tbl.Meta.Columns[set.pos].Name)
+			}
+			row[set.pos] = cv
+		}
+		s.unindexRow(tbl, id, old)
+		if _, err := tbl.Heap.Update(id, row); err != nil {
+			return nil, err
+		}
+		if err := s.indexRow(tbl, id, row); err != nil {
+			return nil, err
+		}
+		if s.tx != nil {
+			s.tx.Log(txn.Entry{Op: txn.OpUpdate, Table: tbl.Meta.Name, RowID: id, Old: old})
+		}
+	}
+	return &exec.Result{Affected: len(ids)}, nil
+}
+
+func (s *Session) deleteRows(st *ast.Delete, params map[string]types.Value) (*exec.Result, error) {
+	tbl, ok := s.db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", st.Table)
+	}
+	env := s.env(params)
+	var where exec.RowExpr
+	var err error
+	if st.Where != nil {
+		if where, err = exec.CompileRowExpr(env, exec.TableSchema(tbl), st.Where); err != nil {
+			return nil, err
+		}
+	}
+	ids, err := s.matchingRows(tbl, env, where)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		old, err := tbl.Heap.Delete(id)
+		if err != nil {
+			return nil, err
+		}
+		s.unindexRow(tbl, id, old)
+		if s.tx != nil {
+			s.tx.Log(txn.Entry{Op: txn.OpDelete, Table: tbl.Meta.Name, RowID: id, Old: old})
+		}
+	}
+	return &exec.Result{Affected: len(ids)}, nil
+}
+
+// matchingRows collects the ids of rows satisfying the (optional) WHERE
+// predicate, before any mutation begins.
+func (s *Session) matchingRows(tbl *exec.Table, env *exec.Env, where exec.RowExpr) ([]int, error) {
+	var ids []int
+	var scanErr error
+	tbl.Heap.Scan(func(id int, r exec.Row) bool {
+		if where != nil {
+			v, err := where(env, r)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			keep, isNull, err := exec.Truth(v)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if isNull || !keep {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids, scanErr
+}
+
+// coerce applies assignment coercion to a column type.
+func (s *Session) coerce(v types.Value, to *types.Type) (types.Value, error) {
+	return s.db.reg.ImplicitConvert(s.env(nil).Ctx(), v, to)
+}
+
+// indexRow adds a row to every index of its table.
+func (s *Session) indexRow(tbl *exec.Table, id int, row exec.Row) error {
+	now := s.Now()
+	for pos, ix := range tbl.Hash {
+		if !row[pos].Null {
+			ix.Add(row[pos].Key(now), id)
+		}
+	}
+	for pos, ix := range tbl.Periods {
+		if err := addPeriodEntries(ix, row[pos], id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unindexRow removes a row from every index of its table.
+func (s *Session) unindexRow(tbl *exec.Table, id int, row exec.Row) {
+	now := s.Now()
+	for pos, ix := range tbl.Hash {
+		if !row[pos].Null {
+			ix.Remove(row[pos].Key(now), id)
+		}
+	}
+	for _, ix := range tbl.Periods {
+		ix.Remove(id)
+	}
+}
+
+// addPeriodEntries indexes a temporal value's periods.
+func addPeriodEntries(ix *index.Period, v types.Value, id int) error {
+	if v.Null {
+		return nil
+	}
+	switch obj := v.Obj().(type) {
+	case temporal.Element:
+		ix.AddElement(obj, id)
+	case temporal.Period:
+		ix.AddPeriod(obj, id)
+	case temporal.Chronon:
+		ix.AddPeriod(obj.Period(), id)
+	case temporal.Instant:
+		ix.AddPeriod(temporal.Period{Start: obj, End: obj}, id)
+	default:
+		return fmt.Errorf("engine: PERIOD index cannot index %s values", v.T)
+	}
+	return nil
+}

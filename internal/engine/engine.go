@@ -1,0 +1,442 @@
+// Package engine is the TIP-enabled database system: the façade that ties
+// the SQL front end, the blade registry, the catalog, row storage,
+// indexes, and transactions into a usable embedded DBMS — the stand-in for
+// the Informix server the TIP DataBlade plugs into.
+//
+// A Database owns the shared state; Sessions execute statements. The
+// engine serialises statements: writers take the database write lock,
+// readers share a read lock. Transactions are undo-logged and roll back
+// row-level changes; the transaction's begin time fixes the
+// interpretation of NOW for all its statements (Clifford-style
+// transaction-time NOW), and a session may override NOW for what-if
+// evaluation (SET NOW = ...).
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tip/internal/blade"
+	"tip/internal/catalog"
+	"tip/internal/exec"
+	"tip/internal/index"
+	"tip/internal/sql/ast"
+	"tip/internal/sql/parse"
+	"tip/internal/temporal"
+	"tip/internal/txn"
+	"tip/internal/types"
+)
+
+// Database is one TIP-enabled database instance.
+type Database struct {
+	mu     sync.RWMutex
+	reg    *blade.Registry
+	cat    *catalog.Catalog
+	tables map[string]*exec.Table // lower-cased name
+	tm     *txn.Manager
+	wal    *wal // nil unless EnableWAL was called
+}
+
+// New creates an empty in-memory database using the given registry (which
+// must already hold every blade the schema needs).
+func New(reg *blade.Registry) *Database {
+	return &Database{
+		reg:    reg,
+		cat:    catalog.New(),
+		tables: make(map[string]*exec.Table),
+		tm:     txn.NewManager(),
+	}
+}
+
+// Registry returns the blade registry (for registering further blades).
+func (db *Database) Registry() *blade.Registry { return db.reg }
+
+// SetClock pins the engine clock, fixing the default interpretation of
+// NOW; intended for tests and reproducible experiments.
+func (db *Database) SetClock(clock func() temporal.Chronon) { db.tm.SetClock(clock) }
+
+// Catalog exposes the schema metadata (read-only use).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Session is one client's connection state: its open transaction and its
+// NOW override.
+type Session struct {
+	db          *Database
+	tx          *txn.Txn
+	nowOverride *temporal.Chronon
+}
+
+// NewSession opens a session.
+func (db *Database) NewSession() *Session { return &Session{db: db} }
+
+// Now returns the session's current interpretation of NOW: the override
+// if set, the transaction time inside a transaction, or the engine clock.
+func (s *Session) Now() temporal.Chronon {
+	if s.nowOverride != nil {
+		return *s.nowOverride
+	}
+	if s.tx != nil {
+		return s.tx.Time
+	}
+	return s.db.tm.Now()
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// Exec parses and executes one SQL statement with optional named
+// parameters. When write-ahead logging is enabled, successful
+// state-changing statements are appended to the log.
+func (s *Session) Exec(sql string, params map[string]types.Value) (*exec.Result, error) {
+	stmt, err := parse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	now := s.Now()
+	res, err := s.ExecStmt(stmt, params)
+	if err == nil && loggable(stmt) {
+		if logErr := s.db.logStatement(now, sql, params); logErr != nil {
+			return nil, logErr
+		}
+	}
+	return res, err
+}
+
+// ExecScript executes a ';'-separated sequence of statements, returning
+// the last result.
+func (s *Session) ExecScript(sql string, params map[string]types.Value) (*exec.Result, error) {
+	stmts, err := parse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *exec.Result
+	for _, st := range stmts {
+		if last, err = s.ExecStmt(st, params); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*exec.Result, error) {
+	switch st := stmt.(type) {
+	case *ast.Select:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		return exec.Run(s.env(params), st)
+	case *ast.CreateTable:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.createTable(st)
+	case *ast.DropTable:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.dropTable(st)
+	case *ast.CreateIndex:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.createIndex(st)
+	case *ast.DropIndex:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.dropIndex(st)
+	case *ast.Insert:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.insert(st, params)
+	case *ast.Update:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.update(st, params)
+	case *ast.Delete:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.deleteRows(st, params)
+	case *ast.Begin:
+		if s.tx != nil {
+			return nil, fmt.Errorf("engine: transaction already open")
+		}
+		s.tx = s.db.tm.Begin()
+		return &exec.Result{}, nil
+	case *ast.Commit:
+		if s.tx == nil {
+			return nil, fmt.Errorf("engine: no open transaction")
+		}
+		s.tx = nil // undo log discarded; changes are already applied
+		return &exec.Result{}, nil
+	case *ast.Rollback:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.rollback()
+	case *ast.SetNow:
+		return s.setNow(st, params)
+	case *ast.ShowTables:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		res := &exec.Result{Cols: []string{"table"}}
+		for _, n := range s.db.cat.TableNames() {
+			res.Rows = append(res.Rows, exec.Row{types.NewString(n)})
+		}
+		res.Types = []*types.Type{types.TString}
+		return res, nil
+	case *ast.Describe:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		return s.describe(st.Table)
+	case *ast.Explain:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		return exec.Explain(s.env(params), st.Query)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// env builds the execution environment for the current statement.
+func (s *Session) env(params map[string]types.Value) *exec.Env {
+	return &exec.Env{
+		Reg:    s.db.reg,
+		Now:    s.Now(),
+		Params: params,
+		Lookup: func(name string) (*exec.Table, bool) {
+			t, ok := s.db.tables[strings.ToLower(name)]
+			return t, ok
+		},
+	}
+}
+
+func (s *Session) createTable(st *ast.CreateTable) (*exec.Result, error) {
+	if _, exists := s.db.cat.Table(st.Name); exists {
+		if st.IfNotExists {
+			return &exec.Result{}, nil
+		}
+		return nil, fmt.Errorf("engine: table %s already exists", st.Name)
+	}
+	cols := make([]catalog.Column, len(st.Columns))
+	for i, cd := range st.Columns {
+		t, ok := s.db.reg.LookupType(cd.TypeName)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown type %s", cd.TypeName)
+		}
+		cols[i] = catalog.Column{Name: cd.Name, Type: t, NotNull: cd.NotNull}
+	}
+	meta, err := catalog.NewTableMeta(st.Name, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.cat.CreateTable(meta); err != nil {
+		return nil, err
+	}
+	s.db.tables[strings.ToLower(st.Name)] = exec.NewTable(meta)
+	return &exec.Result{}, nil
+}
+
+func (s *Session) dropTable(st *ast.DropTable) (*exec.Result, error) {
+	if _, exists := s.db.cat.Table(st.Name); !exists {
+		if st.IfExists {
+			return &exec.Result{}, nil
+		}
+		return nil, fmt.Errorf("engine: no table %s", st.Name)
+	}
+	if s.tx != nil {
+		return nil, fmt.Errorf("engine: DROP TABLE inside a transaction is not supported")
+	}
+	if err := s.db.cat.DropTable(st.Name); err != nil {
+		return nil, err
+	}
+	delete(s.db.tables, strings.ToLower(st.Name))
+	return &exec.Result{}, nil
+}
+
+func (s *Session) createIndex(st *ast.CreateIndex) (*exec.Result, error) {
+	tbl, ok := s.db.tables[strings.ToLower(st.Table)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", st.Table)
+	}
+	pos, ok := tbl.Meta.ColumnIndex(st.Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: no column %s in table %s", st.Column, st.Table)
+	}
+	colType := tbl.Meta.Columns[pos].Type
+	kind := catalog.HashIndex
+	if st.Period {
+		kind = catalog.PeriodIndex
+		if colType.Kind != types.KindUDT {
+			return nil, fmt.Errorf("engine: PERIOD index requires a temporal column, not %s", colType)
+		}
+		if tbl.Periods[pos] != nil {
+			return nil, fmt.Errorf("engine: column %s already has a period index", st.Column)
+		}
+	} else {
+		if colType.Kind == types.KindUDT && !colType.UDT.StableKey {
+			return nil, fmt.Errorf("engine: type %s has NOW-dependent values; use a PERIOD index", colType)
+		}
+		if tbl.Hash[pos] != nil {
+			return nil, fmt.Errorf("engine: column %s already has a hash index", st.Column)
+		}
+	}
+	if err := s.db.cat.CreateIndex(&catalog.IndexMeta{
+		Name: st.Name, Table: tbl.Meta.Name, Column: tbl.Meta.Columns[pos].Name, Kind: kind,
+	}); err != nil {
+		return nil, err
+	}
+	// Build over existing rows.
+	now := s.Now()
+	if st.Period {
+		ix := index.NewPeriod()
+		var buildErr error
+		tbl.Heap.Scan(func(id int, r exec.Row) bool {
+			buildErr = addPeriodEntries(ix, r[pos], id)
+			return buildErr == nil
+		})
+		if buildErr != nil {
+			_ = s.db.cat.DropIndex(st.Name)
+			return nil, buildErr
+		}
+		tbl.Periods[pos] = ix
+	} else {
+		ix := index.NewHash()
+		tbl.Heap.Scan(func(id int, r exec.Row) bool {
+			if !r[pos].Null {
+				ix.Add(r[pos].Key(now), id)
+			}
+			return true
+		})
+		tbl.Hash[pos] = ix
+	}
+	return &exec.Result{}, nil
+}
+
+func (s *Session) dropIndex(st *ast.DropIndex) (*exec.Result, error) {
+	im, ok := s.db.cat.Index(st.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: no index %s", st.Name)
+	}
+	tbl := s.db.tables[strings.ToLower(im.Table)]
+	pos, _ := tbl.Meta.ColumnIndex(im.Column)
+	if im.Kind == catalog.PeriodIndex {
+		delete(tbl.Periods, pos)
+	} else {
+		delete(tbl.Hash, pos)
+	}
+	return &exec.Result{}, s.db.cat.DropIndex(st.Name)
+}
+
+// describe lists a table's columns with their types, nullability and
+// any index on each column.
+func (s *Session) describe(table string) (*exec.Result, error) {
+	tm, ok := s.db.cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %s", table)
+	}
+	res := &exec.Result{Cols: []string{"column", "type", "nullable", "index"}}
+	indexByCol := make(map[string]string)
+	for _, im := range s.db.cat.TableIndexes(tm.Name) {
+		kind := "hash"
+		if im.Kind == catalog.PeriodIndex {
+			kind = "period"
+		}
+		indexByCol[strings.ToLower(im.Column)] = fmt.Sprintf("%s (%s)", im.Name, kind)
+	}
+	for _, c := range tm.Columns {
+		nullable := "YES"
+		if c.NotNull {
+			nullable = "NO"
+		}
+		idx := indexByCol[strings.ToLower(c.Name)]
+		res.Rows = append(res.Rows, exec.Row{
+			types.NewString(c.Name), types.NewString(c.Type.Name),
+			types.NewString(nullable), types.NewString(idx),
+		})
+	}
+	res.Types = []*types.Type{types.TString, types.TString, types.TString, types.TString}
+	return res, nil
+}
+
+func (s *Session) rollback() (*exec.Result, error) {
+	if s.tx == nil {
+		return nil, fmt.Errorf("engine: no open transaction")
+	}
+	tx := s.tx
+	s.tx = nil
+	for _, e := range tx.UndoEntries() {
+		tbl, ok := s.db.tables[strings.ToLower(e.Table)]
+		if !ok {
+			return nil, fmt.Errorf("engine: rollback references dropped table %s", e.Table)
+		}
+		// Maintain indexes around the heap change.
+		switch e.Op {
+		case txn.OpInsert:
+			if row, ok := tbl.Heap.Get(e.RowID); ok {
+				s.unindexRow(tbl, e.RowID, row)
+			}
+		case txn.OpUpdate:
+			if row, ok := tbl.Heap.Get(e.RowID); ok {
+				s.unindexRow(tbl, e.RowID, row)
+			}
+		}
+		if err := txn.Apply(tbl.Heap, e); err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case txn.OpDelete, txn.OpUpdate:
+			if row, ok := tbl.Heap.Get(e.RowID); ok {
+				if err := s.indexRow(tbl, e.RowID, row); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &exec.Result{}, nil
+}
+
+func (s *Session) setNow(st *ast.SetNow, params map[string]types.Value) (*exec.Result, error) {
+	if st.Value == nil {
+		s.nowOverride = nil
+		return &exec.Result{}, nil
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	v, err := exec.EvalConst(s.env(params), st.Value)
+	if err != nil {
+		return nil, err
+	}
+	c, err := asChronon(s.db.reg, s.Now(), v)
+	if err != nil {
+		return nil, fmt.Errorf("engine: SET NOW: %w", err)
+	}
+	s.nowOverride = &c
+	return &exec.Result{}, nil
+}
+
+// asChronon coerces a value to a Chronon: directly for a Chronon UDT
+// value, by parsing for strings, via DATE widening otherwise.
+func asChronon(reg *blade.Registry, now temporal.Chronon, v types.Value) (temporal.Chronon, error) {
+	if v.Null {
+		return 0, fmt.Errorf("NOW cannot be NULL")
+	}
+	switch obj := v.Obj().(type) {
+	case temporal.Chronon:
+		return obj, nil
+	case temporal.Instant:
+		return obj.Bind(now), nil
+	}
+	switch v.T.Kind {
+	case types.KindString:
+		return temporal.ParseChronon(v.Str())
+	case types.KindDate:
+		return types.DateToChronon(v.Int()), nil
+	}
+	// Try a registered cast to a Chronon type, if one exists.
+	if t, ok := reg.LookupType("Chronon"); ok {
+		cv, err := reg.Convert(&blade.Ctx{Now: now}, v, t)
+		if err == nil {
+			if c, ok := cv.Obj().(temporal.Chronon); ok {
+				return c, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("cannot interpret %s as a time", v.T)
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"tip/internal/catalog"
+	"tip/internal/exec"
+	"tip/internal/sql/ast"
+	"tip/internal/types"
+)
+
+// Database snapshot persistence. The format is a self-describing binary
+// file: magic, the catalog (tables, columns with type names, indexes),
+// then per table the row count and rows encoded with the value codec
+// (UDT payloads through their blade Encode hooks). Loading requires the
+// same blades to be registered so type names resolve.
+//
+// Layout:
+//
+//	"TIPDB1\n"
+//	uvarint tableCount
+//	  table: str name, uvarint colCount,
+//	         col: str name, str typeName, byte notNull
+//	         uvarint rowCount, rows (schema-directed values)
+//	uvarint indexCount
+//	  index: str name, str table, str column, byte kind
+
+const snapshotMagic = "TIPDB1\n"
+
+// ErrBadSnapshot reports a malformed snapshot file.
+var ErrBadSnapshot = errors.New("engine: bad snapshot")
+
+// Save writes a snapshot of the database to path (atomically via a
+// temporary file).
+func (db *Database) Save(path string) error {
+	db.mu.RLock()
+	buf := db.encodeSnapshot()
+	db.mu.RUnlock()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	return nil
+}
+
+func (db *Database) encodeSnapshot() []byte {
+	buf := []byte(snapshotMagic)
+	names := db.cat.TableNames()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		tbl := db.tables[strings.ToLower(name)]
+		buf = appendString(buf, tbl.Meta.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(tbl.Meta.Columns)))
+		for _, c := range tbl.Meta.Columns {
+			buf = appendString(buf, c.Name)
+			buf = appendString(buf, c.Type.Name)
+			if c.NotNull {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(tbl.Heap.Len()))
+		tbl.Heap.Scan(func(_ int, r exec.Row) bool {
+			for _, v := range r {
+				buf = v.AppendBinary(buf)
+			}
+			return true
+		})
+	}
+	var indexes []*catalog.IndexMeta
+	for _, name := range names {
+		indexes = append(indexes, db.cat.TableIndexes(name)...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(indexes)))
+	for _, im := range indexes {
+		buf = appendString(buf, im.Name)
+		buf = appendString(buf, im.Table)
+		buf = appendString(buf, im.Column)
+		buf = append(buf, byte(im.Kind))
+	}
+	return buf
+}
+
+// Load reads a snapshot from path into a fresh database state. The
+// database must be empty (freshly constructed with the right blades).
+func (db *Database) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("engine: load: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.tables) != 0 {
+		return fmt.Errorf("engine: load into non-empty database")
+	}
+	return db.decodeSnapshot(data)
+}
+
+func (db *Database) decodeSnapshot(data []byte) error {
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("%w: magic", ErrBadSnapshot)
+	}
+	data = data[len(snapshotMagic):]
+	tableCount, data, err := readUvarint(data)
+	if err != nil {
+		return err
+	}
+	for range tableCount {
+		var name string
+		if name, data, err = readString(data); err != nil {
+			return err
+		}
+		colCount, rest, err := readUvarint(data)
+		if err != nil {
+			return err
+		}
+		data = rest
+		cols := make([]catalog.Column, colCount)
+		for i := range cols {
+			var cname, tname string
+			if cname, data, err = readString(data); err != nil {
+				return err
+			}
+			if tname, data, err = readString(data); err != nil {
+				return err
+			}
+			if len(data) < 1 {
+				return fmt.Errorf("%w: truncated column", ErrBadSnapshot)
+			}
+			notNull := data[0] == 1
+			data = data[1:]
+			t, ok := db.reg.LookupType(tname)
+			if !ok {
+				return fmt.Errorf("%w: unknown type %s (blade not registered?)", ErrBadSnapshot, tname)
+			}
+			cols[i] = catalog.Column{Name: cname, Type: t, NotNull: notNull}
+		}
+		meta, err := catalog.NewTableMeta(name, cols)
+		if err != nil {
+			return err
+		}
+		if err := db.cat.CreateTable(meta); err != nil {
+			return err
+		}
+		tbl := exec.NewTable(meta)
+		db.tables[strings.ToLower(name)] = tbl
+		rowCount, rest, err := readUvarint(data)
+		if err != nil {
+			return err
+		}
+		data = rest
+		for range rowCount {
+			row := make(exec.Row, len(cols))
+			for i, c := range cols {
+				v, rest, err := types.DecodeValue(c.Type, data)
+				if err != nil {
+					return fmt.Errorf("%w: table %s: %v", ErrBadSnapshot, name, err)
+				}
+				row[i] = v
+				data = rest
+			}
+			tbl.Heap.Insert(row)
+		}
+	}
+	indexCount, data, err := readUvarint(data)
+	if err != nil {
+		return err
+	}
+	s := &Session{db: db}
+	for range indexCount {
+		var iname, itable, icol string
+		if iname, data, err = readString(data); err != nil {
+			return err
+		}
+		if itable, data, err = readString(data); err != nil {
+			return err
+		}
+		if icol, data, err = readString(data); err != nil {
+			return err
+		}
+		if len(data) < 1 {
+			return fmt.Errorf("%w: truncated index", ErrBadSnapshot)
+		}
+		kind := catalog.IndexKind(data[0])
+		data = data[1:]
+		// Rebuild through the regular CREATE INDEX path (the session
+		// helper builds the in-memory structures over loaded rows).
+		if _, err := s.createIndex(&ast.CreateIndex{
+			Name: iname, Table: itable, Column: icol, Period: kind == catalog.PeriodIndex,
+		}); err != nil {
+			return err
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data))
+	}
+	return nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: varint", ErrBadSnapshot)
+	}
+	return v, data[n:], nil
+}
+
+func readString(data []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: string length", ErrBadSnapshot)
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"tip/internal/sql/ast"
+	"tip/internal/sql/parse"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Statement-level write-ahead logging. Between snapshots, every
+// successful state-changing statement (DDL, DML, transaction control)
+// is appended to the log together with the NOW it executed under, so a
+// restart can replay it with identical temporal semantics. Checkpoint
+// writes a snapshot and truncates the log.
+//
+// The log is a redo log of statements, not of row changes: replay
+// re-executes the SQL. A transaction left open at the end of the log
+// (crash mid-transaction) is rolled back after replay. Records are
+// flushed to the OS on every append; fsync is left to Checkpoint.
+//
+// Record layout (length-prefixed frame):
+//
+//	int64 now, str sql, uvarint nParams, (str name, str typeName, value)*
+
+// wal is the open log file.
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// ErrWAL reports a malformed log.
+var ErrWAL = errors.New("engine: corrupt WAL")
+
+// EnableWAL starts appending state-changing statements to path,
+// creating the file if needed. Call ReplayWAL first when recovering.
+func (db *Database) EnableWAL(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: wal: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		_ = f.Close()
+		return fmt.Errorf("engine: WAL already enabled")
+	}
+	db.wal = &wal{f: f, w: bufio.NewWriter(f)}
+	return nil
+}
+
+// DisableWAL stops logging and closes the file.
+func (db *Database) DisableWAL() error {
+	db.mu.Lock()
+	w := db.wal
+	db.wal = nil
+	db.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Checkpoint writes a snapshot to snapshotPath, fsyncs and truncates
+// the log: recovery now needs only the snapshot plus the (empty) log.
+func (db *Database) Checkpoint(snapshotPath string) error {
+	if err := db.Save(snapshotPath); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	w := db.wal
+	db.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	return w.f.Sync()
+}
+
+// loggable reports whether a statement changes database state and must
+// be redone at recovery.
+func loggable(stmt ast.Statement) bool {
+	switch stmt.(type) {
+	case *ast.CreateTable, *ast.DropTable, *ast.CreateIndex, *ast.DropIndex,
+		*ast.Insert, *ast.Update, *ast.Delete,
+		*ast.Begin, *ast.Commit, *ast.Rollback:
+		return true
+	default:
+		return false
+	}
+}
+
+// logStatement appends one executed statement to the WAL.
+func (db *Database) logStatement(now temporal.Chronon, sql string, params map[string]types.Value) error {
+	db.mu.RLock()
+	w := db.wal
+	db.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(now))
+	buf = appendString(buf, sql)
+	buf = binary.AppendUvarint(buf, uint64(len(params)))
+	for name, v := range params {
+		buf = appendString(buf, name)
+		tname := ""
+		if v.T != nil && v.T.Kind != types.KindNull {
+			tname = v.T.Name
+		}
+		buf = appendString(buf, tname)
+		buf = v.AppendBinary(buf)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(buf)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("engine: wal append: %w", err)
+	}
+	return w.w.Flush()
+}
+
+// ReplayWAL re-executes the statements logged in path against this
+// database (typically right after loading the matching snapshot). Each
+// statement runs under the NOW it originally executed with. A
+// transaction still open at the end of the log is rolled back. A
+// truncated trailing record (torn write at crash) ends replay cleanly.
+func (db *Database) ReplayWAL(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("engine: wal replay: %w", err)
+	}
+	sess := db.NewSession()
+	defer func() {
+		if sess.InTransaction() {
+			_, _ = sess.ExecStmt(&ast.Rollback{}, nil)
+		}
+		sess.nowOverride = nil
+	}()
+	for len(data) > 0 {
+		n, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < n {
+			return nil // torn tail: everything before it replayed
+		}
+		rec := data[k : k+int(n)]
+		data = data[k+int(n):]
+		if err := db.replayRecord(sess, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *Database) replayRecord(sess *Session, rec []byte) error {
+	if len(rec) < 8 {
+		return fmt.Errorf("%w: short record", ErrWAL)
+	}
+	now := temporal.Chronon(binary.LittleEndian.Uint64(rec))
+	rec = rec[8:]
+	sql, rec, err := readString(rec)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	nParams, k := binary.Uvarint(rec)
+	if k <= 0 {
+		return fmt.Errorf("%w: param count", ErrWAL)
+	}
+	rec = rec[k:]
+	var params map[string]types.Value
+	if nParams > 0 {
+		params = make(map[string]types.Value, nParams)
+	}
+	for range nParams {
+		var name, tname string
+		if name, rec, err = readString(rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		if tname, rec, err = readString(rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		t := types.TNull
+		if tname != "" {
+			var ok bool
+			if t, ok = db.reg.LookupType(tname); !ok {
+				return fmt.Errorf("%w: unknown type %s", ErrWAL, tname)
+			}
+		}
+		var v types.Value
+		if t.Kind == types.KindNull {
+			if len(rec) < 1 {
+				return fmt.Errorf("%w: null value", ErrWAL)
+			}
+			v, rec = types.NewNull(types.TNull), rec[1:]
+		} else {
+			if v, rec, err = types.DecodeValue(t, rec); err != nil {
+				return fmt.Errorf("%w: %v", ErrWAL, err)
+			}
+		}
+		params[name] = v
+	}
+	if len(rec) != 0 {
+		return fmt.Errorf("%w: trailing bytes in record", ErrWAL)
+	}
+	// Replay under the original NOW so NOW-relative semantics match.
+	sess.nowOverride = &now
+	stmt, err := parse.Parse(sql)
+	if err != nil {
+		return fmt.Errorf("engine: wal replay of %q: %w", sql, err)
+	}
+	if _, err := sess.ExecStmt(stmt, params); err != nil {
+		return fmt.Errorf("engine: wal replay of %q: %w", sql, err)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainScanChoices(t *testing.T) {
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE t (a INT, valid Element)`)
+	mustExec(t, s, `CREATE INDEX ta ON t (a)`)
+	mustExec(t, s, `CREATE INDEX tv ON t (valid) USING PERIOD`)
+
+	explain := func(sql string) string {
+		res, err := s.Exec("EXPLAIN "+sql, nil)
+		if err != nil {
+			t.Fatalf("EXPLAIN %s: %v", sql, err)
+		}
+		var lines []string
+		for _, r := range res.Rows {
+			lines = append(lines, r[0].Str())
+		}
+		return strings.Join(lines, "\n")
+	}
+
+	out := explain(`SELECT * FROM t WHERE a = 1`)
+	if !strings.Contains(out, "hash index on a") {
+		t.Errorf("hash index not chosen:\n%s", out)
+	}
+	out = explain(`SELECT * FROM t WHERE overlaps(valid, '[1999-01-01, 1999-02-01]')`)
+	if !strings.Contains(out, "period index on valid") {
+		t.Errorf("period index not chosen:\n%s", out)
+	}
+	out = explain(`SELECT * FROM t WHERE a > 1`)
+	if !strings.Contains(out, "full scan") {
+		t.Errorf("range predicate should full-scan:\n%s", out)
+	}
+}
+
+func TestExplainJoinStrategies(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	explain := func(sql string) string {
+		res, err := s.Exec("EXPLAIN "+sql, nil)
+		if err != nil {
+			t.Fatalf("EXPLAIN %s: %v", sql, err)
+		}
+		var lines []string
+		for _, r := range res.Rows {
+			lines = append(lines, r[0].Str())
+		}
+		return strings.Join(lines, "\n")
+	}
+
+	out := explain(`SELECT 1 FROM emp e, dept d WHERE e.dno = d.dno`)
+	if !strings.Contains(out, "hash join") {
+		t.Errorf("equi join should hash:\n%s", out)
+	}
+	out = explain(`SELECT 1 FROM emp a, emp b WHERE a.sal < b.sal`)
+	if !strings.Contains(out, "nested loop") {
+		t.Errorf("inequality join should nested-loop:\n%s", out)
+	}
+	out = explain(`SELECT 1 FROM dept d LEFT JOIN emp e ON d.dno = e.dno`)
+	if !strings.Contains(out, "left outer") {
+		t.Errorf("left join missing:\n%s", out)
+	}
+	out = explain(`SELECT dno, COUNT(*) FROM emp GROUP BY dno ORDER BY dno LIMIT 2`)
+	if !strings.Contains(out, "aggregate: 1 group expr(s), 1 aggregate(s)") ||
+		!strings.Contains(out, "sort: 1 key(s)") || !strings.Contains(out, "limit/offset") {
+		t.Errorf("pipeline notes missing:\n%s", out)
+	}
+	out = explain(`SELECT dno FROM emp UNION SELECT dno FROM dept`)
+	if !strings.Contains(out, "set operation: UNION") {
+		t.Errorf("set op note missing:\n%s", out)
+	}
+	// Subqueries indent.
+	out = explain(`SELECT 1 FROM dept d WHERE EXISTS (SELECT 1 FROM emp e WHERE e.dno = d.dno)`)
+	if !strings.Contains(out, "  select:") {
+		t.Errorf("subquery indentation missing:\n%s", out)
+	}
+}

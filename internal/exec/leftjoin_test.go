@@ -1,0 +1,135 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLeftJoinBasics(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	// Every department appears, even 'empty'; eve (NULL dno) never
+	// matches but her row is on the left side of nothing here.
+	res := mustExec(t, s, `
+		SELECT d.dname, e.ename FROM dept d LEFT JOIN emp e ON d.dno = e.dno
+		ORDER BY d.dname, e.ename`)
+	got := grid(res)
+	if len(got) != 5 {
+		t.Fatalf("rows = %v", got)
+	}
+	if got[0][0] != "empty" || got[0][1] != "NULL" {
+		t.Errorf("unmatched dept should pad NULL: %v", got[0])
+	}
+	// LEFT OUTER JOIN spelling works too.
+	res2 := mustExec(t, s, `
+		SELECT d.dname, e.ename FROM dept d LEFT OUTER JOIN emp e ON d.dno = e.dno
+		ORDER BY d.dname, e.ename`)
+	if len(res2.Rows) != 5 {
+		t.Errorf("OUTER spelling rows = %d", len(res2.Rows))
+	}
+}
+
+func TestLeftJoinVsInnerJoin(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	inner := mustExec(t, s, `SELECT COUNT(*) FROM dept d JOIN emp e ON d.dno = e.dno`)
+	left := mustExec(t, s, `SELECT COUNT(*) FROM dept d LEFT JOIN emp e ON d.dno = e.dno`)
+	if inner.Rows[0][0].Int() != 4 || left.Rows[0][0].Int() != 5 {
+		t.Errorf("inner = %d, left = %d", inner.Rows[0][0].Int(), left.Rows[0][0].Int())
+	}
+}
+
+// TestLeftJoinWhereAfterPadding verifies the SQL rule that WHERE applies
+// after NULL padding: filtering the right side removes padded rows,
+// while IS NULL keeps exactly them (anti-join).
+func TestLeftJoinWhereAfterPadding(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	res := mustExec(t, s, `
+		SELECT d.dname FROM dept d LEFT JOIN emp e ON d.dno = e.dno
+		WHERE e.ename IS NULL`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "empty" {
+		t.Fatalf("anti-join = %v", grid(res))
+	}
+	res = mustExec(t, s, `
+		SELECT COUNT(*) FROM dept d LEFT JOIN emp e ON d.dno = e.dno
+		WHERE e.sal > 100`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("filtered left join = %d", res.Rows[0][0].Int())
+	}
+}
+
+// TestLeftJoinOnVsWhere: a restriction in ON keeps unmatched left rows;
+// the same restriction in WHERE removes them.
+func TestLeftJoinOnVsWhere(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	on := mustExec(t, s, `
+		SELECT COUNT(*) FROM dept d LEFT JOIN emp e ON d.dno = e.dno AND e.sal > 150`)
+	// eng keeps bob(200); sales pads (none >150); empty pads → 3 rows.
+	if on.Rows[0][0].Int() != 3 {
+		t.Errorf("ON-restricted = %d, want 3", on.Rows[0][0].Int())
+	}
+}
+
+func TestLeftJoinTemporal(t *testing.T) {
+	// The motivating temporal form: patients with no prescription in a
+	// window, via LEFT JOIN + IS NULL.
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE patient (name VARCHAR(10))`)
+	mustExec(t, s, `CREATE TABLE rx (name VARCHAR(10), valid Element)`)
+	mustExec(t, s, `INSERT INTO patient VALUES ('ada'), ('bob'), ('cat')`)
+	mustExec(t, s, `INSERT INTO rx VALUES
+		('ada', '{[1999-01-01, 1999-03-01]}'),
+		('bob', '{[1999-06-01, 1999-08-01]}')`)
+	res := mustExec(t, s, `
+		SELECT p.name FROM patient p
+		LEFT JOIN rx r ON p.name = r.name AND overlaps(r.valid, '[1999-02-01, 1999-02-15]')
+		WHERE r.name IS NULL
+		ORDER BY p.name`)
+	got := grid(res)
+	if len(got) != 2 || got[0][0] != "bob" || got[1][0] != "cat" {
+		t.Errorf("unmedicated in February = %v", got)
+	}
+}
+
+func TestLeftJoinErrors(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	if _, err := s.Exec(`SELECT 1 FROM dept d LEFT JOIN emp e`, nil); err == nil {
+		t.Error("LEFT JOIN without ON should fail")
+	}
+	// ON must not reference tables joined later.
+	if _, err := s.Exec(`
+		SELECT 1 FROM dept d LEFT JOIN emp e ON e.dno = l.dno, emp l`, nil); err == nil ||
+		!strings.Contains(err.Error(), "earlier") {
+		t.Errorf("forward ON reference error = %v", err)
+	}
+}
+
+func TestLeftJoinChain(t *testing.T) {
+	s := newDB(t)
+	seedEmp(t, s)
+	mustExec(t, s, `CREATE TABLE loc (dno INT, city VARCHAR(10))`)
+	mustExec(t, s, `INSERT INTO loc VALUES (1, 'sf')`)
+	res := mustExec(t, s, `
+		SELECT d.dname, e.ename, l.city
+		FROM dept d LEFT JOIN emp e ON d.dno = e.dno LEFT JOIN loc l ON d.dno = l.dno
+		ORDER BY d.dname, e.ename`)
+	got := grid(res)
+	if len(got) != 5 {
+		t.Fatalf("rows = %v", got)
+	}
+	// 'empty' row padded on both joins; sales rows have NULL city.
+	if got[0][0] != "empty" || got[0][2] != "NULL" {
+		t.Errorf("row 0 = %v", got[0])
+	}
+	for _, r := range got {
+		if r[0] == "sales" && r[2] != "NULL" {
+			t.Errorf("sales city = %v", r)
+		}
+		if r[0] == "eng" && r[2] != "sf" {
+			t.Errorf("eng city = %v", r)
+		}
+	}
+}

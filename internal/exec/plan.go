@@ -1,0 +1,778 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tip/internal/sql/ast"
+	"tip/internal/types"
+)
+
+// selectPlan is a bound SELECT: its output schema and an executable
+// closure. The closure may be run many times (correlated subqueries) with
+// different outer rows on the runtime stack.
+type selectPlan struct {
+	outSchema Schema
+	run       func(rt *runtime) (*Result, error)
+}
+
+// Run binds and executes a SELECT statement.
+func Run(env *Env, sel *ast.Select) (*Result, error) {
+	b := &binder{env: env}
+	plan, err := b.bindSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	return plan.run(&runtime{env: env})
+}
+
+// source is one bound FROM item.
+type source struct {
+	binding  string
+	schema   Schema
+	off      int    // slot offset within the full-width from row
+	tbl      *Table // nil for derived tables
+	leftJoin bool
+	on       []cexpr // LEFT JOIN condition conjuncts (bound to fromScope)
+	// pushed holds the compiled single-source filters (set by bindScan);
+	// the period-index join path re-applies them to index candidates.
+	pushed []cexpr
+	exec   func(rt *runtime) ([]Row, error)
+}
+
+// periodJoinCond drives a period-index nested-loop join: for each
+// accumulated row, probe evaluates a temporal value over the earlier
+// sources and the index on col of the newly joined table supplies
+// candidates. The originating overlaps/contains conjunct stays in the
+// level filters, so conservative index results are re-checked.
+type periodJoinCond struct {
+	probe cexpr
+	col   int
+}
+
+// hashJoinCond is an equality conjunct usable as a hash-join condition at
+// a join level: probe evaluates over the accumulated prefix, build over
+// the newly joined source.
+type hashJoinCond struct {
+	probe cexpr // bound against fromScope; references sources < level
+	build cexpr // bound against fromScope; references only source `level`
+}
+
+func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, error) {
+	if len(sel.SetOps) > 0 {
+		return b.bindCompound(sel, parent)
+	}
+	// ---- FROM sources -------------------------------------------------
+	var sources []*source
+	width := 0
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		src, err := b.bindSource(ref, parent)
+		if err != nil {
+			return nil, err
+		}
+		key := lower(src.binding)
+		if seen[key] {
+			return nil, fmt.Errorf("exec: duplicate table binding %s; use an alias", src.binding)
+		}
+		seen[key] = true
+		src.off = width
+		width += len(src.schema)
+		sources = append(sources, src)
+	}
+	fromSchema := make(Schema, 0, width)
+	for _, s := range sources {
+		fromSchema = append(fromSchema, s.schema...)
+	}
+	fromScope := &bindScope{parent: parent, schema: fromSchema}
+
+	if b.explain != nil {
+		b.note("select: %d source(s)", len(sources))
+		b.explain.depth++
+		defer func() { b.explain.depth-- }()
+	}
+
+	// LEFT JOIN conditions: validate that each ON references only its
+	// own source and earlier ones, then compile against the full row.
+	for i, ref := range sel.From {
+		if !ref.LeftJoin {
+			continue
+		}
+		if i == 0 {
+			return nil, fmt.Errorf("exec: LEFT JOIN cannot be the first FROM item")
+		}
+		set, err := b.refSources(ref.On, sources, fromSchema)
+		if err != nil {
+			return nil, err
+		}
+		if set>>(i+1) != 0 {
+			return nil, fmt.Errorf("exec: LEFT JOIN ON may only reference %s and earlier tables",
+				sources[i].binding)
+		}
+		on, err := b.bindAll(splitConjuncts(ref.On), fromScope)
+		if err != nil {
+			return nil, err
+		}
+		sources[i].leftJoin = true
+		sources[i].on = on
+	}
+
+	// ---- WHERE conjunct placement --------------------------------------
+	conjuncts := splitConjuncts(sel.Where)
+	pushed := make([][]ast.Expr, len(sources)) // single-source filters
+	levelConj := make([][]ast.Expr, len(sources))
+	hashConds := make([]*hashJoinCond, len(sources))
+	periodConds := make([]*periodJoinCond, len(sources))
+	var zeroLevel []ast.Expr // conjuncts referencing no source
+	for _, c := range conjuncts {
+		set, err := b.refSources(c, sources, fromSchema)
+		if err != nil {
+			return nil, err
+		}
+		switch countBits(set) {
+		case 0:
+			zeroLevel = append(zeroLevel, c)
+		case 1:
+			i := firstBit(set)
+			if sources[i].leftJoin {
+				// WHERE filters on a left-joined table apply after
+				// NULL padding; pushing them into the scan would keep
+				// padded rows that the filter should remove.
+				levelConj[i] = append(levelConj[i], c)
+				continue
+			}
+			pushed[i] = append(pushed[i], c)
+		default:
+			level := lastBit(set)
+			// Try to use an equality conjunct as the hash-join condition
+			// for its level (inner joins only).
+			if hashConds[level] == nil && !sources[level].leftJoin {
+				if hc, ok := b.tryHashCond(c, level, set, sources, fromSchema, fromScope); ok {
+					hashConds[level] = hc
+					continue
+				}
+			}
+			// An overlaps/contains conjunct against a period-indexed
+			// column can drive an index nested-loop join; the conjunct
+			// also stays below as a level filter (indexes are
+			// conservative).
+			if hashConds[level] == nil && periodConds[level] == nil && !sources[level].leftJoin {
+				if pc, ok := b.tryPeriodJoin(c, level, set, sources, fromSchema, fromScope); ok {
+					periodConds[level] = pc
+				}
+			}
+			levelConj[level] = append(levelConj[level], c)
+		}
+	}
+	if len(sources) > 0 {
+		levelConj[0] = append(levelConj[0], zeroLevel...)
+		zeroLevel = nil
+	}
+
+	// Compile scans with their pushed filters.
+	for i, src := range sources {
+		if src.exec == nil { // table scan awaiting filter compilation
+			ex, err := b.bindScan(src, pushed[i], parent)
+			if err != nil {
+				return nil, err
+			}
+			src.exec = ex
+		} else if len(pushed[i]) > 0 {
+			// Derived table: wrap its exec with the pushed filters.
+			inner := src.exec
+			scope := &bindScope{parent: parent, schema: src.schema}
+			filters, err := b.bindAll(pushed[i], scope)
+			if err != nil {
+				return nil, err
+			}
+			src.exec = func(rt *runtime) ([]Row, error) {
+				rows, err := inner(rt)
+				if err != nil {
+					return nil, err
+				}
+				out := rows[:0]
+				for _, r := range rows {
+					ok, err := evalFilters(rt, filters, r)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out = append(out, r)
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+
+	if b.explain != nil {
+		for i := 1; i < len(sources); i++ {
+			switch {
+			case sources[i].leftJoin:
+				b.note("join %s: left outer nested loop (%d ON conjunct(s), %d post filter(s))",
+					sources[i].binding, len(sources[i].on), len(levelConj[i]))
+			case hashConds[i] != nil:
+				b.note("join %s: hash join (%d residual filter(s))",
+					sources[i].binding, len(levelConj[i]))
+			case periodConds[i] != nil:
+				b.note("join %s: period-index nested loop on %s (%d filter(s) re-checked)",
+					sources[i].binding,
+					sources[i].tbl.Meta.Columns[periodConds[i].col].Name, len(levelConj[i]))
+			default:
+				b.note("join %s: nested loop (%d filter(s))",
+					sources[i].binding, len(levelConj[i]))
+			}
+		}
+	}
+
+	// Compile per-level join filters against the full from schema.
+	levelFilters := make([][]cexpr, len(sources))
+	for i, cs := range levelConj {
+		fs, err := b.bindAll(cs, fromScope)
+		if err != nil {
+			return nil, err
+		}
+		levelFilters[i] = fs
+	}
+	var zeroFilters []cexpr
+	if len(zeroLevel) > 0 { // FROM-less query with WHERE
+		fs, err := b.bindAll(zeroLevel, &bindScope{parent: parent, schema: nil})
+		if err != nil {
+			return nil, err
+		}
+		zeroFilters = fs
+	}
+
+	// ---- aggregation detection ------------------------------------------
+	var aggSource []ast.Expr
+	for _, item := range sel.Items {
+		if !item.Star {
+			aggSource = append(aggSource, item.Expr)
+		}
+	}
+	if sel.Having != nil {
+		aggSource = append(aggSource, sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		aggSource = append(aggSource, o.Expr)
+	}
+	aggSpecs, err := b.collectAggs(aggSource)
+	if err != nil {
+		return nil, err
+	}
+	grouped := len(aggSpecs) > 0 || len(sel.GroupBy) > 0
+	if b.explain != nil {
+		if grouped {
+			b.note("aggregate: %d group expr(s), %d aggregate(s)", len(sel.GroupBy), len(aggSpecs))
+		}
+		if sel.Distinct {
+			b.note("distinct")
+		}
+		if len(sel.OrderBy) > 0 {
+			b.note("sort: %d key(s)", len(sel.OrderBy))
+		}
+		if sel.Limit != nil || sel.Offset != nil {
+			b.note("limit/offset")
+		}
+	}
+
+	// ---- projection scope -----------------------------------------------
+	projScope := fromScope
+	var groupKeyExprs []cexpr
+	if grouped {
+		if sel.Distinct {
+			return nil, fmt.Errorf("exec: DISTINCT with GROUP BY is not supported")
+		}
+		for _, item := range sel.Items {
+			if item.Star {
+				return nil, fmt.Errorf("exec: * is not allowed with GROUP BY or aggregates")
+			}
+		}
+		groupSchema := make(Schema, len(sel.GroupBy))
+		groupKeys := make([]string, len(sel.GroupBy))
+		for i, ge := range sel.GroupBy {
+			groupKeys[i] = exprString(ge)
+			if cr, ok := ge.(*ast.ColumnRef); ok {
+				if pos, err := fromSchema.Resolve(cr.Table, cr.Column); err == nil {
+					groupSchema[i] = fromSchema[pos]
+					continue
+				}
+			}
+			groupSchema[i] = ColMeta{Name: "", Type: types.TNull}
+		}
+		slots := make(map[*ast.Call]int, len(aggSpecs))
+		for i, spec := range aggSpecs {
+			slots[spec.call] = i
+			if !spec.star {
+				arg, err := b.bind(spec.call.Args[0], fromScope)
+				if err != nil {
+					return nil, err
+				}
+				spec.arg = arg
+			}
+		}
+		groupKeyExprs, err = b.bindAll(sel.GroupBy, fromScope)
+		if err != nil {
+			return nil, err
+		}
+		projScope = &bindScope{
+			parent: parent,
+			schema: groupSchema,
+			agg:    &aggContext{slots: slots, base: len(sel.GroupBy), groupKeys: groupKeys},
+		}
+	}
+
+	// ---- select list ------------------------------------------------------
+	type projItem struct {
+		name string
+		ce   cexpr
+	}
+	var proj []projItem
+	for _, item := range sel.Items {
+		if item.Star {
+			cols, err := expandStar(item.StarTable, fromSchema)
+			if err != nil {
+				return nil, err
+			}
+			for _, pos := range cols {
+				i := pos
+				proj = append(proj, projItem{
+					name: fromSchema[pos].Name,
+					ce:   func(rt *runtime) (types.Value, error) { return rt.at(0)[i], nil },
+				})
+			}
+			continue
+		}
+		ce, err := b.bind(item.Expr, projScope)
+		if err != nil {
+			return nil, err
+		}
+		proj = append(proj, projItem{name: itemName(item), ce: ce})
+	}
+	outSchema := make(Schema, len(proj))
+	for i, p := range proj {
+		outSchema[i] = ColMeta{Name: p.name, Type: types.TNull}
+	}
+
+	// ---- HAVING ------------------------------------------------------------
+	var having cexpr
+	if sel.Having != nil {
+		if !grouped {
+			return nil, fmt.Errorf("exec: HAVING requires GROUP BY or aggregates")
+		}
+		having, err = b.bind(sel.Having, projScope)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- ORDER BY -----------------------------------------------------------
+	type orderSpec struct {
+		outIdx int // >= 0: read the output row
+		ce     cexpr
+		desc   bool
+	}
+	var orders []orderSpec
+	for _, o := range sel.OrderBy {
+		spec := orderSpec{outIdx: -1, desc: o.Desc}
+		switch n := o.Expr.(type) {
+		case *ast.IntLit:
+			if n.V < 1 || int(n.V) > len(proj) {
+				return nil, fmt.Errorf("exec: ORDER BY position %d out of range", n.V)
+			}
+			spec.outIdx = int(n.V) - 1
+		case *ast.ColumnRef:
+			if n.Table == "" {
+				if pos, err := outSchema.Resolve("", n.Column); err == nil {
+					spec.outIdx = pos
+				}
+			}
+		}
+		if spec.outIdx < 0 {
+			if sel.Distinct {
+				return nil, fmt.Errorf("exec: ORDER BY %s must name an output column under DISTINCT", exprString(o.Expr))
+			}
+			ce, err := b.bind(o.Expr, projScope)
+			if err != nil {
+				return nil, err
+			}
+			spec.ce = ce
+		}
+		orders = append(orders, spec)
+	}
+
+	// ---- LIMIT / OFFSET --------------------------------------------------------
+	var limitC, offsetC cexpr
+	if sel.Limit != nil {
+		if limitC, err = b.bind(sel.Limit, parentOnly(parent)); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil {
+		if offsetC, err = b.bind(sel.Offset, parentOnly(parent)); err != nil {
+			return nil, err
+		}
+	}
+
+	distinct := sel.Distinct
+	groupByN := len(sel.GroupBy)
+
+	run := func(rt *runtime) (*Result, error) {
+		fromRows, err := joinSources(rt, sources, width, hashConds, periodConds, levelFilters)
+		if err != nil {
+			return nil, err
+		}
+		if len(sources) == 0 {
+			// Push an empty row so the FROM-less select still occupies
+			// one scope level; outer references in a correlated WHERE
+			// resolve at depth 1 and must find the outer row there.
+			ok, err := evalFilters(rt, zeroFilters, Row{})
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				fromRows = nil
+			}
+		}
+
+		type outEntry struct {
+			row  Row
+			keys []types.Value
+		}
+		var out []outEntry
+
+		projectRow := func(rt *runtime) (*outEntry, error) {
+			e := &outEntry{row: make(Row, len(proj))}
+			for i, p := range proj {
+				v, err := p.ce(rt)
+				if err != nil {
+					return nil, err
+				}
+				e.row[i] = v
+			}
+			if len(orders) > 0 {
+				e.keys = make([]types.Value, len(orders))
+				for i, o := range orders {
+					if o.outIdx >= 0 {
+						e.keys[i] = e.row[o.outIdx]
+						continue
+					}
+					v, err := o.ce(rt)
+					if err != nil {
+						return nil, err
+					}
+					e.keys[i] = v
+				}
+			}
+			return e, nil
+		}
+
+		if grouped {
+			type group struct {
+				vals []types.Value
+				accs []*aggAcc
+			}
+			groups := make(map[string]*group)
+			var order []*group
+			for _, fr := range fromRows {
+				rt.push(fr)
+				vals := make([]types.Value, groupByN)
+				for i, ge := range groupKeyExprs {
+					v, err := ge(rt)
+					if err != nil {
+						rt.pop()
+						return nil, err
+					}
+					vals[i] = v
+				}
+				key := rt.rowKey(vals)
+				g, ok := groups[key]
+				if !ok {
+					g = &group{vals: vals, accs: make([]*aggAcc, len(aggSpecs))}
+					for i, spec := range aggSpecs {
+						g.accs[i] = newAggAcc(spec)
+					}
+					groups[key] = g
+					order = append(order, g)
+				}
+				for _, acc := range g.accs {
+					if err := acc.add(rt); err != nil {
+						rt.pop()
+						return nil, err
+					}
+				}
+				rt.pop()
+			}
+			if len(order) == 0 && groupByN == 0 {
+				// Global aggregate over an empty input still yields one row.
+				g := &group{accs: make([]*aggAcc, len(aggSpecs))}
+				for i, spec := range aggSpecs {
+					g.accs[i] = newAggAcc(spec)
+				}
+				order = append(order, g)
+			}
+			for _, g := range order {
+				groupRow := make(Row, groupByN+len(aggSpecs))
+				copy(groupRow, g.vals)
+				for i, acc := range g.accs {
+					v, err := acc.final(rt)
+					if err != nil {
+						return nil, err
+					}
+					groupRow[groupByN+i] = v
+				}
+				rt.push(groupRow)
+				if having != nil {
+					hv, err := having(rt)
+					if err != nil {
+						rt.pop()
+						return nil, err
+					}
+					keep, isNull, err := truth(hv)
+					if err != nil {
+						rt.pop()
+						return nil, err
+					}
+					if isNull || !keep {
+						rt.pop()
+						continue
+					}
+				}
+				e, err := projectRow(rt)
+				rt.pop()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, *e)
+			}
+		} else {
+			for _, fr := range fromRows {
+				rt.push(fr)
+				e, err := projectRow(rt)
+				rt.pop()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, *e)
+			}
+		}
+
+		if distinct {
+			seen := make(map[string]struct{}, len(out))
+			kept := out[:0]
+			for _, e := range out {
+				k := rt.rowKey(e.row)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				kept = append(kept, e)
+			}
+			out = kept
+		}
+
+		if len(orders) > 0 {
+			var sortErr error
+			sort.SliceStable(out, func(i, j int) bool {
+				for k, o := range orders {
+					c, err := orderCompare(rt, out[i].keys[k], out[j].keys[k])
+					if err != nil {
+						sortErr = err
+						return false
+					}
+					if o.desc {
+						c = -c
+					}
+					if c != 0 {
+						return c < 0
+					}
+				}
+				return false
+			})
+			if sortErr != nil {
+				return nil, sortErr
+			}
+		}
+
+		lo, hi := 0, len(out)
+		if offsetC != nil {
+			n, err := evalCount(rt, offsetC, "OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			if n > len(out) {
+				n = len(out)
+			}
+			lo = n
+		}
+		if limitC != nil {
+			n, err := evalCount(rt, limitC, "LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			if lo+n < hi {
+				hi = lo + n
+			}
+		}
+
+		res := &Result{Cols: make([]string, len(outSchema))}
+		for i, c := range outSchema {
+			res.Cols[i] = c.Name
+		}
+		res.Rows = make([]Row, 0, hi-lo)
+		for _, e := range out[lo:hi] {
+			res.Rows = append(res.Rows, e.row)
+		}
+		res.inferTypes()
+		return res, nil
+	}
+
+	return &selectPlan{outSchema: outSchema, run: run}, nil
+}
+
+// parentOnly returns a scope exposing only the outer chain (LIMIT and
+// OFFSET cannot reference the current FROM).
+func parentOnly(parent *bindScope) *bindScope {
+	return &bindScope{parent: parent, schema: nil}
+}
+
+// orderCompare orders values with NULLs sorting last (ascending).
+func orderCompare(rt *runtime, a, b types.Value) (int, error) {
+	switch {
+	case a.Null && b.Null:
+		return 0, nil
+	case a.Null:
+		return 1, nil
+	case b.Null:
+		return -1, nil
+	}
+	return a.Compare(b, rt.env.Now)
+}
+
+func evalCount(rt *runtime, ce cexpr, what string) (int, error) {
+	v, err := ce(rt)
+	if err != nil {
+		return 0, err
+	}
+	if v.Null || v.T.Kind != types.KindInt || v.Int() < 0 {
+		return 0, fmt.Errorf("exec: %s requires a non-negative integer", what)
+	}
+	return int(v.Int()), nil
+}
+
+func itemName(item ast.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(*ast.ColumnRef); ok {
+		return cr.Column
+	}
+	if c, ok := item.Expr.(*ast.Call); ok {
+		return c.LowerName()
+	}
+	return exprString(item.Expr)
+}
+
+func expandStar(table string, schema Schema) ([]int, error) {
+	var cols []int
+	for i, c := range schema {
+		if table == "" || equalFold(c.Table, table) {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) == 0 {
+		if table != "" {
+			return nil, fmt.Errorf("exec: unknown table %s in %s.*", table, table)
+		}
+		return nil, fmt.Errorf("exec: * with empty FROM")
+	}
+	return cols, nil
+}
+
+// bindAll compiles a list of expressions in one scope.
+func (b *binder) bindAll(exprs []ast.Expr, sc *bindScope) ([]cexpr, error) {
+	out := make([]cexpr, len(exprs))
+	for i, e := range exprs {
+		ce, err := b.bind(e, sc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ce
+	}
+	return out, nil
+}
+
+// evalFilters pushes row (when non-nil) and requires every filter TRUE.
+func evalFilters(rt *runtime, filters []cexpr, row Row) (bool, error) {
+	if len(filters) == 0 {
+		return true, nil
+	}
+	if row != nil {
+		rt.push(row)
+		defer rt.pop()
+	}
+	for _, f := range filters {
+		v, err := f(rt)
+		if err != nil {
+			return false, err
+		}
+		ok, isNull, err := truth(v)
+		if err != nil {
+			return false, err
+		}
+		if isNull || !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// splitConjuncts flattens the AND tree of a WHERE clause.
+func splitConjuncts(e ast.Expr) []ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if bin, ok := e.(*ast.Binary); ok && bin.Op == "AND" {
+		return append(splitConjuncts(bin.L), splitConjuncts(bin.R)...)
+	}
+	return []ast.Expr{e}
+}
+
+func lower(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c >= 'A' && c <= 'Z' {
+			out[i] = c + 32
+		}
+	}
+	return string(out)
+}
+
+func equalFold(a, b string) bool { return lower(a) == lower(b) }
+
+func countBits(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func firstBit(m uint64) int {
+	for i := 0; i < 64; i++ {
+		if m&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func lastBit(m uint64) int {
+	for i := 63; i >= 0; i-- {
+		if m&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

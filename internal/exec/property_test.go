@@ -1,0 +1,141 @@
+package exec_test
+
+// Property tests: SQL evaluation over random temporal data must agree
+// with direct computation in the temporal kernel. This closes the loop
+// between the executor+blade path ('{...}' literals, routine resolution,
+// aggregation) and the library the routines wrap.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// randomData inserts n rows of (id INT, valid Element) and returns the
+// elements by id.
+func randomData(t *testing.T, r *rand.Rand, n int) (map[int64]temporal.Element, func(string) [][]types.Value) {
+	t.Helper()
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE d (id INT, valid Element)`)
+	data := make(map[int64]temporal.Element, n)
+	base := temporal.MustDate(1998, 1, 1)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(3)
+		periods := make([]temporal.Period, k)
+		for j := range periods {
+			lo := base + temporal.Chronon(r.Int63n(700*86400))
+			hi := lo + temporal.Chronon(r.Int63n(60*86400))
+			periods[j] = temporal.MustPeriod(lo, hi)
+		}
+		e, err := temporal.MakeElement(periods...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[int64(i)] = e
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO d VALUES (%d, '%s')`, i, e))
+	}
+	return data, func(q string) [][]types.Value {
+		res := mustExec(t, s, q)
+		return res.Rows
+	}
+}
+
+func TestSQLOverlapsMatchesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	data, query := randomData(t, r, 40)
+	for trial := 0; trial < 20; trial++ {
+		lo := temporal.MustDate(1998, 1, 1) + temporal.Chronon(r.Int63n(700*86400))
+		hi := lo + temporal.Chronon(r.Int63n(120*86400))
+		probeEl := temporal.MustPeriod(lo, hi).Element()
+		rows := query(fmt.Sprintf(
+			`SELECT id FROM d WHERE overlaps(valid, '[%s, %s]') ORDER BY id`, lo, hi))
+		got := make(map[int64]bool, len(rows))
+		for _, row := range rows {
+			got[row[0].Int()] = true
+		}
+		for id, e := range data {
+			want := e.Overlaps(probeEl, testNow)
+			if got[id] != want {
+				t.Fatalf("id %d probe [%s, %s]: sql=%v kernel=%v (%s)",
+					id, lo, hi, got[id], want, e)
+			}
+		}
+	}
+}
+
+func TestSQLLengthMatchesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	data, query := randomData(t, r, 30)
+	rows := query(`SELECT id, length(valid) FROM d ORDER BY id`)
+	for _, row := range rows {
+		id := row[0].Int()
+		got := row[1].Obj().(temporal.Span)
+		if want := data[id].Length(testNow); got != want {
+			t.Fatalf("id %d: sql length %v, kernel %v", id, got, want)
+		}
+	}
+}
+
+func TestSQLPairwiseIntersectMatchesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	data, query := randomData(t, r, 15)
+	rows := query(`
+		SELECT a.id, b.id, intersect(a.valid, b.valid)
+		FROM d a, d b WHERE a.id < b.id AND overlaps(a.valid, b.valid)
+		ORDER BY a.id, b.id`)
+	seen := make(map[[2]int64]temporal.Element, len(rows))
+	for _, row := range rows {
+		seen[[2]int64{row[0].Int(), row[1].Int()}] = row[2].Obj().(temporal.Element)
+	}
+	for i := int64(0); i < 15; i++ {
+		for j := i + 1; j < 15; j++ {
+			want := data[i].Intersect(data[j], testNow)
+			got, hit := seen[[2]int64{i, j}]
+			if want.IsEmpty() {
+				if hit {
+					t.Fatalf("pair (%d,%d): sql returned %s for empty intersection", i, j, got)
+				}
+				continue
+			}
+			if !hit {
+				t.Fatalf("pair (%d,%d): missing from sql join (want %s)", i, j, want)
+			}
+			if !got.Equal(want, testNow) {
+				t.Fatalf("pair (%d,%d): sql %s, kernel %s", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSQLGroupUnionMatchesKernel(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE g (k INT, valid Element)`)
+	truth := make(map[int64][]temporal.Period)
+	base := temporal.MustDate(1998, 1, 1)
+	for i := 0; i < 60; i++ {
+		k := int64(r.Intn(5))
+		lo := base + temporal.Chronon(r.Int63n(700*86400))
+		hi := lo + temporal.Chronon(r.Int63n(90*86400))
+		p := temporal.MustPeriod(lo, hi)
+		truth[k] = append(truth[k], p)
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO g VALUES (%d, '%s')`, k, p.Element()))
+	}
+	res := mustExec(t, s, `SELECT k, group_union(valid) FROM g GROUP BY k ORDER BY k`)
+	if len(res.Rows) != len(truth) {
+		t.Fatalf("groups = %d, want %d", len(res.Rows), len(truth))
+	}
+	for _, row := range res.Rows {
+		want, err := temporal.MakeElement(truth[row[0].Int()]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := row[1].Obj().(temporal.Element)
+		if !got.Equal(want, testNow) {
+			t.Fatalf("group %d: sql %s, kernel %s", row[0].Int(), got, want)
+		}
+	}
+}

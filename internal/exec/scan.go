@@ -1,0 +1,688 @@
+package exec
+
+import (
+	"fmt"
+
+	"tip/internal/sql/ast"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// bindSource resolves one FROM item. Table sources leave exec nil — the
+// planner compiles the scan later, once pushed-down filters are known.
+func (b *binder) bindSource(ref ast.TableRef, parent *bindScope) (*source, error) {
+	if ref.Subquery != nil {
+		plan, err := b.bindSelect(ref.Subquery, parent)
+		if err != nil {
+			return nil, err
+		}
+		schema := make(Schema, len(plan.outSchema))
+		for i, c := range plan.outSchema {
+			schema[i] = ColMeta{Table: ref.Alias, Name: c.Name, Type: c.Type}
+		}
+		return &source{
+			binding: ref.Alias,
+			schema:  schema,
+			exec: func(rt *runtime) ([]Row, error) {
+				res, err := plan.run(rt)
+				if err != nil {
+					return nil, err
+				}
+				return res.Rows, nil
+			},
+		}, nil
+	}
+	tbl, ok := b.env.Lookup(ref.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: no table %s", ref.Table)
+	}
+	binding := ref.Binding()
+	schema := make(Schema, len(tbl.Meta.Columns))
+	for i, c := range tbl.Meta.Columns {
+		schema[i] = ColMeta{Table: binding, Name: c.Name, Type: c.Type}
+	}
+	return &source{binding: binding, schema: schema, tbl: tbl}, nil
+}
+
+// bindScan compiles a table scan with its pushed-down filters, choosing a
+// hash or period index when a filter permits. Index candidates are always
+// re-checked against every filter, so conservative index results stay
+// sound.
+func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (func(rt *runtime) ([]Row, error), error) {
+	tbl := src.tbl
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: internal: bindScan on derived table %s", src.binding)
+	}
+	scope := &bindScope{parent: parent, schema: src.schema}
+	filters, err := b.bindAll(pushed, scope)
+	if err != nil {
+		return nil, err
+	}
+	src.pushed = filters // retained for the period-index join path
+
+	// Index selection.
+	type probePlan struct {
+		kind  string // "hash" or "period"
+		col   int
+		probe cexpr // bound against the parent chain only
+	}
+	var probe *probePlan
+	for _, c := range pushed {
+		if probe != nil {
+			break
+		}
+		// col = constExpr against a hash index.
+		if bin, ok := c.(*ast.Binary); ok && bin.Op == "=" {
+			for _, try := range [][2]ast.Expr{{bin.L, bin.R}, {bin.R, bin.L}} {
+				cr, ok := try[0].(*ast.ColumnRef)
+				if !ok {
+					continue
+				}
+				pos, err := src.schema.Resolve(cr.Table, cr.Column)
+				if err != nil {
+					continue
+				}
+				if tbl.Hash[pos] == nil || b.refsSource(try[1], src.schema) {
+					continue
+				}
+				pc, err := b.bind(try[1], parent)
+				if err != nil {
+					continue
+				}
+				probe = &probePlan{kind: "hash", col: pos, probe: pc}
+				break
+			}
+			continue
+		}
+		// overlaps/contains(col, probe) against a period index.
+		if call, ok := c.(*ast.Call); ok && len(call.Args) == 2 {
+			name := call.LowerName()
+			if name != "overlaps" && name != "contains" {
+				continue
+			}
+			for _, try := range [][2]ast.Expr{{call.Args[0], call.Args[1]}, {call.Args[1], call.Args[0]}} {
+				if name == "contains" && try[0] != call.Args[0] {
+					// contains(col, x): only the container side can use
+					// the index (the contained side may be anywhere).
+					continue
+				}
+				cr, ok := try[0].(*ast.ColumnRef)
+				if !ok {
+					continue
+				}
+				pos, err := src.schema.Resolve(cr.Table, cr.Column)
+				if err != nil {
+					continue
+				}
+				if tbl.Periods[pos] == nil || b.refsSource(try[1], src.schema) {
+					continue
+				}
+				pc, err := b.bind(try[1], parent)
+				if err != nil {
+					continue
+				}
+				probe = &probePlan{kind: "period", col: pos, probe: pc}
+				break
+			}
+		}
+	}
+
+	if b.explain != nil {
+		switch {
+		case probe != nil && probe.kind == "hash":
+			b.note("scan %s: hash index on %s (%d filter(s) re-checked)",
+				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
+		case probe != nil && probe.kind == "period":
+			b.note("scan %s: period index on %s (%d filter(s) re-checked)",
+				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
+		default:
+			b.note("scan %s: full scan (%d filter(s))", src.binding, len(filters))
+		}
+	}
+
+	width := len(src.schema)
+	scan := func(rt *runtime, candidates []int) ([]Row, error) {
+		var out []Row
+		consider := func(r Row) error {
+			ok, err := evalFilters(rt, filters, r)
+			if err != nil {
+				return err
+			}
+			if ok {
+				row := make(Row, width)
+				copy(row, r)
+				out = append(out, row)
+			}
+			return nil
+		}
+		if candidates != nil {
+			for _, id := range candidates {
+				if r, ok := tbl.Heap.Get(id); ok {
+					if err := consider(r); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return out, nil
+		}
+		var scanErr error
+		tbl.Heap.Scan(func(_ int, r Row) bool {
+			scanErr = consider(r)
+			return scanErr == nil
+		})
+		return out, scanErr
+	}
+
+	if probe == nil {
+		return func(rt *runtime) ([]Row, error) { return scan(rt, nil) }, nil
+	}
+
+	colType := tbl.Meta.Columns[probe.col].Type
+	return func(rt *runtime) ([]Row, error) {
+		pv, err := probe.probe(rt)
+		if err != nil {
+			return nil, err
+		}
+		if pv.Null {
+			return nil, nil // equality/overlap with NULL matches nothing
+		}
+		switch probe.kind {
+		case "hash":
+			cv, err := rt.env.Reg.ImplicitConvert(rt.env.Ctx(), pv, colType)
+			if err != nil {
+				// Fall back to a full scan if the probe cannot be
+				// converted to the column type.
+				return scan(rt, nil)
+			}
+			ids := tbl.Hash[probe.col].Lookup(cv.Key(rt.env.Now))
+			return scan(rt, ids)
+		case "period":
+			ids, ok, err := periodCandidates(rt, tbl, probe.col, colType, pv)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return scan(rt, nil)
+			}
+			return scan(rt, ids)
+		}
+		return scan(rt, nil)
+	}, nil
+}
+
+// periodCandidates probes a period index with a value convertible to the
+// indexed column's type; ok is false when the probe cannot be mapped to
+// intervals.
+func periodCandidates(rt *runtime, tbl *Table, col int, colType *types.Type, pv types.Value) ([]int, bool, error) {
+	cv, err := rt.env.Reg.ImplicitConvert(rt.env.Ctx(), pv, colType)
+	if err != nil {
+		// The probe might be a narrower temporal value (e.g. a Period
+		// probing an Element column); fall back on its native type.
+		cv = pv
+	}
+	now := rt.env.Now
+	ix := tbl.Periods[col]
+	switch obj := cv.Obj().(type) {
+	case temporal.Element:
+		return ix.SearchElement(obj, now), true, nil
+	case temporal.Period:
+		iv, ok := obj.Bind(now)
+		if !ok {
+			return nil, true, nil
+		}
+		return ix.Search(iv.Lo, iv.Hi), true, nil
+	case temporal.Chronon:
+		return ix.Search(obj, obj), true, nil
+	case temporal.Instant:
+		c := obj.Bind(now)
+		return ix.Search(c, c), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// refsSource reports whether the expression references any column of the
+// given schema. Expressions containing subqueries are treated as
+// referencing it (conservatively).
+func (b *binder) refsSource(e ast.Expr, schema Schema) bool {
+	found := false
+	walkExpr(e, func(x ast.Expr) bool {
+		switch n := x.(type) {
+		case *ast.ColumnRef:
+			if _, err := schema.Resolve(n.Table, n.Column); err == nil {
+				found = true
+			}
+		case *ast.Subquery, *ast.Exists:
+			found = true
+		case *ast.InList:
+			if n.Subquery != nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// refSources returns the bitmask of sources a conjunct references.
+// Conjuncts containing subqueries conservatively reference every source.
+func (b *binder) refSources(e ast.Expr, sources []*source, fromSchema Schema) (uint64, error) {
+	if len(sources) > 64 {
+		return 0, fmt.Errorf("exec: too many FROM items")
+	}
+	var mask uint64
+	all := uint64(1)<<len(sources) - 1
+	var resolveErr error
+	walkExpr(e, func(x ast.Expr) bool {
+		switch n := x.(type) {
+		case *ast.ColumnRef:
+			pos, err := fromSchema.Resolve(n.Table, n.Column)
+			if err == errNotFound {
+				return true // outer reference; constant for this query
+			}
+			if err != nil {
+				resolveErr = err
+				return false
+			}
+			for i, s := range sources {
+				if pos >= s.off && pos < s.off+len(s.schema) {
+					mask |= 1 << i
+					break
+				}
+			}
+		case *ast.Subquery, *ast.Exists:
+			mask = all
+			return false
+		case *ast.InList:
+			if n.Subquery != nil {
+				mask = all
+				return false
+			}
+		}
+		return true
+	})
+	if resolveErr != nil {
+		return 0, resolveErr
+	}
+	return mask, nil
+}
+
+// tryPeriodJoin checks whether conjunct c can drive a period-index
+// nested-loop join at the given level: an overlaps/contains call whose
+// one side is a period-indexed column of source `level` and whose other
+// side references only earlier sources.
+func (b *binder) tryPeriodJoin(c ast.Expr, level int, set uint64, sources []*source, fromSchema Schema, fromScope *bindScope) (*periodJoinCond, bool) {
+	call, ok := c.(*ast.Call)
+	if !ok || len(call.Args) != 2 {
+		return nil, false
+	}
+	name := call.LowerName()
+	if name != "overlaps" && name != "contains" {
+		return nil, false
+	}
+	src := sources[level]
+	if src.tbl == nil {
+		return nil, false
+	}
+	levelBit := uint64(1) << level
+	below := set &^ levelBit
+	for i, arg := range call.Args {
+		cr, ok := arg.(*ast.ColumnRef)
+		if !ok {
+			continue
+		}
+		pos, err := src.schema.Resolve(cr.Table, cr.Column)
+		if err != nil {
+			continue
+		}
+		if src.tbl.Periods[pos] == nil {
+			continue
+		}
+		other := call.Args[1-i]
+		otherSet, err := b.refSources(other, sources, fromSchema)
+		if err != nil || otherSet != below {
+			continue
+		}
+		probe, err := b.bind(other, fromScope)
+		if err != nil {
+			continue
+		}
+		return &periodJoinCond{probe: probe, col: pos}, true
+	}
+	return nil, false
+}
+
+// tryHashCond checks whether conjunct c can drive a hash join at the
+// given level: an equality whose sides partition into {sources < level}
+// and {level}.
+func (b *binder) tryHashCond(c ast.Expr, level int, set uint64, sources []*source, fromSchema Schema, fromScope *bindScope) (*hashJoinCond, bool) {
+	bin, ok := c.(*ast.Binary)
+	if !ok || bin.Op != "=" {
+		return nil, false
+	}
+	lSet, err := b.refSources(bin.L, sources, fromSchema)
+	if err != nil {
+		return nil, false
+	}
+	rSet, err := b.refSources(bin.R, sources, fromSchema)
+	if err != nil {
+		return nil, false
+	}
+	levelBit := uint64(1) << level
+	below := set &^ levelBit
+	var probeE, buildE ast.Expr
+	switch {
+	case lSet == levelBit && rSet == below:
+		buildE, probeE = bin.L, bin.R
+	case rSet == levelBit && lSet == below:
+		buildE, probeE = bin.R, bin.L
+	default:
+		return nil, false
+	}
+	// Hash keys are formatted values, so equality across types (INT vs
+	// FLOAT, say) would miss matches the comparison semantics find.
+	// Only column pairs with the same static type hash-join; everything
+	// else takes the nested loop.
+	lt, ok := staticColumnType(bin.L, fromSchema)
+	if !ok {
+		return nil, false
+	}
+	rt, ok := staticColumnType(bin.R, fromSchema)
+	if !ok || lt != rt || lt == types.TNull {
+		return nil, false
+	}
+	probe, err := b.bind(probeE, fromScope)
+	if err != nil {
+		return nil, false
+	}
+	build, err := b.bind(buildE, fromScope)
+	if err != nil {
+		return nil, false
+	}
+	return &hashJoinCond{probe: probe, build: build}, true
+}
+
+// periodIndexJoin joins src into the accumulated rows by probing src's
+// period index with each accumulated row's temporal value. Pushed
+// single-table filters and the level filters (which include the
+// originating overlaps/contains conjunct) are re-applied, so the
+// conservative index candidates stay sound.
+func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJoinCond, levelFilters []cexpr) ([]Row, error) {
+	var joined []Row
+	colType := src.tbl.Meta.Columns[pc.col].Type
+	for _, a := range acc {
+		rt.push(a)
+		pv, err := pc.probe(rt)
+		rt.pop()
+		if err != nil {
+			return nil, err
+		}
+		if pv.Null {
+			continue
+		}
+		ids, ok, err := periodCandidates(rt, src.tbl, pc.col, colType, pv)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// The probe value has no interval form; fall back to the
+			// full source for this accumulated row.
+			srcRows, err := src.exec(rt)
+			if err != nil {
+				return nil, err
+			}
+			for _, sr := range srcRows {
+				m := make(Row, width)
+				copy(m, a)
+				copy(m[src.off:], sr)
+				keep, err := evalFilters(rt, levelFilters, m)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					joined = append(joined, m)
+				}
+			}
+			continue
+		}
+		for _, id := range ids {
+			sr, live := src.tbl.Heap.Get(id)
+			if !live {
+				continue
+			}
+			keep, err := evalFilters(rt, src.pushed, sr)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+			m := make(Row, width)
+			copy(m, a)
+			copy(m[src.off:], sr)
+			keep, err = evalFilters(rt, levelFilters, m)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				joined = append(joined, m)
+			}
+		}
+	}
+	return joined, nil
+}
+
+// staticColumnType returns the declared type of a column reference, or
+// ok=false for any other expression shape (whose static type the
+// dynamically-typed engine does not track).
+func staticColumnType(e ast.Expr, schema Schema) (*types.Type, bool) {
+	cr, ok := e.(*ast.ColumnRef)
+	if !ok {
+		return nil, false
+	}
+	pos, err := schema.Resolve(cr.Table, cr.Column)
+	if err != nil {
+		return nil, false
+	}
+	t := schema[pos].Type
+	if t == nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// walkExpr visits e and its children pre-order until visit returns false.
+// It does not descend into subqueries.
+func walkExpr(e ast.Expr, visit func(ast.Expr) bool) bool {
+	if e == nil {
+		return true
+	}
+	if !visit(e) {
+		return false
+	}
+	switch n := e.(type) {
+	case *ast.Unary:
+		return walkExpr(n.X, visit)
+	case *ast.Binary:
+		return walkExpr(n.L, visit) && walkExpr(n.R, visit)
+	case *ast.Call:
+		for _, a := range n.Args {
+			if !walkExpr(a, visit) {
+				return false
+			}
+		}
+	case *ast.Cast:
+		return walkExpr(n.X, visit)
+	case *ast.IsNull:
+		return walkExpr(n.X, visit)
+	case *ast.Between:
+		return walkExpr(n.X, visit) && walkExpr(n.Lo, visit) && walkExpr(n.Hi, visit)
+	case *ast.InList:
+		if !walkExpr(n.X, visit) {
+			return false
+		}
+		for _, item := range n.List {
+			if !walkExpr(item, visit) {
+				return false
+			}
+		}
+	case *ast.Like:
+		return walkExpr(n.X, visit) && walkExpr(n.Pattern, visit)
+	case *ast.Case:
+		if !walkExpr(n.Operand, visit) {
+			return false
+		}
+		for _, w := range n.Whens {
+			if !walkExpr(w.Cond, visit) || !walkExpr(w.Then, visit) {
+				return false
+			}
+		}
+		return walkExpr(n.Else, visit)
+	}
+	return true
+}
+
+// joinSources materialises the left-deep join of all sources into
+// full-width from rows.
+func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoinCond, periodConds []*periodJoinCond, levelFilters [][]cexpr) ([]Row, error) {
+	if len(sources) == 0 {
+		return []Row{{}}, nil
+	}
+	var acc []Row
+	for level, src := range sources {
+		if level > 0 && periodConds[level] != nil && hashConds[level] == nil && !src.leftJoin {
+			joined, err := periodIndexJoin(rt, acc, src, width, periodConds[level], levelFilters[level])
+			if err != nil {
+				return nil, err
+			}
+			acc = joined
+			continue
+		}
+		srcRows, err := src.exec(rt)
+		if err != nil {
+			return nil, err
+		}
+		if level == 0 {
+			acc = make([]Row, 0, len(srcRows))
+			for _, sr := range srcRows {
+				full := make(Row, width)
+				copy(full[src.off:], sr)
+				ok, err := evalFilters(rt, levelFilters[0], full)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					acc = append(acc, full)
+				}
+			}
+			continue
+		}
+		var joined []Row
+		merge := func(a Row, sr Row) (Row, bool, error) {
+			m := make(Row, width)
+			copy(m, a)
+			copy(m[src.off:], sr)
+			ok, err := evalFilters(rt, levelFilters[level], m)
+			return m, ok, err
+		}
+		if src.leftJoin {
+			for _, a := range acc {
+				matched := false
+				for _, sr := range srcRows {
+					m := make(Row, width)
+					copy(m, a)
+					copy(m[src.off:], sr)
+					ok, err := evalFilters(rt, src.on, m)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					matched = true
+					keep, err := evalFilters(rt, levelFilters[level], m)
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						joined = append(joined, m)
+					}
+				}
+				if !matched {
+					// NULL-pad the right side and re-check the WHERE
+					// filters of this level against the padded row.
+					m := make(Row, width)
+					copy(m, a)
+					for i, cm := range src.schema {
+						m[src.off+i] = types.NewNull(cm.Type)
+					}
+					keep, err := evalFilters(rt, levelFilters[level], m)
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						joined = append(joined, m)
+					}
+				}
+			}
+			acc = joined
+			continue
+		}
+		if hc := hashConds[level]; hc != nil {
+			// Build side: the new source.
+			buildMap := make(map[string][]Row, len(srcRows))
+			tmp := make(Row, width)
+			for _, sr := range srcRows {
+				for i := range tmp {
+					tmp[i] = types.Value{T: types.TNull, Null: true}
+				}
+				copy(tmp[src.off:], sr)
+				rt.push(tmp)
+				kv, err := hc.build(rt)
+				rt.pop()
+				if err != nil {
+					return nil, err
+				}
+				if kv.Null {
+					continue
+				}
+				k := kv.Key(rt.env.Now)
+				buildMap[k] = append(buildMap[k], sr)
+			}
+			for _, a := range acc {
+				rt.push(a)
+				kv, err := hc.probe(rt)
+				rt.pop()
+				if err != nil {
+					return nil, err
+				}
+				if kv.Null {
+					continue
+				}
+				for _, sr := range buildMap[kv.Key(rt.env.Now)] {
+					m, ok, err := merge(a, sr)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						joined = append(joined, m)
+					}
+				}
+			}
+		} else {
+			for _, a := range acc {
+				for _, sr := range srcRows {
+					m, ok, err := merge(a, sr)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						joined = append(joined, m)
+					}
+				}
+			}
+		}
+		acc = joined
+	}
+	return acc, nil
+}

@@ -1,0 +1,149 @@
+// Package exec implements query planning and execution for the TIP
+// engine: expression compilation with blade routine resolution, scans with
+// hash- and period-index selection, left-deep joins (hash joins for
+// equality conditions, nested loops otherwise), grouping with built-in and
+// user-defined aggregates, DISTINCT, ORDER BY, LIMIT, and correlated
+// subqueries (EXISTS, IN, scalar).
+//
+// Execution is materialised: each operator produces its full row set. The
+// engine targets research-scale data (the paper's demo database); the
+// simplicity buys easy-to-verify semantics for the temporal routines.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"tip/internal/blade"
+	"tip/internal/catalog"
+	"tip/internal/index"
+	"tip/internal/storage"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Row is one tuple flowing between operators.
+type Row = storage.Row
+
+// ColMeta describes one column of an intermediate schema.
+type ColMeta struct {
+	// Table is the binding (table name or alias) the column belongs to;
+	// empty for computed columns.
+	Table string
+	// Name is the column's name.
+	Name string
+	// Type is the static type when known, types.TNull otherwise (the
+	// engine types dynamically; static types drive index selection).
+	Type *types.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []ColMeta
+
+// Resolve finds the position of a (possibly qualified) column reference,
+// reporting ambiguity.
+func (s Schema) Resolve(table, col string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, col) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("exec: ambiguous column %s", refName(table, col))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, errNotFound
+	}
+	return found, nil
+}
+
+var errNotFound = fmt.Errorf("exec: column not found")
+
+func refName(table, col string) string {
+	if table != "" {
+		return table + "." + col
+	}
+	return col
+}
+
+// Result is the materialised output of a statement.
+type Result struct {
+	// Cols are the output column names.
+	Cols []string
+	// Types are the output column types, inferred from the first
+	// non-NULL value in each column (types.TNull when a column is
+	// entirely NULL or the result is empty).
+	Types []*types.Type
+	// Rows are the output tuples.
+	Rows []Row
+	// Affected counts modified rows for INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// Table is the runtime state of one table: catalog metadata, the row
+// heap, and any secondary indexes keyed by column position.
+type Table struct {
+	Meta    *catalog.TableMeta
+	Heap    *storage.Heap
+	Hash    map[int]*index.Hash
+	Periods map[int]*index.Period
+}
+
+// NewTable returns an empty runtime table for the given metadata.
+func NewTable(meta *catalog.TableMeta) *Table {
+	return &Table{
+		Meta:    meta,
+		Heap:    storage.NewHeap(),
+		Hash:    make(map[int]*index.Hash),
+		Periods: make(map[int]*index.Period),
+	}
+}
+
+// Env is everything a query needs at bind and run time.
+type Env struct {
+	// Reg resolves types, routines, casts and aggregates.
+	Reg *blade.Registry
+	// Now is the concrete value of NOW for this evaluation: the
+	// transaction time, or the session's what-if override.
+	Now temporal.Chronon
+	// Params supplies named :param values.
+	Params map[string]types.Value
+	// Lookup resolves a table name to its runtime state.
+	Lookup func(name string) (*Table, bool)
+}
+
+// Ctx returns the blade evaluation context for this environment.
+func (e *Env) Ctx() *blade.Ctx { return &blade.Ctx{Now: e.Now} }
+
+// runtime is the per-execution state: the environment plus the scope
+// stack of rows for correlated evaluation. rows[len-1] is the innermost
+// scope.
+type runtime struct {
+	env  *Env
+	rows []Row
+}
+
+func (rt *runtime) push(r Row) { rt.rows = append(rt.rows, r) }
+func (rt *runtime) pop()       { rt.rows = rt.rows[:len(rt.rows)-1] }
+
+// at returns the row `depth` scopes up from the innermost.
+func (rt *runtime) at(depth int) Row { return rt.rows[len(rt.rows)-1-depth] }
+
+// inferTypes fills Result.Types from row contents.
+func (r *Result) inferTypes() {
+	r.Types = make([]*types.Type, len(r.Cols))
+	for i := range r.Types {
+		r.Types[i] = types.TNull
+		for _, row := range r.Rows {
+			if !row[i].Null {
+				r.Types[i] = row[i].T
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tip/internal/sql/ast"
+)
+
+// Compound selects: UNION [ALL], EXCEPT and INTERSECT chains, applied
+// left-associatively with SQL set semantics (duplicates eliminated
+// except under UNION ALL). The trailing ORDER BY may reference output
+// columns by name or position; LIMIT/OFFSET apply to the combination.
+
+func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, error) {
+	core := *sel
+	core.SetOps, core.OrderBy, core.Limit, core.Offset = nil, nil, nil, nil
+	left, err := b.bindSelect(&core, parent)
+	if err != nil {
+		return nil, err
+	}
+	type part struct {
+		op   string
+		all  bool
+		plan *selectPlan
+	}
+	parts := make([]part, len(sel.SetOps))
+	for i, sp := range sel.SetOps {
+		if b.explain != nil {
+			op := sp.Op
+			if sp.All {
+				op += " ALL"
+			}
+			b.note("set operation: %s", op)
+		}
+		plan, err := b.bindSelect(sp.Sel, parent)
+		if err != nil {
+			return nil, err
+		}
+		if len(plan.outSchema) != len(left.outSchema) {
+			return nil, fmt.Errorf("exec: %s operands have %d and %d columns",
+				sp.Op, len(left.outSchema), len(plan.outSchema))
+		}
+		parts[i] = part{op: sp.Op, all: sp.All, plan: plan}
+	}
+
+	// ORDER BY binds against the leftmost operand's output columns.
+	type orderSpec struct {
+		idx  int
+		desc bool
+	}
+	var orders []orderSpec
+	for _, o := range sel.OrderBy {
+		spec := orderSpec{idx: -1, desc: o.Desc}
+		switch n := o.Expr.(type) {
+		case *ast.IntLit:
+			if n.V < 1 || int(n.V) > len(left.outSchema) {
+				return nil, fmt.Errorf("exec: ORDER BY position %d out of range", n.V)
+			}
+			spec.idx = int(n.V) - 1
+		case *ast.ColumnRef:
+			if n.Table == "" {
+				if pos, err := left.outSchema.Resolve("", n.Column); err == nil {
+					spec.idx = pos
+				}
+			}
+		}
+		if spec.idx < 0 {
+			return nil, fmt.Errorf("exec: compound ORDER BY must name an output column or position")
+		}
+		orders = append(orders, spec)
+	}
+	var limitC, offsetC cexpr
+	if sel.Limit != nil {
+		if limitC, err = b.bind(sel.Limit, parentOnly(parent)); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil {
+		if offsetC, err = b.bind(sel.Offset, parentOnly(parent)); err != nil {
+			return nil, err
+		}
+	}
+
+	run := func(rt *runtime) (*Result, error) {
+		res, err := left.run(rt)
+		if err != nil {
+			return nil, err
+		}
+		rows := res.Rows
+		for _, p := range parts {
+			rres, err := p.plan.run(rt)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case p.op == "UNION" && p.all:
+				rows = append(rows, rres.Rows...)
+			case p.op == "UNION":
+				rows = dedup(rt, append(rows, rres.Rows...))
+			case p.op == "EXCEPT":
+				right := keySet(rt, rres.Rows)
+				var kept []Row
+				for _, r := range dedup(rt, rows) {
+					if _, hit := right[rt.rowKey(r)]; !hit {
+						kept = append(kept, r)
+					}
+				}
+				rows = kept
+			case p.op == "INTERSECT":
+				right := keySet(rt, rres.Rows)
+				var kept []Row
+				for _, r := range dedup(rt, rows) {
+					if _, hit := right[rt.rowKey(r)]; hit {
+						kept = append(kept, r)
+					}
+				}
+				rows = kept
+			}
+		}
+		if len(orders) > 0 {
+			var sortErr error
+			sort.SliceStable(rows, func(i, j int) bool {
+				for _, o := range orders {
+					cmp, err := orderCompare(rt, rows[i][o.idx], rows[j][o.idx])
+					if err != nil {
+						sortErr = err
+						return false
+					}
+					if o.desc {
+						cmp = -cmp
+					}
+					if cmp != 0 {
+						return cmp < 0
+					}
+				}
+				return false
+			})
+			if sortErr != nil {
+				return nil, sortErr
+			}
+		}
+		lo, hi := 0, len(rows)
+		if offsetC != nil {
+			n, err := evalCount(rt, offsetC, "OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			if n > hi {
+				n = hi
+			}
+			lo = n
+		}
+		if limitC != nil {
+			n, err := evalCount(rt, limitC, "LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			if lo+n < hi {
+				hi = lo + n
+			}
+		}
+		out := &Result{Cols: res.Cols, Rows: rows[lo:hi]}
+		out.inferTypes()
+		return out, nil
+	}
+	return &selectPlan{outSchema: left.outSchema, run: run}, nil
+}
+
+// dedup removes duplicate rows by key, preserving first occurrence.
+func dedup(rt *runtime, rows []Row) []Row {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := rt.rowKey(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// keySet builds the key set of rows.
+func keySet(rt *runtime, rows []Row) map[string]struct{} {
+	set := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		set[rt.rowKey(r)] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,117 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"tip/internal/engine"
+)
+
+func seedSets(t *testing.T) *engine.Session {
+	t.Helper()
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE a (v INT)`)
+	mustExec(t, s, `CREATE TABLE b (v INT)`)
+	mustExec(t, s, `INSERT INTO a VALUES (1), (2), (2), (3)`)
+	mustExec(t, s, `INSERT INTO b VALUES (2), (3), (4)`)
+	return s
+}
+
+func col0(t *testing.T, s *engine.Session, sql string) []string {
+	t.Helper()
+	res := mustExec(t, s, sql)
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r[0].Format()
+	}
+	return out
+}
+
+func expectRows(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := seedSets(t)
+	expectRows(t, col0(t, s, `SELECT v FROM a UNION SELECT v FROM b ORDER BY v`),
+		[]string{"1", "2", "3", "4"})
+	// UNION ALL keeps duplicates (2 appears twice in a, once in b).
+	expectRows(t, col0(t, s, `SELECT v FROM a UNION ALL SELECT v FROM b ORDER BY v`),
+		[]string{"1", "2", "2", "2", "3", "3", "4"})
+}
+
+func TestExceptIntersect(t *testing.T) {
+	s := seedSets(t)
+	expectRows(t, col0(t, s, `SELECT v FROM a EXCEPT SELECT v FROM b ORDER BY v`),
+		[]string{"1"})
+	expectRows(t, col0(t, s, `SELECT v FROM b EXCEPT SELECT v FROM a ORDER BY v`),
+		[]string{"4"})
+	expectRows(t, col0(t, s, `SELECT v FROM a INTERSECT SELECT v FROM b ORDER BY v`),
+		[]string{"2", "3"})
+}
+
+func TestSetOpChainsLeftAssociative(t *testing.T) {
+	s := seedSets(t)
+	mustExec(t, s, `CREATE TABLE c (v INT)`)
+	mustExec(t, s, `INSERT INTO c VALUES (3)`)
+	// (a UNION b) EXCEPT c = {1,2,4}
+	expectRows(t, col0(t, s, `SELECT v FROM a UNION SELECT v FROM b EXCEPT SELECT v FROM c ORDER BY v`),
+		[]string{"1", "2", "4"})
+}
+
+func TestSetOpOrderLimit(t *testing.T) {
+	s := seedSets(t)
+	expectRows(t, col0(t, s, `SELECT v FROM a UNION SELECT v FROM b ORDER BY v DESC LIMIT 2`),
+		[]string{"4", "3"})
+	expectRows(t, col0(t, s, `SELECT v FROM a UNION SELECT v FROM b ORDER BY 1 LIMIT 2 OFFSET 1`),
+		[]string{"2", "3"})
+}
+
+func TestSetOpColumnMismatch(t *testing.T) {
+	s := seedSets(t)
+	if _, err := s.Exec(`SELECT v, v FROM a UNION SELECT v FROM b`, nil); err == nil ||
+		!strings.Contains(err.Error(), "columns") {
+		t.Errorf("mismatched arity error = %v", err)
+	}
+	if _, err := s.Exec(`SELECT v FROM a UNION SELECT v FROM b ORDER BY v + 1`, nil); err == nil {
+		t.Error("compound ORDER BY over an expression should fail")
+	}
+}
+
+func TestSetOpWithAggregatesAndSubquery(t *testing.T) {
+	s := seedSets(t)
+	// Compound operands may themselves group.
+	expectRows(t, col0(t, s, `
+		SELECT MAX(v) FROM a UNION SELECT MIN(v) FROM b ORDER BY 1`),
+		[]string{"2", "3"})
+	// A compound select works as a derived table.
+	expectRows(t, col0(t, s, `
+		SELECT COUNT(*) FROM (SELECT v FROM a UNION SELECT v FROM b) u`),
+		[]string{"4"})
+	// And inside IN (...).
+	expectRows(t, col0(t, s, `
+		SELECT v FROM a WHERE v IN (SELECT v FROM b EXCEPT SELECT v FROM a) ORDER BY v`),
+		nil)
+}
+
+func TestSetOpOverElements(t *testing.T) {
+	// Set semantics use denotational element keys: structurally
+	// different but equal elements deduplicate.
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE x (e Element)`)
+	mustExec(t, s, `CREATE TABLE y (e Element)`)
+	mustExec(t, s, `INSERT INTO x VALUES ('{[1999-01-01, 1999-02-01]}')`)
+	mustExec(t, s, `INSERT INTO y VALUES ('{[1999-01-01, 1999-01-15], [1999-01-10, 1999-02-01]}')`)
+	res := mustExec(t, s, `SELECT e FROM x UNION SELECT e FROM y`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("denotationally equal elements should merge: %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,182 @@
+// Package index implements the engine's secondary indexes: a hash index
+// for equality predicates and a period index for temporal overlap
+// predicates (the in-engine counterpart of the temporal-index DataBlade of
+// Bliujūtė et al. that the TIP paper cites as related work).
+//
+// Both indexes return candidate row ids; the executor always re-evaluates
+// the predicate on the candidates, so indexes may be conservative
+// (supersets are fine, missing rows are not).
+package index
+
+import (
+	"sort"
+
+	"tip/internal/temporal"
+)
+
+// Hash is an equality index from value keys (types.Value.Key strings) to
+// row ids.
+type Hash struct {
+	m map[string][]int
+}
+
+// NewHash returns an empty hash index.
+func NewHash() *Hash { return &Hash{m: make(map[string][]int)} }
+
+// Add indexes a row id under key.
+func (h *Hash) Add(key string, id int) { h.m[key] = append(h.m[key], id) }
+
+// Remove unindexes a row id from key.
+func (h *Hash) Remove(key string, id int) {
+	ids := h.m[key]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(h.m, key)
+	} else {
+		h.m[key] = ids
+	}
+}
+
+// Lookup returns the row ids indexed under key. The returned slice must
+// not be mutated.
+func (h *Hash) Lookup(key string) []int { return h.m[key] }
+
+// Len returns the number of distinct keys.
+func (h *Hash) Len() int { return len(h.m) }
+
+// Period is an interval index over the periods of a temporal column. Each
+// row contributes one entry per period of its (Element, Period, Chronon or
+// Instant) value. NOW-relative endpoints are indexed conservatively: a
+// NOW-relative start as the minimum chronon and a NOW-relative end as the
+// maximum, so the candidate set is a superset at every evaluation time.
+//
+// The index keeps entries sorted by interval start with a prefix maximum
+// of interval ends, giving O(log n + k) overlap search for k candidates in
+// the start-bounded prefix. Mutations mark the index dirty; the next
+// search rebuilds the sorted form (build is O(n log n)).
+type Period struct {
+	entries []periodEntry
+	dirty   bool
+	maxHi   []int64 // prefix maxima of entries[i].hi
+}
+
+type periodEntry struct {
+	lo, hi int64
+	id     int
+}
+
+// NewPeriod returns an empty period index.
+func NewPeriod() *Period { return &Period{} }
+
+// boundsOf computes the conservative index interval of one period.
+func boundsOf(p temporal.Period) (int64, int64) {
+	lo, hi := int64(temporal.MinChronon), int64(temporal.MaxChronon)
+	if c, ok := p.Start.Chronon(); ok {
+		lo = int64(c)
+	}
+	if c, ok := p.End.Chronon(); ok {
+		hi = int64(c)
+	}
+	if hi < lo {
+		// A determinate empty period never matches; store an empty
+		// sentinel that no query interval overlaps.
+		return 1, 0
+	}
+	return lo, hi
+}
+
+// AddElement indexes every period of an element for the row id.
+func (ix *Period) AddElement(e temporal.Element, id int) {
+	for _, p := range e.Periods() {
+		ix.AddPeriod(p, id)
+	}
+}
+
+// AddPeriod indexes one period for the row id.
+func (ix *Period) AddPeriod(p temporal.Period, id int) {
+	lo, hi := boundsOf(p)
+	if hi < lo {
+		return
+	}
+	ix.entries = append(ix.entries, periodEntry{lo: lo, hi: hi, id: id})
+	ix.dirty = true
+}
+
+// Remove drops all entries of a row id.
+func (ix *Period) Remove(id int) {
+	out := ix.entries[:0]
+	for _, e := range ix.entries {
+		if e.id != id {
+			out = append(out, e)
+		}
+	}
+	if len(out) != len(ix.entries) {
+		ix.entries = out
+		ix.dirty = true
+	}
+}
+
+// Len returns the number of indexed periods.
+func (ix *Period) Len() int { return len(ix.entries) }
+
+func (ix *Period) build() {
+	sort.Slice(ix.entries, func(i, j int) bool { return ix.entries[i].lo < ix.entries[j].lo })
+	ix.maxHi = ix.maxHi[:0]
+	maxSoFar := int64(-1 << 62)
+	for _, e := range ix.entries {
+		if e.hi > maxSoFar {
+			maxSoFar = e.hi
+		}
+		ix.maxHi = append(ix.maxHi, maxSoFar)
+	}
+	ix.dirty = false
+}
+
+// Search returns the distinct row ids whose indexed intervals overlap
+// [qlo, qhi] (closed). The result order is unspecified.
+func (ix *Period) Search(qlo, qhi temporal.Chronon) []int {
+	if ix.dirty {
+		ix.build()
+	}
+	// Entries with lo > qhi cannot overlap; binary-search the cut.
+	n := sort.Search(len(ix.entries), func(i int) bool { return ix.entries[i].lo > int64(qhi) })
+	var ids []int
+	seen := make(map[int]struct{})
+	// Walk backwards pruning with prefix maxima: once every earlier
+	// entry's hi is below qlo, stop.
+	for i := n - 1; i >= 0; i-- {
+		if ix.maxHi[i] < int64(qlo) {
+			break
+		}
+		e := ix.entries[i]
+		if e.hi >= int64(qlo) {
+			if _, dup := seen[e.id]; !dup {
+				seen[e.id] = struct{}{}
+				ids = append(ids, e.id)
+			}
+		}
+	}
+	return ids
+}
+
+// SearchElement returns candidates overlapping any period of the probe
+// element, bound at the given moment.
+func (ix *Period) SearchElement(e temporal.Element, now temporal.Chronon) []int {
+	var ids []int
+	seen := make(map[int]struct{})
+	for _, iv := range e.Bind(now) {
+		for _, id := range ix.Search(iv.Lo, iv.Hi) {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}

@@ -1,0 +1,285 @@
+// Package protocol defines the binary wire format between TIP clients and
+// the TIP server — the stand-in for the ODBC/JDBC connectivity of the
+// paper's Figure 1. Messages are length-prefixed frames; values travel in
+// the efficient binary format with their type names, and the client's
+// blade registry maps them back to native objects (the "customized type
+// mapping" the TIP Browser uses over JDBC 2.0).
+//
+// Frame: uvarint payloadLength, payload. Payload: 1 kind byte, body.
+//
+//	MsgHello    client→server: str clientName
+//	MsgWelcome  server→client: str serverVersion
+//	MsgQuery    client→server: str sql, uvarint nParams, (str name, value)*
+//	MsgResult   server→client: uvarint affected, uvarint nCols,
+//	            (str name)*, uvarint nRows, rows of values
+//	MsgError    server→client: str message
+//	MsgQuit     client→server: no body
+//
+// Value: str typeName ("" for untyped NULL), then the types codec bytes.
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tip/internal/blade"
+	"tip/internal/exec"
+	"tip/internal/types"
+)
+
+// Message kinds.
+const (
+	MsgHello byte = iota + 1
+	MsgWelcome
+	MsgQuery
+	MsgResult
+	MsgError
+	MsgQuit
+)
+
+// Version identifies the protocol revision.
+const Version = "TIP/1"
+
+// MaxFrame bounds a frame's payload to keep a malicious peer from forcing
+// huge allocations.
+const MaxFrame = 64 << 20
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("protocol: malformed message")
+
+// Query is a parsed MsgQuery.
+type Query struct {
+	SQL    string
+	Params map[string]types.Value
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ---------------------------------------------------------------- encoding
+
+// AppendString appends a length-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadString reads a length-prefixed string from the front of buf.
+func ReadString(buf []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || uint64(len(buf)-k) < n {
+		return "", nil, fmt.Errorf("%w: string", ErrProtocol)
+	}
+	buf = buf[k:]
+	return string(buf[:n]), buf[n:], nil
+}
+
+// AppendValue appends a typed value.
+func AppendValue(buf []byte, v types.Value) []byte {
+	name := ""
+	if v.T != nil && v.T.Kind != types.KindNull {
+		name = v.T.Name
+	}
+	buf = AppendString(buf, name)
+	return v.AppendBinary(buf)
+}
+
+// ReadValue reads a typed value, resolving the type name against reg.
+func ReadValue(reg *blade.Registry, buf []byte) (types.Value, []byte, error) {
+	name, buf, err := ReadString(buf)
+	if err != nil {
+		return types.Value{}, nil, err
+	}
+	t := types.TNull
+	if name != "" {
+		var ok bool
+		t, ok = reg.LookupType(name)
+		if !ok {
+			return types.Value{}, nil, fmt.Errorf("%w: unknown type %s (blade missing?)", ErrProtocol, name)
+		}
+	}
+	return decodeValueTail(t, buf)
+}
+
+func decodeValueTail(t *types.Type, buf []byte) (types.Value, []byte, error) {
+	if t.Kind == types.KindNull {
+		// Untyped NULL: the codec still writes one tag byte.
+		if len(buf) < 1 {
+			return types.Value{}, nil, fmt.Errorf("%w: null value", ErrProtocol)
+		}
+		return types.NewNull(types.TNull), buf[1:], nil
+	}
+	v, rest, err := types.DecodeValue(t, buf)
+	if err != nil {
+		return types.Value{}, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return v, rest, nil
+}
+
+// ----------------------------------------------------------------- messages
+
+// EncodeHello builds a MsgHello payload.
+func EncodeHello(clientName string) []byte {
+	return AppendString([]byte{MsgHello}, clientName)
+}
+
+// EncodeWelcome builds a MsgWelcome payload.
+func EncodeWelcome(serverVersion string) []byte {
+	return AppendString([]byte{MsgWelcome}, serverVersion)
+}
+
+// EncodeQuery builds a MsgQuery payload.
+func EncodeQuery(q Query) []byte {
+	buf := AppendString([]byte{MsgQuery}, q.SQL)
+	buf = binary.AppendUvarint(buf, uint64(len(q.Params)))
+	for name, v := range q.Params {
+		buf = AppendString(buf, name)
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeQuery parses a MsgQuery body (after the kind byte).
+func DecodeQuery(reg *blade.Registry, body []byte) (Query, error) {
+	sql, body, err := ReadString(body)
+	if err != nil {
+		return Query{}, err
+	}
+	n, k := binary.Uvarint(body)
+	if k <= 0 {
+		return Query{}, fmt.Errorf("%w: param count", ErrProtocol)
+	}
+	body = body[k:]
+	q := Query{SQL: sql}
+	if n > 0 {
+		q.Params = make(map[string]types.Value, n)
+	}
+	for range n {
+		var name string
+		if name, body, err = ReadString(body); err != nil {
+			return Query{}, err
+		}
+		var v types.Value
+		if v, body, err = ReadValue(reg, body); err != nil {
+			return Query{}, err
+		}
+		q.Params[name] = v
+	}
+	if len(body) != 0 {
+		return Query{}, fmt.Errorf("%w: trailing query bytes", ErrProtocol)
+	}
+	return q, nil
+}
+
+// EncodeResult builds a MsgResult payload.
+func EncodeResult(res *exec.Result) []byte {
+	buf := []byte{MsgResult}
+	buf = binary.AppendUvarint(buf, uint64(res.Affected))
+	buf = binary.AppendUvarint(buf, uint64(len(res.Cols)))
+	for _, c := range res.Cols {
+		buf = AppendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(res.Rows)))
+	for _, row := range res.Rows {
+		for _, v := range row {
+			buf = AppendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeResult parses a MsgResult body (after the kind byte).
+func DecodeResult(reg *blade.Registry, body []byte) (*exec.Result, error) {
+	affected, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: affected", ErrProtocol)
+	}
+	body = body[k:]
+	nCols, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: column count", ErrProtocol)
+	}
+	body = body[k:]
+	res := &exec.Result{Affected: int(affected), Cols: make([]string, nCols)}
+	var err error
+	for i := range res.Cols {
+		if res.Cols[i], body, err = ReadString(body); err != nil {
+			return nil, err
+		}
+	}
+	nRows, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: row count", ErrProtocol)
+	}
+	body = body[k:]
+	res.Rows = make([]exec.Row, 0, nRows)
+	for range nRows {
+		row := make(exec.Row, nCols)
+		for i := range row {
+			if row[i], body, err = ReadValue(reg, body); err != nil {
+				return nil, err
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: trailing result bytes", ErrProtocol)
+	}
+	res.Types = make([]*types.Type, nCols)
+	for i := range res.Types {
+		res.Types[i] = types.TNull
+		for _, row := range res.Rows {
+			if !row[i].Null {
+				res.Types[i] = row[i].T
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// EncodeError builds a MsgError payload.
+func EncodeError(msg string) []byte {
+	return AppendString([]byte{MsgError}, msg)
+}
+
+// DecodeString parses a single-string body (hello, welcome, error).
+func DecodeString(body []byte) (string, error) {
+	s, rest, err := ReadString(body)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("%w: trailing bytes", ErrProtocol)
+	}
+	return s, nil
+}

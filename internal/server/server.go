@@ -1,0 +1,163 @@
+// Package server exposes a TIP-enabled database over TCP using the TIP
+// wire protocol — the DBMS process of the paper's Figure 1. Each
+// connection gets its own engine session, so transactions and SET NOW
+// what-if overrides stay per-client.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tip/internal/engine"
+	"tip/internal/protocol"
+)
+
+// Server serves one database over a listener.
+type Server struct {
+	db     *engine.Database
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger directs server logs to logf; the default discards them.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:5432" or ":0").
+func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		db:    db,
+		ln:    ln,
+		logf:  func(string, ...any) {},
+		conns: make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	sess := s.db.NewSession()
+
+	// Handshake.
+	frame, err := protocol.ReadFrame(r)
+	if err != nil || len(frame) == 0 || frame[0] != protocol.MsgHello {
+		s.logf("server: bad handshake from %s", conn.RemoteAddr())
+		return
+	}
+	client, err := protocol.DecodeString(frame[1:])
+	if err != nil {
+		return
+	}
+	s.logf("server: %s connected as %q", conn.RemoteAddr(), client)
+	if err := protocol.WriteFrame(w, protocol.EncodeWelcome(protocol.Version)); err != nil {
+		return
+	}
+
+	for {
+		frame, err := protocol.ReadFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("server: read: %v", err)
+			}
+			return
+		}
+		if len(frame) == 0 {
+			return
+		}
+		switch frame[0] {
+		case protocol.MsgQuit:
+			return
+		case protocol.MsgQuery:
+			q, err := protocol.DecodeQuery(s.db.Registry(), frame[1:])
+			if err != nil {
+				if werr := protocol.WriteFrame(w, protocol.EncodeError(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			res, err := sess.Exec(q.SQL, q.Params)
+			var payload []byte
+			if err != nil {
+				payload = protocol.EncodeError(err.Error())
+			} else {
+				payload = protocol.EncodeResult(res)
+			}
+			if err := protocol.WriteFrame(w, payload); err != nil {
+				return
+			}
+		default:
+			if err := protocol.WriteFrame(w, protocol.EncodeError("unexpected message")); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package ast defines the abstract syntax tree for the TIP engine's SQL
+// dialect: the statement forms, table references and expression nodes the
+// parser produces and the planner consumes.
+package ast
+
+import "strings"
+
+// Statement is implemented by every SQL statement node.
+type Statement interface{ stmt() }
+
+// Expr is implemented by every expression node.
+type Expr interface{ expr() }
+
+// ---------------------------------------------------------------- statements
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string // resolved against the type registry at plan time
+	NotNull  bool
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndex is CREATE INDEX name ON table (col) [USING PERIOD].
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	// Period requests the temporal period index (USING PERIOD); the
+	// default is an equality hash index.
+	Period bool
+}
+
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...) or
+// INSERT INTO name [(cols)] SELECT ...
+type Insert struct {
+	Table   string
+	Columns []string // nil means all, in table order
+	Rows    [][]Expr // literal rows; nil when Query is set
+	Query   *Select
+}
+
+// Update is UPDATE name SET col = expr, ... [WHERE cond].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM name [WHERE cond].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Select is a full SELECT statement. When SetOps is non-empty, this
+// node's own clauses form the first operand of a left-associative chain
+// of set operations, and OrderBy/Limit/Offset apply to the combined
+// result.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	SetOps   []SetPart
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+}
+
+// SetPart is one UNION/EXCEPT/INTERSECT arm of a compound select.
+type SetPart struct {
+	// Op is "UNION", "EXCEPT" or "INTERSECT".
+	Op string
+	// All keeps duplicates (UNION ALL); bag semantics are only
+	// supported for UNION.
+	All bool
+	// Sel is the right-hand operand (no ORDER BY/LIMIT of its own).
+	Sel *Select
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one output of the select list. A Star item selects all
+// columns (optionally of a single table).
+type SelectItem struct {
+	Star      bool
+	StarTable string // qualifier for t.*; empty for bare *
+	Expr      Expr
+	Alias     string
+}
+
+// TableRef is one FROM item: either a named table or a derived table
+// (subquery), optionally aliased. A LEFT OUTER JOIN item carries its ON
+// condition here (inner-join ON conditions desugar into WHERE).
+type TableRef struct {
+	Table    string
+	Subquery *Select
+	Alias    string
+	// LeftJoin marks this item as LEFT OUTER JOINed to the items before
+	// it; unmatched left rows are NULL-padded.
+	LeftJoin bool
+	// On is the join condition of a LeftJoin item.
+	On Expr
+}
+
+// Binding returns the name this table ref is known by in the query.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Begin is BEGIN [TRANSACTION] / BEGIN WORK.
+type Begin struct{}
+
+// Commit is COMMIT [WORK].
+type Commit struct{}
+
+// Rollback is ROLLBACK [WORK].
+type Rollback struct{}
+
+// SetNow is SET NOW = <expr> or SET NOW = DEFAULT. It overrides the
+// session's interpretation of the special symbol NOW — the what-if
+// facility the TIP Browser exposes.
+type SetNow struct {
+	// Value is nil for SET NOW = DEFAULT (revert to the transaction
+	// clock).
+	Value Expr
+}
+
+// ShowTables is SHOW TABLES.
+type ShowTables struct{}
+
+// Describe is DESCRIBE <table>: columns, types, nullability and indexes.
+type Describe struct{ Table string }
+
+// Explain is EXPLAIN <select>: the planner's decisions, without running
+// the query.
+type Explain struct{ Query *Select }
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*CreateIndex) stmt() {}
+func (*DropIndex) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
+func (*SetNow) stmt()      {}
+func (*ShowTables) stmt()  {}
+func (*Describe) stmt()    {}
+func (*Explain) stmt()     {}
+
+// --------------------------------------------------------------- expressions
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// Param is a named parameter :name.
+type Param struct{ Name string }
+
+// ColumnRef is a possibly-qualified column reference.
+type ColumnRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// String renders the reference as written.
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Unary is a prefix operator: - or NOT.
+type Unary struct {
+	Op string // "-", "NOT"
+	X  Expr
+}
+
+// Binary is an infix operator: arithmetic, comparison, logical, or string
+// concatenation (||).
+type Binary struct {
+	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "||"
+	L, R Expr
+}
+
+// Call is a function (or aggregate) invocation. Star marks COUNT(*);
+// Distinct marks COUNT(DISTINCT x) style calls.
+type Call struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// LowerName returns the call's name lower-cased, the canonical routine
+// registry key.
+func (c *Call) LowerName() string { return strings.ToLower(c.Name) }
+
+// Cast is expr::Type or CAST(expr AS Type).
+type Cast struct {
+	X        Expr
+	TypeName string
+}
+
+// IsNull is expr IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Between is expr [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// InList is expr [NOT] IN (e1, e2, ...) or expr [NOT] IN (SELECT ...).
+type InList struct {
+	X        Expr
+	List     []Expr
+	Subquery *Select
+	Not      bool
+}
+
+// Like is expr [NOT] LIKE pattern, with % and _ wildcards.
+type Like struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// When is one WHEN/THEN arm of a CASE.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Subquery *Select
+	Not      bool
+}
+
+// Subquery is a scalar subquery used as an expression.
+type Subquery struct{ Query *Select }
+
+func (*IntLit) expr()    {}
+func (*FloatLit) expr()  {}
+func (*StringLit) expr() {}
+func (*BoolLit) expr()   {}
+func (*NullLit) expr()   {}
+func (*Param) expr()     {}
+func (*ColumnRef) expr() {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Call) expr()      {}
+func (*Cast) expr()      {}
+func (*IsNull) expr()    {}
+func (*Between) expr()   {}
+func (*InList) expr()    {}
+func (*Like) expr()      {}
+func (*Case) expr()      {}
+func (*Exists) expr()    {}
+func (*Subquery) expr()  {}

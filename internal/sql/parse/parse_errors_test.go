@@ -1,0 +1,90 @@
+package parse
+
+import "testing"
+
+// Negative-path sweep: every malformed clause must produce a parse
+// error, never a panic or a silent mis-parse.
+func TestParseErrorSweep(t *testing.T) {
+	bad := []string{
+		// statements
+		``, `;`, `GIBBERISH`, `SELECT`, `CREATE`, `CREATE VIEW v`, `DROP`,
+		`DROP VIEW v`, `SHOW`, `SHOW COLUMNS`, `SET`, `SET NOW`, `SET NOW TO 1`,
+		`EXPLAIN`, `EXPLAIN INSERT INTO t VALUES (1)`, `DESCRIBE`,
+		// create table
+		`CREATE TABLE`, `CREATE TABLE t`, `CREATE TABLE t (`, `CREATE TABLE t ()`,
+		`CREATE TABLE t (a)`, `CREATE TABLE t (a INT`, `CREATE TABLE t (a INT,)`,
+		`CREATE TABLE t (a INT) extra`, `CREATE TABLE IF t (a INT)`,
+		`CREATE TABLE t (a CHAR()`, `CREATE TABLE t (a CHAR(x))`,
+		`CREATE TABLE t (a INT NOT)`,
+		// create index
+		`CREATE INDEX`, `CREATE INDEX i`, `CREATE INDEX i ON`, `CREATE INDEX i ON t`,
+		`CREATE INDEX i ON t (`, `CREATE INDEX i ON t ()`, `CREATE INDEX i ON t (a`,
+		`CREATE INDEX i ON t (a) USING`, `CREATE INDEX i ON t (a) USING BTREE`,
+		// insert
+		`INSERT`, `INSERT INTO`, `INSERT INTO t`, `INSERT INTO t VALUES`,
+		`INSERT INTO t VALUES (`, `INSERT INTO t VALUES ()`, `INSERT INTO t VALUES (1`,
+		`INSERT INTO t VALUES (1),`, `INSERT INTO t (a VALUES (1)`,
+		`INSERT INTO t (a,) VALUES (1)`, `INSERT INTO t SET a = 1`,
+		// select clauses
+		`SELECT FROM t`, `SELECT a FROM`, `SELECT a FROM t WHERE`,
+		`SELECT a FROM t GROUP`, `SELECT a FROM t GROUP BY`,
+		`SELECT a FROM t ORDER`, `SELECT a FROM t ORDER BY`,
+		`SELECT a FROM t HAVING`, `SELECT a FROM t LIMIT`,
+		`SELECT a FROM t OFFSET`, `SELECT a FROM t,`,
+		`SELECT a FROM t JOIN`, `SELECT a FROM t JOIN u`, `SELECT a FROM t JOIN u ON`,
+		`SELECT a FROM t LEFT JOIN u`, `SELECT a FROM t LEFT u ON 1`,
+		`SELECT a FROM t LEFT OUTER u ON 1`,
+		`SELECT a FROM (SELECT 1)`, `SELECT a FROM (SELECT 1`,
+		`SELECT t. FROM t`, `SELECT a AS FROM t`,
+		`SELECT a FROM t UNION`, `SELECT a FROM t UNION 1`,
+		`SELECT a FROM t EXCEPT WHERE`, `SELECT a FROM t INTERSECT ORDER BY 1`,
+		// update / delete
+		`UPDATE`, `UPDATE t`, `UPDATE t SET`, `UPDATE t SET a`, `UPDATE t SET a =`,
+		`UPDATE t SET a = 1,`, `UPDATE t SET a = 1 WHERE`, `DELETE`, `DELETE FROM`,
+		`DELETE FROM t WHERE`,
+		// expressions
+		`SELECT (1`, `SELECT 1 +`, `SELECT NOT`, `SELECT a BETWEEN 1`,
+		`SELECT a BETWEEN 1 AND`, `SELECT a IN`, `SELECT a IN (`, `SELECT a IN ()`,
+		`SELECT a LIKE`, `SELECT a IS`, `SELECT a IS NOT`, `SELECT CASE END`,
+		`SELECT CASE WHEN 1 END`, `SELECT CASE WHEN 1 THEN 2`, `SELECT CAST(a INT)`,
+		`SELECT CAST(a AS)`, `SELECT EXISTS`, `SELECT EXISTS (1)`, `SELECT f(`,
+		`SELECT f(1,`, `SELECT a::`, `SELECT ::INT`, `SELECT 'unterminated`,
+		`SELECT :`, `SELECT @x`, `SELECT COUNT(*`, `SELECT 1 2`,
+	}
+	for _, q := range bad {
+		if st, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) = %#v, want error", q, st)
+		}
+	}
+}
+
+// TestParseAcceptSweep pins tricky-but-valid inputs.
+func TestParseAcceptSweep(t *testing.T) {
+	good := []string{
+		`select A, b As C from T t1 where X = 'y' ;`,
+		`SELECT * FROM t LIMIT 1 OFFSET 0`,
+		`SELECT -(-1), +2, -a FROM t`,
+		`SELECT a FROM t WHERE a BETWEEN -1 AND +1`,
+		`SELECT 'it''s', '' FROM t`,
+		`SELECT f(), g(1), h(1, 2, 3) FROM t`,
+		`SELECT COUNT(*), COUNT(DISTINCT a) FROM t`,
+		`SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END FROM t`,
+		`SELECT ((1 + 2)) * 3`,
+		`SELECT a FROM t WHERE NOT NOT a = 1`,
+		`SELECT x.a, y.a FROM t x, t y WHERE x.a = y.a`,
+		`SELECT 1 UNION ALL SELECT 2 UNION SELECT 3 ORDER BY 1 LIMIT 2`,
+		`SELECT a FROM t CROSS JOIN u`,
+		`INSERT INTO t VALUES (NULL), (TRUE), (FALSE)`,
+		`UPDATE t SET a = CASE WHEN b THEN 1 ELSE 2 END`,
+		`SELECT a -- trailing comment
+		 FROM t`,
+		`BEGIN TRANSACTION`,
+		`desc t`,
+		`SELECT a FROM t WHERE e IN (SELECT e FROM u WHERE u.k = t.k)`,
+	}
+	for _, q := range good {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}

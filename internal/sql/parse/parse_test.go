@@ -1,0 +1,284 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"tip/internal/sql/ast"
+)
+
+func parseOK(t *testing.T, sql string) ast.Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func parseErr(t *testing.T, sql string) {
+	t.Helper()
+	if st, err := Parse(sql); err == nil {
+		t.Fatalf("Parse(%q) = %#v, want error", sql, st)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := parseOK(t, `CREATE TABLE Prescription (
+		doctor CHAR(20), patient CHAR(20), patientdob Chronon,
+		drug CHAR(20), dosage INT, frequency Span, valid Element)`)
+	ct := st.(*ast.CreateTable)
+	if ct.Name != "Prescription" || len(ct.Columns) != 7 {
+		t.Fatalf("create = %+v", ct)
+	}
+	if ct.Columns[2].TypeName != "Chronon" || ct.Columns[6].TypeName != "Element" {
+		t.Errorf("UDT columns = %+v", ct.Columns)
+	}
+	st = parseOK(t, `CREATE TABLE IF NOT EXISTS t (a INT NOT NULL)`)
+	ct = st.(*ast.CreateTable)
+	if !ct.IfNotExists || !ct.Columns[0].NotNull {
+		t.Errorf("modifiers = %+v", ct)
+	}
+	parseErr(t, `CREATE TABLE t ()`)
+	parseErr(t, `CREATE TABLE t (a)`)
+}
+
+func TestParseInsert(t *testing.T) {
+	st := parseOK(t, `INSERT INTO Prescription VALUES
+		('Dr.Pepper', 'Mr.Showbiz', '1963-08-13', 'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')`)
+	ins := st.(*ast.Insert)
+	if len(ins.Rows) != 1 || len(ins.Rows[0]) != 7 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	st = parseOK(t, `INSERT INTO t (a, b) VALUES (1, 2), (3, 4)`)
+	ins = st.(*ast.Insert)
+	if len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("multi-row insert = %+v", ins)
+	}
+	st = parseOK(t, `INSERT INTO t SELECT a FROM u`)
+	if st.(*ast.Insert).Query == nil {
+		t.Error("insert-select lost its query")
+	}
+	parseErr(t, `INSERT INTO t`)
+	parseErr(t, `INSERT t VALUES (1)`)
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The four §2 statements must parse exactly as written.
+	queries := []string{
+		`SELECT patient FROM Prescription
+		 WHERE drug = 'Tylenol' AND start(valid) - patientdob < '7 00:00:00'::Span * :w`,
+		`SELECT p1.*, p2.*, intersect(p1.valid, p2.valid)
+		 FROM Prescription p1, Prescription p2
+		 WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' AND overlaps(p1.valid, p2.valid)`,
+		`SELECT patient, length(group_union(valid)) FROM Prescription GROUP BY patient`,
+	}
+	for _, q := range queries {
+		parseOK(t, q)
+	}
+}
+
+func TestParseSelectClauses(t *testing.T) {
+	st := parseOK(t, `SELECT DISTINCT a, b AS bee, t.* FROM t u, v
+		WHERE a > 1 GROUP BY a, b HAVING COUNT(*) > 2
+		ORDER BY a DESC, 2 ASC LIMIT 10 OFFSET 5`)
+	sel := st.(*ast.Select)
+	if !sel.Distinct || len(sel.Items) != 3 || len(sel.From) != 2 {
+		t.Fatalf("select = %+v", sel)
+	}
+	if sel.From[0].Binding() != "u" || sel.From[1].Binding() != "v" {
+		t.Errorf("bindings = %v, %v", sel.From[0].Binding(), sel.From[1].Binding())
+	}
+	if sel.Items[1].Alias != "bee" || !sel.Items[2].Star || sel.Items[2].StarTable != "t" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.GroupBy) != 2 || sel.Having == nil || len(sel.OrderBy) != 2 {
+		t.Errorf("clauses = %+v", sel)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Errorf("limit/offset = %+v", sel)
+	}
+}
+
+func TestParseJoinDesugar(t *testing.T) {
+	st := parseOK(t, `SELECT 1 FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y WHERE a.z = 1`)
+	sel := st.(*ast.Select)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	// Both ON conditions and the WHERE are AND-ed.
+	conj := 0
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		conj++
+	}
+	walk(sel.Where)
+	if conj != 3 {
+		t.Errorf("conjuncts = %d, want 3", conj)
+	}
+	parseErr(t, `SELECT 1 FROM a JOIN b`)
+	parseErr(t, `SELECT 1 FROM a INNER b`)
+}
+
+func TestParseExpressions(t *testing.T) {
+	sel := parseOK(t, `SELECT CASE WHEN a THEN 1 ELSE 2 END,
+		x BETWEEN 1 AND 2, y NOT IN (1, 2), z LIKE 'a%', w IS NOT NULL,
+		EXISTS (SELECT 1 FROM t), (SELECT MAX(a) FROM t),
+		-a, NOT b, a || b`).(*ast.Select)
+	if len(sel.Items) != 10 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if _, ok := sel.Items[0].Expr.(*ast.Case); !ok {
+		t.Error("case")
+	}
+	if _, ok := sel.Items[1].Expr.(*ast.Between); !ok {
+		t.Error("between")
+	}
+	if in, ok := sel.Items[2].Expr.(*ast.InList); !ok || !in.Not {
+		t.Error("not in")
+	}
+	if _, ok := sel.Items[3].Expr.(*ast.Like); !ok {
+		t.Error("like")
+	}
+	if isn, ok := sel.Items[4].Expr.(*ast.IsNull); !ok || !isn.Not {
+		t.Error("is not null")
+	}
+	if _, ok := sel.Items[5].Expr.(*ast.Exists); !ok {
+		t.Error("exists")
+	}
+	if _, ok := sel.Items[6].Expr.(*ast.Subquery); !ok {
+		t.Error("scalar subquery")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := parseOK(t, `SELECT 1 + 2 * 3`).(*ast.Select)
+	bin := sel.Items[0].Expr.(*ast.Binary)
+	if bin.Op != "+" {
+		t.Fatalf("top op = %s", bin.Op)
+	}
+	if r := bin.R.(*ast.Binary); r.Op != "*" {
+		t.Errorf("* should bind tighter")
+	}
+	// a OR b AND c parses as a OR (b AND c).
+	sel = parseOK(t, `SELECT a OR b AND c`).(*ast.Select)
+	if sel.Items[0].Expr.(*ast.Binary).Op != "OR" {
+		t.Error("OR should be outermost")
+	}
+	// Cast binds tighter than *: '7'::Span * 2 is (cast) * 2.
+	sel = parseOK(t, `SELECT '7'::Span * 2`).(*ast.Select)
+	mul := sel.Items[0].Expr.(*ast.Binary)
+	if mul.Op != "*" {
+		t.Fatalf("top = %s", mul.Op)
+	}
+	if _, ok := mul.L.(*ast.Cast); !ok {
+		t.Error("cast should be the left operand")
+	}
+	// Negative literals fold.
+	sel = parseOK(t, `SELECT -5, -2.5`).(*ast.Select)
+	if sel.Items[0].Expr.(*ast.IntLit).V != -5 {
+		t.Error("negative int literal")
+	}
+	if sel.Items[1].Expr.(*ast.FloatLit).V != -2.5 {
+		t.Error("negative float literal")
+	}
+}
+
+func TestParseCastForms(t *testing.T) {
+	sel := parseOK(t, `SELECT CAST(a AS INT), b::VARCHAR(10)::Element`).(*ast.Select)
+	if c := sel.Items[0].Expr.(*ast.Cast); c.TypeName != "INT" {
+		t.Errorf("CAST form = %+v", c)
+	}
+	outer := sel.Items[1].Expr.(*ast.Cast)
+	if outer.TypeName != "Element" {
+		t.Errorf("chained cast = %+v", outer)
+	}
+	if inner := outer.X.(*ast.Cast); inner.TypeName != "VARCHAR" {
+		t.Errorf("inner cast = %+v", inner)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := parseOK(t, `UPDATE t SET a = 1, b = b + 1 WHERE c = 2`).(*ast.Update)
+	if up.Table != "t" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	del := parseOK(t, `DELETE FROM t WHERE a = 1`).(*ast.Delete)
+	if del.Table != "t" || del.Where == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+	parseOK(t, `DELETE FROM t`)
+	parseErr(t, `DELETE t`)
+	parseErr(t, `UPDATE t WHERE a = 1`)
+}
+
+func TestParseIndexAndTxn(t *testing.T) {
+	ci := parseOK(t, `CREATE INDEX iv ON t (valid) USING PERIOD`).(*ast.CreateIndex)
+	if !ci.Period || ci.Table != "t" || ci.Column != "valid" {
+		t.Fatalf("create index = %+v", ci)
+	}
+	ci = parseOK(t, `CREATE INDEX ia ON t (a)`).(*ast.CreateIndex)
+	if ci.Period {
+		t.Error("default index should be hash")
+	}
+	parseOK(t, `DROP INDEX iv`)
+	parseOK(t, `BEGIN`)
+	parseOK(t, `BEGIN WORK`)
+	parseOK(t, `COMMIT`)
+	parseOK(t, `ROLLBACK WORK`)
+	parseErr(t, `CREATE INDEX i ON t (a) USING WHATEVER`)
+}
+
+func TestParseSetNow(t *testing.T) {
+	sn := parseOK(t, `SET NOW = '1999-11-12'`).(*ast.SetNow)
+	if sn.Value == nil {
+		t.Error("SET NOW value lost")
+	}
+	sn = parseOK(t, `SET NOW = DEFAULT`).(*ast.SetNow)
+	if sn.Value != nil {
+		t.Error("SET NOW = DEFAULT should have nil value")
+	}
+	parseErr(t, `SET timezone = 'utc'`)
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`CREATE TABLE t (a INT); INSERT INTO t VALUES (1);; SELECT * FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+	if _, err := ParseScript(`SELECT 1 SELECT 2`); err == nil {
+		t.Error("missing semicolon should fail")
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	parseErr(t, `SELECT 1 garbage extra`)
+	parseErr(t, `SELECT`)
+	parseErr(t, ``)
+}
+
+func TestParseErrorsMentionOffset(t *testing.T) {
+	_, err := Parse(`SELECT * FROM`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry an offset: %v", err)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := parseOK(t, `SELECT x.n FROM (SELECT COUNT(*) AS n FROM t) AS x`).(*ast.Select)
+	if sel.From[0].Subquery == nil || sel.From[0].Alias != "x" {
+		t.Fatalf("derived = %+v", sel.From[0])
+	}
+	parseErr(t, `SELECT 1 FROM (SELECT 1)`)
+}

@@ -1,0 +1,89 @@
+package scan
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("All(%q): %v", src, err)
+	}
+	return toks[:len(toks)-1] // strip EOF
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := kinds(t, `SELECT a, t.b FROM t WHERE x >= 10 AND y <> 'it''s'`)
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Ident, "SELECT"}, {Ident, "a"}, {Symbol, ","}, {Ident, "t"}, {Symbol, "."},
+		{Ident, "b"}, {Ident, "FROM"}, {Ident, "t"}, {Ident, "WHERE"}, {Ident, "x"},
+		{Symbol, ">="}, {Number, "10"}, {Ident, "AND"}, {Ident, "y"}, {Symbol, "<>"},
+		{String, "it's"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexCastAndParams(t *testing.T) {
+	toks := kinds(t, `'7'::Span * :w`)
+	if toks[0].Kind != String || !toks[1].IsSymbol("::") || toks[2].Text != "Span" {
+		t.Errorf("cast tokens = %v", toks)
+	}
+	if toks[4].Kind != Param || toks[4].Text != "w" {
+		t.Errorf("param token = %v", toks[4])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src     string
+		isFloat bool
+	}{
+		{"42", false}, {"3.5", true}, {"1e6", true}, {"2E-3", true}, {"1.25e+2", true},
+	}
+	for _, tt := range tests {
+		toks := kinds(t, tt.src)
+		if len(toks) != 1 || toks[0].Kind != Number || toks[0].IsFloat != tt.isFloat {
+			t.Errorf("%q → %v (IsFloat=%v), want IsFloat=%v", tt.src, toks, toks[0].IsFloat, tt.isFloat)
+		}
+	}
+	// "1." is a number then a dot (qualified-name syntax survives).
+	toks := kinds(t, "1.x")
+	if len(toks) != 3 || toks[0].Text != "1" || !toks[1].IsSymbol(".") {
+		t.Errorf("1.x = %v", toks)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := kinds(t, "SELECT -- a comment\n1")
+	if len(toks) != 2 || toks[1].Text != "1" {
+		t.Errorf("comment handling = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := New("'unterminated").All(); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := New("a @ b").All(); err == nil {
+		t.Error("unexpected character should fail")
+	}
+	if _, err := New(": x").All(); err == nil {
+		t.Error("bare colon should fail")
+	}
+}
+
+func TestKeywordHelpers(t *testing.T) {
+	toks := kinds(t, "select")
+	if !toks[0].IsKeyword("SELECT") || toks[0].Keyword() != "SELECT" {
+		t.Error("case-insensitive keyword matching failed")
+	}
+}

@@ -1,0 +1,115 @@
+// Package storage implements the engine's row store: an in-memory heap of
+// rows per table with stable row ids, tombstone deletion, and a binary
+// snapshot format for persistence. Concurrency control is the engine's
+// responsibility (it serialises writers and admits concurrent readers);
+// the heap itself is not safe for concurrent mutation.
+package storage
+
+import (
+	"fmt"
+
+	"tip/internal/types"
+)
+
+// Row is one stored tuple.
+type Row = []types.Value
+
+// Heap stores the rows of one table. Row ids are positions in the rows
+// slice; deleted rows leave tombstones so ids stay stable within a
+// snapshot lifetime (undo logging depends on this). Compact reclaims
+// tombstones.
+type Heap struct {
+	rows []Row
+	live []bool
+	n    int // live count
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// Len returns the number of live rows.
+func (h *Heap) Len() int { return h.n }
+
+// Capacity returns the number of row slots including tombstones.
+func (h *Heap) Capacity() int { return len(h.rows) }
+
+// Insert appends a row and returns its id.
+func (h *Heap) Insert(r Row) int {
+	h.rows = append(h.rows, r)
+	h.live = append(h.live, true)
+	h.n++
+	return len(h.rows) - 1
+}
+
+// InsertAt revives a specific row id with the given content — used only
+// by transaction rollback to undo a delete. The slot must be a tombstone.
+func (h *Heap) InsertAt(id int, r Row) error {
+	if id < 0 || id >= len(h.rows) {
+		return fmt.Errorf("storage: row id %d out of range", id)
+	}
+	if h.live[id] {
+		return fmt.Errorf("storage: row id %d is live", id)
+	}
+	h.rows[id] = r
+	h.live[id] = true
+	h.n++
+	return nil
+}
+
+// Get returns the row with the given id.
+func (h *Heap) Get(id int) (Row, bool) {
+	if id < 0 || id >= len(h.rows) || !h.live[id] {
+		return nil, false
+	}
+	return h.rows[id], true
+}
+
+// Delete tombstones a row, returning its former content.
+func (h *Heap) Delete(id int) (Row, error) {
+	if id < 0 || id >= len(h.rows) || !h.live[id] {
+		return nil, fmt.Errorf("storage: no row %d", id)
+	}
+	old := h.rows[id]
+	h.rows[id] = nil
+	h.live[id] = false
+	h.n--
+	return old, nil
+}
+
+// Update replaces a row's content, returning the former content.
+func (h *Heap) Update(id int, r Row) (Row, error) {
+	if id < 0 || id >= len(h.rows) || !h.live[id] {
+		return nil, fmt.Errorf("storage: no row %d", id)
+	}
+	old := h.rows[id]
+	h.rows[id] = r
+	return old, nil
+}
+
+// Scan visits every live row in id order until yield returns false.
+func (h *Heap) Scan(yield func(id int, r Row) bool) {
+	for id, ok := range h.live {
+		if ok && !yield(id, h.rows[id]) {
+			return
+		}
+	}
+}
+
+// Compact drops tombstones, renumbering rows. It must only be called
+// outside any transaction (row ids recorded in undo logs become invalid).
+func (h *Heap) Compact() {
+	if h.n == len(h.rows) {
+		return
+	}
+	rows := make([]Row, 0, h.n)
+	for id, ok := range h.live {
+		if ok {
+			rows = append(rows, h.rows[id])
+		}
+	}
+	h.rows = rows
+	h.live = make([]bool, len(rows))
+	for i := range h.live {
+		h.live[i] = true
+	}
+}

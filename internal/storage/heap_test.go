@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"testing"
+
+	"tip/internal/types"
+)
+
+func row(vals ...int64) Row {
+	r := make(Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func TestHeapInsertGetDelete(t *testing.T) {
+	h := NewHeap()
+	id1 := h.Insert(row(1))
+	id2 := h.Insert(row(2))
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	r, ok := h.Get(id1)
+	if !ok || r[0].Int() != 1 {
+		t.Error("Get after insert")
+	}
+	old, err := h.Delete(id1)
+	if err != nil || old[0].Int() != 1 {
+		t.Errorf("Delete = %v, %v", old, err)
+	}
+	if _, ok := h.Get(id1); ok {
+		t.Error("Get after delete")
+	}
+	if _, err := h.Delete(id1); err == nil {
+		t.Error("double delete should fail")
+	}
+	if h.Len() != 1 {
+		t.Errorf("len after delete = %d", h.Len())
+	}
+	// id2 unaffected.
+	if r, ok := h.Get(id2); !ok || r[0].Int() != 2 {
+		t.Error("sibling row disturbed")
+	}
+	// Out of range.
+	if _, ok := h.Get(-1); ok {
+		t.Error("negative id")
+	}
+	if _, ok := h.Get(99); ok {
+		t.Error("out-of-range id")
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h := NewHeap()
+	id := h.Insert(row(1))
+	old, err := h.Update(id, row(10))
+	if err != nil || old[0].Int() != 1 {
+		t.Fatalf("Update = %v, %v", old, err)
+	}
+	r, _ := h.Get(id)
+	if r[0].Int() != 10 {
+		t.Error("update not applied")
+	}
+	if _, err := h.Update(99, row(1)); err == nil {
+		t.Error("update of missing row should fail")
+	}
+}
+
+func TestHeapInsertAt(t *testing.T) {
+	h := NewHeap()
+	id := h.Insert(row(1))
+	if err := h.InsertAt(id, row(2)); err == nil {
+		t.Error("InsertAt on live slot should fail")
+	}
+	if _, err := h.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertAt(id, row(2)); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := h.Get(id)
+	if !ok || r[0].Int() != 2 {
+		t.Error("revived row wrong")
+	}
+	if err := h.InsertAt(99, row(1)); err == nil {
+		t.Error("InsertAt out of range should fail")
+	}
+}
+
+func TestHeapScanOrderAndEarlyStop(t *testing.T) {
+	h := NewHeap()
+	for i := int64(0); i < 10; i++ {
+		h.Insert(row(i))
+	}
+	_, _ = h.Delete(3)
+	var seen []int64
+	h.Scan(func(_ int, r Row) bool {
+		seen = append(seen, r[0].Int())
+		return len(seen) < 5
+	})
+	if len(seen) != 5 {
+		t.Fatalf("early stop failed: %v", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Error("scan out of id order")
+		}
+	}
+	for _, v := range seen {
+		if v == 3 {
+			t.Error("deleted row visited")
+		}
+	}
+}
+
+func TestHeapCompact(t *testing.T) {
+	h := NewHeap()
+	for i := int64(0); i < 10; i++ {
+		h.Insert(row(i))
+	}
+	for _, id := range []int{0, 2, 4, 6, 8} {
+		if _, err := h.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Compact()
+	if h.Len() != 5 || h.Capacity() != 5 {
+		t.Errorf("after compact: len=%d cap=%d", h.Len(), h.Capacity())
+	}
+	var vals []int64
+	h.Scan(func(_ int, r Row) bool {
+		vals = append(vals, r[0].Int())
+		return true
+	})
+	want := []int64{1, 3, 5, 7, 9}
+	for i, v := range want {
+		if vals[i] != v {
+			t.Errorf("compacted rows = %v", vals)
+			break
+		}
+	}
+	// Compact on a fully live heap is a no-op.
+	h.Compact()
+	if h.Len() != 5 {
+		t.Error("double compact changed data")
+	}
+}

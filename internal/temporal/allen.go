@@ -1,0 +1,180 @@
+package temporal
+
+// Allen's interval operators [Allen 1983], provided by TIP for Periods.
+// The thirteen relations are mutually exclusive and jointly exhaustive over
+// pairs of non-empty closed intervals; TIP exposes the seven basic
+// relations and their inverses as routines on Period values.
+//
+// Each predicate binds its operands against a concrete value of NOW first,
+// because a Period endpoint may be NOW-relative. A period that binds empty
+// satisfies no Allen relation.
+
+// AllenRelation identifies one of Allen's thirteen interval relations.
+type AllenRelation int
+
+// The thirteen Allen relations.
+const (
+	AllenInvalid      AllenRelation = iota
+	AllenBefore                     // a entirely before b, with a gap
+	AllenMeets                      // a ends exactly where b starts
+	AllenOverlaps                   // a starts first, they overlap, b ends last
+	AllenStarts                     // same start, a ends first
+	AllenDuring                     // a strictly inside b
+	AllenFinishes                   // same end, a starts last
+	AllenEquals                     // identical intervals
+	AllenFinishedBy                 // inverse of finishes
+	AllenContains                   // inverse of during
+	AllenStartedBy                  // inverse of starts
+	AllenOverlappedBy               // inverse of overlaps
+	AllenMetBy                      // inverse of meets
+	AllenAfter                      // inverse of before
+)
+
+var allenNames = map[AllenRelation]string{
+	AllenInvalid:      "invalid",
+	AllenBefore:       "before",
+	AllenMeets:        "meets",
+	AllenOverlaps:     "overlaps",
+	AllenStarts:       "starts",
+	AllenDuring:       "during",
+	AllenFinishes:     "finishes",
+	AllenEquals:       "equals",
+	AllenFinishedBy:   "finished_by",
+	AllenContains:     "contains",
+	AllenStartedBy:    "started_by",
+	AllenOverlappedBy: "overlapped_by",
+	AllenMetBy:        "met_by",
+	AllenAfter:        "after",
+}
+
+// String returns the routine name TIP uses for the relation.
+func (r AllenRelation) String() string { return allenNames[r] }
+
+// Inverse returns the inverse Allen relation (e.g. before ↔ after).
+func (r AllenRelation) Inverse() AllenRelation {
+	switch r {
+	case AllenBefore:
+		return AllenAfter
+	case AllenMeets:
+		return AllenMetBy
+	case AllenOverlaps:
+		return AllenOverlappedBy
+	case AllenStarts:
+		return AllenStartedBy
+	case AllenDuring:
+		return AllenContains
+	case AllenFinishes:
+		return AllenFinishedBy
+	case AllenEquals:
+		return AllenEquals
+	case AllenFinishedBy:
+		return AllenFinishes
+	case AllenContains:
+		return AllenDuring
+	case AllenStartedBy:
+		return AllenStarts
+	case AllenOverlappedBy:
+		return AllenOverlaps
+	case AllenMetBy:
+		return AllenMeets
+	case AllenAfter:
+		return AllenBefore
+	default:
+		return AllenInvalid
+	}
+}
+
+// Allen classifies the relation of period p to period q at the given
+// moment. It returns AllenInvalid when either period binds empty.
+//
+// On a discrete time line with closed intervals, "meets" holds when q
+// starts at the chronon immediately after p ends; a gap of one or more
+// chronons is "before".
+func Allen(p, q Period, now Chronon) AllenRelation {
+	a, okA := p.Bind(now)
+	b, okB := q.Bind(now)
+	if !okA || !okB {
+		return AllenInvalid
+	}
+	return allenIntervals(a, b)
+}
+
+func allenIntervals(a, b Interval) AllenRelation {
+	switch {
+	case a.Hi < b.Lo:
+		if a.Hi+1 == b.Lo {
+			return AllenMeets
+		}
+		return AllenBefore
+	case b.Hi < a.Lo:
+		if b.Hi+1 == a.Lo {
+			return AllenMetBy
+		}
+		return AllenAfter
+	case a.Lo == b.Lo && a.Hi == b.Hi:
+		return AllenEquals
+	case a.Lo == b.Lo:
+		if a.Hi < b.Hi {
+			return AllenStarts
+		}
+		return AllenStartedBy
+	case a.Hi == b.Hi:
+		if a.Lo > b.Lo {
+			return AllenFinishes
+		}
+		return AllenFinishedBy
+	case a.Lo > b.Lo && a.Hi < b.Hi:
+		return AllenDuring
+	case a.Lo < b.Lo && a.Hi > b.Hi:
+		return AllenContains
+	case a.Lo < b.Lo:
+		return AllenOverlaps
+	default:
+		return AllenOverlappedBy
+	}
+}
+
+// PeriodBefore reports Allen's before(p, q) at the given moment.
+func PeriodBefore(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenBefore }
+
+// PeriodAfter reports Allen's after(p, q) at the given moment.
+func PeriodAfter(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenAfter }
+
+// PeriodMeets reports Allen's meets(p, q) at the given moment.
+func PeriodMeets(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenMeets }
+
+// PeriodMetBy reports Allen's met_by(p, q) at the given moment.
+func PeriodMetBy(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenMetBy }
+
+// PeriodOverlapsAllen reports Allen's strict overlaps(p, q): p starts
+// first, the two share chronons, and q ends last.
+func PeriodOverlapsAllen(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenOverlaps }
+
+// PeriodOverlaps reports the common loose overlap predicate: the two
+// periods share at least one chronon. This is the `overlaps` routine used
+// in the paper's temporal self-join.
+func PeriodOverlaps(p, q Period, now Chronon) bool {
+	a, okA := p.Bind(now)
+	b, okB := q.Bind(now)
+	return okA && okB && a.Overlaps(b)
+}
+
+// PeriodContains reports whether p contains every chronon of q. Unlike
+// Allen's strict `contains`, shared endpoints are allowed.
+func PeriodContains(p, q Period, now Chronon) bool {
+	a, okA := p.Bind(now)
+	b, okB := q.Bind(now)
+	return okA && okB && a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// PeriodStarts reports Allen's starts(p, q) at the given moment.
+func PeriodStarts(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenStarts }
+
+// PeriodFinishes reports Allen's finishes(p, q) at the given moment.
+func PeriodFinishes(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenFinishes }
+
+// PeriodDuring reports Allen's during(p, q) at the given moment.
+func PeriodDuring(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenDuring }
+
+// PeriodEquals reports Allen's equals(p, q) at the given moment.
+func PeriodEquals(p, q Period, now Chronon) bool { return Allen(p, q, now) == AllenEquals }

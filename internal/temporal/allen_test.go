@@ -1,0 +1,154 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pd(t *testing.T, s string) Period {
+	t.Helper()
+	p, err := ParsePeriod(s)
+	if err != nil {
+		t.Fatalf("ParsePeriod(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestAllenRelations(t *testing.T) {
+	tests := []struct {
+		name, a, b string
+		want       AllenRelation
+	}{
+		{"before", "[1999-01-01, 1999-02-01]", "[1999-03-01, 1999-04-01]", AllenBefore},
+		{"after", "[1999-03-01, 1999-04-01]", "[1999-01-01, 1999-02-01]", AllenAfter},
+		{"meets (adjacent chronons)", "[1999-01-01 00:00:00, 1999-01-01 11:59:59]",
+			"[1999-01-01 12:00:00, 1999-01-02]", AllenMeets},
+		{"met_by", "[1999-01-01 12:00:00, 1999-01-02]",
+			"[1999-01-01 00:00:00, 1999-01-01 11:59:59]", AllenMetBy},
+		{"overlaps", "[1999-01-01, 1999-03-01]", "[1999-02-01, 1999-04-01]", AllenOverlaps},
+		{"overlapped_by", "[1999-02-01, 1999-04-01]", "[1999-01-01, 1999-03-01]", AllenOverlappedBy},
+		{"starts", "[1999-01-01, 1999-02-01]", "[1999-01-01, 1999-06-01]", AllenStarts},
+		{"started_by", "[1999-01-01, 1999-06-01]", "[1999-01-01, 1999-02-01]", AllenStartedBy},
+		{"during", "[1999-02-01, 1999-03-01]", "[1999-01-01, 1999-06-01]", AllenDuring},
+		{"contains", "[1999-01-01, 1999-06-01]", "[1999-02-01, 1999-03-01]", AllenContains},
+		{"finishes", "[1999-05-01, 1999-06-01]", "[1999-01-01, 1999-06-01]", AllenFinishes},
+		{"finished_by", "[1999-01-01, 1999-06-01]", "[1999-05-01, 1999-06-01]", AllenFinishedBy},
+		{"equals", "[1999-01-01, 1999-06-01]", "[1999-01-01, 1999-06-01]", AllenEquals},
+		{"shared endpoint is overlaps", "[1999-01-01, 1999-02-01]", "[1999-02-01, 1999-03-01]", AllenOverlaps},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, b := pd(t, tt.a), pd(t, tt.b)
+			if got := Allen(a, b, testNow); got != tt.want {
+				t.Errorf("Allen = %v, want %v", got, tt.want)
+			}
+			// The inverse relation must hold with operands swapped.
+			if got := Allen(b, a, testNow); got != tt.want.Inverse() {
+				t.Errorf("Allen swapped = %v, want %v", got, tt.want.Inverse())
+			}
+		})
+	}
+}
+
+// TestAllenExhaustive verifies, over random period pairs, that exactly one
+// of the thirteen relations holds — Allen's relations are mutually
+// exclusive and jointly exhaustive.
+func TestAllenExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base := int64(MustDate(1999, 1, 1))
+	for trial := 0; trial < 2000; trial++ {
+		mk := func() Period {
+			lo := base + r.Int63n(100)
+			hi := lo + r.Int63n(20)
+			return MustPeriod(Chronon(lo), Chronon(hi))
+		}
+		a, b := mk(), mk()
+		rel := Allen(a, b, testNow)
+		if rel == AllenInvalid {
+			t.Fatalf("no relation for %s vs %s", a, b)
+		}
+		if Allen(b, a, testNow) != rel.Inverse() {
+			t.Fatalf("inverse mismatch for %s vs %s: %v", a, b, rel)
+		}
+	}
+}
+
+func TestAllenWithNow(t *testing.T) {
+	p := pd(t, "[NOW-7, NOW]")
+	q := pd(t, "[1999-11-01, 1999-11-30]")
+	// On 1999-11-12, NOW-7..NOW is inside November.
+	if got := Allen(p, q, testNow); got != AllenDuring {
+		t.Errorf("Allen = %v, want during", got)
+	}
+	// In 2000, the same periods are disjoint.
+	if got := Allen(p, q, MustDate(2000, 6, 1)); got != AllenAfter {
+		t.Errorf("Allen = %v, want after", got)
+	}
+}
+
+func TestAllenInvalidOnEmptyBinding(t *testing.T) {
+	empty := Period{Start: AbsInstant(MustDate(2000, 1, 1)), End: Now} // empty in 1999
+	q := pd(t, "[1999-01-01, 1999-02-01]")
+	if got := Allen(empty, q, testNow); got != AllenInvalid {
+		t.Errorf("Allen on empty period = %v, want invalid", got)
+	}
+}
+
+func TestPeriodPredicates(t *testing.T) {
+	a := pd(t, "[1999-01-01, 1999-03-01]")
+	b := pd(t, "[1999-02-01, 1999-04-01]")
+	c := pd(t, "[1999-02-01, 1999-02-15]")
+	if !PeriodOverlaps(a, b, testNow) {
+		t.Error("loose overlaps should hold")
+	}
+	if !PeriodOverlapsAllen(a, b, testNow) {
+		t.Error("strict overlaps should hold")
+	}
+	if PeriodOverlapsAllen(a, c, testNow) {
+		t.Error("strict overlaps should not hold for containment")
+	}
+	if !PeriodOverlaps(a, c, testNow) {
+		t.Error("loose overlaps should hold for containment")
+	}
+	if !PeriodContains(a, c, testNow) {
+		t.Error("contains should hold")
+	}
+	if !PeriodContains(a, a, testNow) {
+		t.Error("loose contains is reflexive")
+	}
+	if PeriodDuring(c, c, testNow) {
+		t.Error("strict during is irreflexive")
+	}
+	if !PeriodEquals(a, a, testNow) {
+		t.Error("equals is reflexive")
+	}
+	if !PeriodBefore(pd(t, "[1999-01-01, 1999-01-05]"), pd(t, "[1999-02-01, 1999-02-05]"), testNow) {
+		t.Error("before should hold")
+	}
+	if !PeriodAfter(pd(t, "[1999-02-01, 1999-02-05]"), pd(t, "[1999-01-01, 1999-01-05]"), testNow) {
+		t.Error("after should hold")
+	}
+	x := pd(t, "[1999-01-01 00:00:00, 1999-01-01 00:00:04]")
+	y := pd(t, "[1999-01-01 00:00:05, 1999-01-01 00:00:09]")
+	if !PeriodMeets(x, y, testNow) || !PeriodMetBy(y, x, testNow) {
+		t.Error("meets/met_by should hold for adjacent chronon intervals")
+	}
+	if !PeriodStarts(pd(t, "[1999-01-01, 1999-01-05]"), pd(t, "[1999-01-01, 1999-02-05]"), testNow) {
+		t.Error("starts should hold")
+	}
+	if !PeriodFinishes(pd(t, "[1999-02-01, 1999-02-05]"), pd(t, "[1999-01-01, 1999-02-05]"), testNow) {
+		t.Error("finishes should hold")
+	}
+}
+
+func TestAllenRelationString(t *testing.T) {
+	if AllenBefore.String() != "before" || AllenMetBy.String() != "met_by" {
+		t.Error("relation names wrong")
+	}
+	if AllenEquals.Inverse() != AllenEquals {
+		t.Error("equals is its own inverse")
+	}
+	if AllenInvalid.Inverse() != AllenInvalid {
+		t.Error("invalid inverse should stay invalid")
+	}
+}

@@ -1,0 +1,153 @@
+// Package temporal implements the TIP datatype kernel: the five temporal
+// datatypes described in "TIP: A Temporal Extension to Informix" (SIGMOD
+// 2000) — Chronon, Span, Instant, Period and Element — together with their
+// text syntax, an efficient binary codec, arithmetic and comparison
+// operators, Allen's interval operators, and linear-time element algebra.
+//
+// This package is the analogue of the paper's "TIP C library": it is shared
+// by the TIP DataBlade (package core), the client libraries, and the TIP
+// Browser.
+//
+// Time model. TIP models time as a discrete, totally ordered line of
+// chronons at one-second granularity. Periods are closed on both ends
+// ([start, end] contains both endpoints), and an Element is a set of
+// periods kept in a canonical form: sorted, pairwise disjoint and
+// non-adjacent. The special symbol NOW denotes the current transaction
+// time; NOW-relative values are bound to a concrete chronon at query
+// evaluation time (see Instant.Bind and Element.Bind).
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Chronon is a specific point in time at one-second granularity, the TIP
+// analogue of SQL's DATE. It is stored as seconds since the Unix epoch
+// (UTC); negative values denote chronons before 1970.
+type Chronon int64
+
+// Chronon bounds. TIP supports years 1 through 9999, matching the range of
+// SQL DATE values (and, as the paper notes, TIP is Y2K-compliant).
+var (
+	// MinChronon is 0001-01-01 00:00:00 UTC.
+	MinChronon = Chronon(time.Date(1, time.January, 1, 0, 0, 0, 0, time.UTC).Unix())
+	// MaxChronon is 9999-12-31 23:59:59 UTC.
+	MaxChronon = Chronon(time.Date(9999, time.December, 31, 23, 59, 59, 0, time.UTC).Unix())
+)
+
+// ErrRange reports a temporal value outside the supported time line.
+var ErrRange = errors.New("temporal: value out of range")
+
+// MakeChronon builds a Chronon from civil date and time-of-day components
+// interpreted in UTC. It returns ErrRange if the components do not denote a
+// valid calendar instant within [MinChronon, MaxChronon].
+func MakeChronon(year, month, day, hour, min, sec int) (Chronon, error) {
+	if month < 1 || month > 12 {
+		return 0, fmt.Errorf("%w: month %d", ErrRange, month)
+	}
+	if day < 1 || day > daysIn(year, month) {
+		return 0, fmt.Errorf("%w: day %d of %04d-%02d", ErrRange, day, year, month)
+	}
+	if hour < 0 || hour > 23 || min < 0 || min > 59 || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("%w: time of day %02d:%02d:%02d", ErrRange, hour, min, sec)
+	}
+	c := Chronon(time.Date(year, time.Month(month), day, hour, min, sec, 0, time.UTC).Unix())
+	if c < MinChronon || c > MaxChronon {
+		return 0, fmt.Errorf("%w: year %d", ErrRange, year)
+	}
+	return c, nil
+}
+
+// MustChronon is like MakeChronon but panics on error. It is intended for
+// tests and package-level literals.
+func MustChronon(year, month, day, hour, min, sec int) Chronon {
+	c, err := MakeChronon(year, month, day, hour, min, sec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Date builds a midnight Chronon from a civil date.
+func Date(year, month, day int) (Chronon, error) {
+	return MakeChronon(year, month, day, 0, 0, 0)
+}
+
+// MustDate is like Date but panics on error.
+func MustDate(year, month, day int) Chronon {
+	return MustChronon(year, month, day, 0, 0, 0)
+}
+
+// ChrononOf converts a time.Time to a Chronon, truncating sub-second
+// precision.
+func ChrononOf(t time.Time) Chronon { return Chronon(t.Unix()) }
+
+// Time converts the chronon back into a time.Time in UTC.
+func (c Chronon) Time() time.Time { return time.Unix(int64(c), 0).UTC() }
+
+// Civil decomposes the chronon into its civil components in UTC.
+func (c Chronon) Civil() (year, month, day, hour, min, sec int) {
+	t := c.Time()
+	return t.Year(), int(t.Month()), t.Day(), t.Hour(), t.Minute(), t.Second()
+}
+
+// Valid reports whether the chronon lies on the supported time line.
+func (c Chronon) Valid() bool { return c >= MinChronon && c <= MaxChronon }
+
+// Compare returns -1, 0 or +1 according to the order of c and d on the time
+// line.
+func (c Chronon) Compare(d Chronon) int {
+	switch {
+	case c < d:
+		return -1
+	case c > d:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AddSpan returns the chronon displaced by s. It returns ErrRange when the
+// result leaves the supported time line.
+func (c Chronon) AddSpan(s Span) (Chronon, error) {
+	r := Chronon(int64(c) + int64(s))
+	// Overflow check: adding a positive span must move forward.
+	if (s > 0 && r < c) || (s < 0 && r > c) || !r.Valid() {
+		return 0, fmt.Errorf("%w: %s + %s", ErrRange, c, s)
+	}
+	return r, nil
+}
+
+// SubChronon returns the span d such that other + d == c.
+func (c Chronon) SubChronon(other Chronon) Span { return Span(int64(c) - int64(other)) }
+
+// Instant converts the chronon into an absolute Instant.
+func (c Chronon) Instant() Instant { return Instant{abs: c} }
+
+// Period converts the chronon into the degenerate period [c, c]. This is
+// the cast the paper gives as an example ("1999-01-01 becomes
+// [1999-01-01, 1999-01-01]").
+func (c Chronon) Period() Period { return Period{Start: c.Instant(), End: c.Instant()} }
+
+// daysIn returns the number of days in the given month of the given year.
+func daysIn(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if isLeap(year) {
+			return 29
+		}
+		return 28
+	default:
+		return 0
+	}
+}
+
+func isLeap(year int) bool {
+	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
+}

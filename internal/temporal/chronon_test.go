@@ -1,0 +1,122 @@
+package temporal
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMakeChronon(t *testing.T) {
+	tests := []struct {
+		name               string
+		y, mo, d, h, mi, s int
+		want               string
+		wantErr            bool
+	}{
+		{name: "epoch", y: 1970, mo: 1, d: 1, want: "1970-01-01"},
+		{name: "paper famous chronon", y: 2000, mo: 1, d: 1, want: "2000-01-01"},
+		{name: "with time", y: 1999, mo: 11, d: 12, h: 13, mi: 30, s: 45, want: "1999-11-12 13:30:45"},
+		{name: "pre-epoch", y: 1969, mo: 12, d: 31, want: "1969-12-31"},
+		{name: "y2k compliant", y: 2038, mo: 2, d: 1, want: "2038-02-01"},
+		{name: "leap day", y: 2000, mo: 2, d: 29, want: "2000-02-29"},
+		{name: "non-leap century", y: 1900, mo: 2, d: 29, wantErr: true},
+		{name: "bad month", y: 1999, mo: 13, d: 1, wantErr: true},
+		{name: "bad day", y: 1999, mo: 4, d: 31, wantErr: true},
+		{name: "bad hour", y: 1999, mo: 4, d: 30, h: 24, wantErr: true},
+		{name: "year zero", y: 0, mo: 1, d: 1, wantErr: true},
+		{name: "year ten thousand", y: 10000, mo: 1, d: 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := MakeChronon(tt.y, tt.mo, tt.d, tt.h, tt.mi, tt.s)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("MakeChronon = %v, want error", c)
+				}
+				if !errors.Is(err, ErrRange) {
+					t.Fatalf("error = %v, want ErrRange", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MakeChronon: %v", err)
+			}
+			if got := c.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestChrononCivilRoundTrip(t *testing.T) {
+	f := func(secs int32) bool {
+		c := Chronon(int64(secs) * 977) // spread over ~±66k years, clamp below
+		if !c.Valid() {
+			return true
+		}
+		y, mo, d, h, mi, s := c.Civil()
+		back, err := MakeChronon(y, mo, d, h, mi, s)
+		return err == nil && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChrononArithmetic(t *testing.T) {
+	c := MustDate(1999, 11, 12)
+	d, err := c.AddSpan(-Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MustDate(1999, 11, 11); d != want {
+		t.Errorf("NOW-1 binding example: got %s, want %s", d, want)
+	}
+	if got := d.SubChronon(c); got != -Day {
+		t.Errorf("SubChronon = %v, want %v", got, -Day)
+	}
+	if _, err := MaxChronon.AddSpan(Day); err == nil {
+		t.Error("AddSpan past MaxChronon should fail")
+	}
+	if _, err := MinChronon.AddSpan(-Day); err == nil {
+		t.Error("AddSpan before MinChronon should fail")
+	}
+}
+
+func TestChrononCompare(t *testing.T) {
+	a, b := MustDate(1999, 1, 1), MustDate(2000, 1, 1)
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare ordering wrong")
+	}
+}
+
+func TestChrononOfTime(t *testing.T) {
+	now := time.Date(2026, 7, 6, 10, 30, 0, 500, time.UTC)
+	c := ChrononOf(now)
+	if got := c.String(); got != "2026-07-06 10:30:00" {
+		t.Errorf("ChrononOf = %q", got)
+	}
+}
+
+func TestChrononPeriodCast(t *testing.T) {
+	c := MustDate(1999, 1, 1)
+	p := c.Period()
+	if got := p.String(); got != "[1999-01-01, 1999-01-01]" {
+		t.Errorf("Chronon→Period cast = %q", got)
+	}
+}
+
+func TestDaysIn(t *testing.T) {
+	tests := []struct {
+		y, m, want int
+	}{
+		{2000, 2, 29}, {1900, 2, 28}, {2004, 2, 29}, {2001, 2, 28},
+		{1999, 1, 31}, {1999, 4, 30}, {1999, 12, 31}, {1999, 9, 30},
+	}
+	for _, tt := range tests {
+		if got := daysIn(tt.y, tt.m); got != tt.want {
+			t.Errorf("daysIn(%d,%d) = %d, want %d", tt.y, tt.m, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package temporal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary codec. The paper notes that TIP internally stores its datatypes
+// "in an efficient binary format"; this file defines that format for the
+// Go implementation. It is used by the storage layer, the wire protocol,
+// and the element persistence tests.
+//
+// Layout (little-endian):
+//
+//	Chronon  8 bytes  int64 seconds since the Unix epoch
+//	Span     8 bytes  int64 seconds
+//	Instant  1 byte   tag (0 absolute, 1 NOW-relative) + 8 bytes payload
+//	Period   two Instants
+//	Element  uvarint period count + periods
+//
+// Decode functions return the remaining input, enabling streaming decode
+// of composite values.
+
+// ErrCorrupt reports malformed binary input.
+var ErrCorrupt = errors.New("temporal: corrupt binary encoding")
+
+const (
+	tagAbsolute = 0
+	tagRelative = 1
+)
+
+// AppendBinary appends the chronon's encoding to buf.
+func (c Chronon) AppendBinary(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(c))
+}
+
+// DecodeChronon decodes a chronon from the front of buf.
+func DecodeChronon(buf []byte) (Chronon, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: short chronon", ErrCorrupt)
+	}
+	return Chronon(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+}
+
+// AppendBinary appends the span's encoding to buf.
+func (s Span) AppendBinary(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(s))
+}
+
+// DecodeSpan decodes a span from the front of buf.
+func DecodeSpan(buf []byte) (Span, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: short span", ErrCorrupt)
+	}
+	return Span(binary.LittleEndian.Uint64(buf)), buf[8:], nil
+}
+
+// AppendBinary appends the instant's encoding to buf.
+func (i Instant) AppendBinary(buf []byte) []byte {
+	if i.rel {
+		buf = append(buf, tagRelative)
+		return i.off.AppendBinary(buf)
+	}
+	buf = append(buf, tagAbsolute)
+	return i.abs.AppendBinary(buf)
+}
+
+// DecodeInstant decodes an instant from the front of buf.
+func DecodeInstant(buf []byte) (Instant, []byte, error) {
+	if len(buf) < 1 {
+		return Instant{}, nil, fmt.Errorf("%w: short instant", ErrCorrupt)
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case tagAbsolute:
+		c, rest, err := DecodeChronon(buf)
+		if err != nil {
+			return Instant{}, nil, err
+		}
+		return AbsInstant(c), rest, nil
+	case tagRelative:
+		s, rest, err := DecodeSpan(buf)
+		if err != nil {
+			return Instant{}, nil, err
+		}
+		return NowRelative(s), rest, nil
+	default:
+		return Instant{}, nil, fmt.Errorf("%w: instant tag %d", ErrCorrupt, tag)
+	}
+}
+
+// AppendBinary appends the period's encoding to buf.
+func (p Period) AppendBinary(buf []byte) []byte {
+	buf = p.Start.AppendBinary(buf)
+	return p.End.AppendBinary(buf)
+}
+
+// DecodePeriod decodes a period from the front of buf.
+func DecodePeriod(buf []byte) (Period, []byte, error) {
+	start, buf, err := DecodeInstant(buf)
+	if err != nil {
+		return Period{}, nil, err
+	}
+	end, buf, err := DecodeInstant(buf)
+	if err != nil {
+		return Period{}, nil, err
+	}
+	return Period{Start: start, End: end}, buf, nil
+}
+
+// AppendBinary appends the element's encoding to buf.
+func (e Element) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(e.periods)))
+	for _, p := range e.periods {
+		buf = p.AppendBinary(buf)
+	}
+	return buf
+}
+
+// DecodeElement decodes an element from the front of buf. The decoded
+// periods are trusted to be in stored form and are not re-normalised.
+func DecodeElement(buf []byte) (Element, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return Element{}, nil, fmt.Errorf("%w: element count", ErrCorrupt)
+	}
+	buf = buf[k:]
+	if n > uint64(len(buf)) { // each period takes at least 18 bytes
+		return Element{}, nil, fmt.Errorf("%w: element count %d exceeds input", ErrCorrupt, n)
+	}
+	periods := make([]Period, 0, n)
+	for range n {
+		var p Period
+		var err error
+		p, buf, err = DecodePeriod(buf)
+		if err != nil {
+			return Element{}, nil, err
+		}
+		periods = append(periods, p)
+	}
+	return Element{periods: periods}, buf, nil
+}

@@ -1,0 +1,133 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecChronon(t *testing.T) {
+	f := func(v int64) bool {
+		c := Chronon(v)
+		buf := c.AppendBinary(nil)
+		back, rest, err := DecodeChronon(buf)
+		return err == nil && len(rest) == 0 && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecSpan(t *testing.T) {
+	f := func(v int64) bool {
+		s := Span(v)
+		buf := s.AppendBinary(nil)
+		back, rest, err := DecodeSpan(buf)
+		return err == nil && len(rest) == 0 && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecInstant(t *testing.T) {
+	f := func(v int64, rel bool) bool {
+		var i Instant
+		if rel {
+			i = NowRelative(Span(v))
+		} else {
+			i = AbsInstant(Chronon(v))
+		}
+		buf := i.AppendBinary(nil)
+		back, rest, err := DecodeInstant(buf)
+		return err == nil && len(rest) == 0 && back.Equal(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecPeriodElement(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		e := randomElement(r, r.Intn(12))
+		buf := e.AppendBinary(nil)
+		back, rest, err := DecodeElement(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trailing bytes: %d", len(rest))
+		}
+		if back.String() != e.String() {
+			t.Fatalf("codec changed %q to %q", e.String(), back.String())
+		}
+	}
+	// NOW-relative elements survive too.
+	e, err := ParseElement("{[1999-10-01, NOW]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := DecodeElement(e.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != e.String() {
+		t.Fatalf("NOW element codec changed %q to %q", e.String(), back.String())
+	}
+}
+
+func TestCodecStreaming(t *testing.T) {
+	// Values concatenate and decode in sequence.
+	var buf []byte
+	buf = MustDate(1999, 1, 1).AppendBinary(buf)
+	buf = Week.AppendBinary(buf)
+	buf = Now.AppendBinary(buf)
+
+	c, buf, err := DecodeChronon(buf)
+	if err != nil || c != MustDate(1999, 1, 1) {
+		t.Fatalf("chronon: %v %v", c, err)
+	}
+	s, buf, err := DecodeSpan(buf)
+	if err != nil || s != Week {
+		t.Fatalf("span: %v %v", s, err)
+	}
+	i, buf, err := DecodeInstant(buf)
+	if err != nil || !i.Equal(Now) {
+		t.Fatalf("instant: %v %v", i, err)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("trailing bytes")
+	}
+}
+
+func TestCodecCorrupt(t *testing.T) {
+	if _, _, err := DecodeChronon([]byte{1, 2}); err == nil {
+		t.Error("short chronon should fail")
+	}
+	if _, _, err := DecodeSpan(nil); err == nil {
+		t.Error("empty span should fail")
+	}
+	if _, _, err := DecodeInstant(nil); err == nil {
+		t.Error("empty instant should fail")
+	}
+	if _, _, err := DecodeInstant([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("bad instant tag should fail")
+	}
+	if _, _, err := DecodeInstant([]byte{0, 1}); err == nil {
+		t.Error("short instant payload should fail")
+	}
+	if _, _, err := DecodePeriod([]byte{0}); err == nil {
+		t.Error("short period should fail")
+	}
+	if _, _, err := DecodeElement(nil); err == nil {
+		t.Error("empty element should fail")
+	}
+	if _, _, err := DecodeElement([]byte{200}); err == nil {
+		t.Error("truncated varint should fail")
+	}
+	// Claimed count far larger than remaining input.
+	if _, _, err := DecodeElement([]byte{100, 0, 0}); err == nil {
+		t.Error("oversized count should fail")
+	}
+}

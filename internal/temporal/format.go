@@ -1,0 +1,133 @@
+package temporal
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Text formatting for the five TIP datatypes, in the exact literal syntax
+// used by the paper's examples:
+//
+//	Chronon  1999-09-01            or  2000-01-01 12:30:00
+//	Span     7 12:00:00            or  -7
+//	Instant  NOW, NOW-1, NOW+0 08:00:00, or any Chronon
+//	Period   [1999-01-01, NOW]
+//	Element  {[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}
+//
+// These strings are what the engine's implicit string casts produce and
+// accept, letting SQL statements embed TIP values as quoted literals.
+
+// String formats the chronon as year-month-day, appending the time of day
+// only when it is not midnight.
+func (c Chronon) String() string {
+	var b strings.Builder
+	c.appendTo(&b)
+	return b.String()
+}
+
+func (c Chronon) appendTo(b *strings.Builder) {
+	y, mo, d, h, mi, s := c.Civil()
+	pad(b, y, 4)
+	b.WriteByte('-')
+	pad(b, mo, 2)
+	b.WriteByte('-')
+	pad(b, d, 2)
+	if h != 0 || mi != 0 || s != 0 {
+		b.WriteByte(' ')
+		pad(b, h, 2)
+		b.WriteByte(':')
+		pad(b, mi, 2)
+		b.WriteByte(':')
+		pad(b, s, 2)
+	}
+}
+
+// String formats the span as [-]days[ hours:minutes:seconds], omitting the
+// time-of-day part when it is zero.
+func (s Span) String() string {
+	var b strings.Builder
+	s.appendTo(&b)
+	return b.String()
+}
+
+func (s Span) appendTo(b *strings.Builder) {
+	sign, days, hours, mins, secs := s.Components()
+	if sign < 0 {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatInt(days, 10))
+	if hours != 0 || mins != 0 || secs != 0 {
+		b.WriteByte(' ')
+		pad(b, int(hours), 2)
+		b.WriteByte(':')
+		pad(b, int(mins), 2)
+		b.WriteByte(':')
+		pad(b, int(secs), 2)
+	}
+}
+
+// String formats the instant: an absolute instant prints as its chronon; a
+// NOW-relative instant prints as NOW followed by its signed offset (NOW,
+// NOW-1, NOW+7 12:00:00).
+func (i Instant) String() string {
+	var b strings.Builder
+	i.appendTo(&b)
+	return b.String()
+}
+
+func (i Instant) appendTo(b *strings.Builder) {
+	if !i.rel {
+		i.abs.appendTo(b)
+		return
+	}
+	b.WriteString("NOW")
+	if i.off == 0 {
+		return
+	}
+	if i.off > 0 {
+		b.WriteByte('+')
+	}
+	i.off.appendTo(b)
+}
+
+// String formats the period as [start, end].
+func (p Period) String() string {
+	var b strings.Builder
+	p.appendTo(&b)
+	return b.String()
+}
+
+func (p Period) appendTo(b *strings.Builder) {
+	b.WriteByte('[')
+	p.Start.appendTo(b)
+	b.WriteString(", ")
+	p.End.appendTo(b)
+	b.WriteByte(']')
+}
+
+// String formats the element as {period, period, ...}; the empty element
+// prints as {}.
+func (e Element) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range e.periods {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		p.appendTo(&b)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func pad(b *strings.Builder, v, width int) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	s := strconv.Itoa(v)
+	for n := width - len(s); n > 0; n-- {
+		b.WriteByte('0')
+	}
+	b.WriteString(s)
+}

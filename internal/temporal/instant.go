@@ -1,0 +1,106 @@
+package temporal
+
+import "fmt"
+
+// Instant is either an absolute Chronon or a NOW-relative time: an offset
+// of type Span from the special symbol NOW, whose interpretation changes as
+// time advances. "NOW-1" denotes yesterday; "NOW" denotes the current
+// transaction time.
+//
+// The zero Instant is the absolute chronon 1970-01-01 00:00:00.
+type Instant struct {
+	rel bool    // true when NOW-relative
+	abs Chronon // absolute chronon when !rel
+	off Span    // offset from NOW when rel
+}
+
+// Now is the NOW-relative instant with zero offset.
+var Now = Instant{rel: true}
+
+// AbsInstant builds an absolute instant from a chronon.
+func AbsInstant(c Chronon) Instant { return Instant{abs: c} }
+
+// NowRelative builds the instant NOW+off.
+func NowRelative(off Span) Instant { return Instant{rel: true, off: off} }
+
+// Relative reports whether the instant is NOW-relative.
+func (i Instant) Relative() bool { return i.rel }
+
+// Chronon returns the absolute chronon of a non-relative instant. It must
+// not be called on a NOW-relative instant; use Bind for those.
+func (i Instant) Chronon() (Chronon, bool) {
+	if i.rel {
+		return 0, false
+	}
+	return i.abs, true
+}
+
+// Offset returns the offset from NOW of a NOW-relative instant.
+func (i Instant) Offset() (Span, bool) {
+	if !i.rel {
+		return 0, false
+	}
+	return i.off, true
+}
+
+// Bind resolves the instant against a concrete value of NOW (the current
+// transaction time), yielding the chronon it denotes at that moment. This
+// is the cast the paper describes: "NOW-1 becomes 1999-11-11 if today's
+// date is 1999-11-12". Out-of-range results are clamped to the supported
+// time line, mirroring the closed-world interpretation of NOW-relative
+// values at the edges of time.
+func (i Instant) Bind(now Chronon) Chronon {
+	if !i.rel {
+		return i.abs
+	}
+	c, err := now.AddSpan(i.off)
+	if err != nil {
+		if i.off > 0 {
+			return MaxChronon
+		}
+		return MinChronon
+	}
+	return c
+}
+
+// AddSpan displaces the instant by s, preserving NOW-relativity.
+func (i Instant) AddSpan(s Span) (Instant, error) {
+	if i.rel {
+		off, err := i.off.Add(s)
+		if err != nil {
+			return Instant{}, err
+		}
+		return Instant{rel: true, off: off}, nil
+	}
+	c, err := i.abs.AddSpan(s)
+	if err != nil {
+		return Instant{}, err
+	}
+	return Instant{abs: c}, nil
+}
+
+// Sub returns the span from other to i. Both instants must share a basis:
+// either both absolute or both NOW-relative; mixing them has no
+// time-invariant answer and returns an error (bind first).
+func (i Instant) Sub(other Instant) (Span, error) {
+	switch {
+	case !i.rel && !other.rel:
+		return i.abs.SubChronon(other.abs), nil
+	case i.rel && other.rel:
+		return i.off.Sub(other.off)
+	default:
+		return 0, fmt.Errorf("temporal: cannot subtract instants with different bases; bind NOW first")
+	}
+}
+
+// Compare orders two instants under a concrete value of NOW. As the paper
+// notes, the result of comparing a Chronon to a NOW-relative Instant may
+// change as time advances.
+func (i Instant) Compare(other Instant, now Chronon) int {
+	return i.Bind(now).Compare(other.Bind(now))
+}
+
+// Equal reports structural equality: same basis and same position. Two
+// structurally different instants (e.g. NOW and an absolute chronon) are
+// not Equal even if they bind to the same chronon at some moment.
+func (i Instant) Equal(other Instant) bool { return i == other }

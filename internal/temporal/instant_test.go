@@ -1,0 +1,107 @@
+package temporal
+
+import "testing"
+
+func TestInstantBind(t *testing.T) {
+	now := MustDate(1999, 11, 12)
+	tests := []struct {
+		name string
+		i    Instant
+		want Chronon
+	}{
+		{"absolute", AbsInstant(MustDate(1999, 1, 1)), MustDate(1999, 1, 1)},
+		{"NOW", Now, now},
+		{"NOW-1 is yesterday", NowRelative(-Day), MustDate(1999, 11, 11)},
+		{"NOW+7", NowRelative(7 * Day), MustDate(1999, 11, 19)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.i.Bind(now); got != tt.want {
+				t.Errorf("Bind = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInstantBindClamps(t *testing.T) {
+	if got := NowRelative(1 << 50).Bind(MaxChronon); got != MaxChronon {
+		t.Errorf("forward overflow should clamp to MaxChronon, got %s", got)
+	}
+	if got := NowRelative(-(1 << 50)).Bind(MinChronon); got != MinChronon {
+		t.Errorf("backward overflow should clamp to MinChronon, got %s", got)
+	}
+}
+
+func TestInstantAccessors(t *testing.T) {
+	abs := AbsInstant(MustDate(2000, 1, 1))
+	if abs.Relative() {
+		t.Error("absolute instant reported relative")
+	}
+	if c, ok := abs.Chronon(); !ok || c != MustDate(2000, 1, 1) {
+		t.Error("Chronon accessor failed")
+	}
+	if _, ok := abs.Offset(); ok {
+		t.Error("Offset should fail on absolute instant")
+	}
+	rel := NowRelative(-Week)
+	if !rel.Relative() {
+		t.Error("NOW-relative instant reported absolute")
+	}
+	if off, ok := rel.Offset(); !ok || off != -Week {
+		t.Error("Offset accessor failed")
+	}
+	if _, ok := rel.Chronon(); ok {
+		t.Error("Chronon should fail on relative instant")
+	}
+}
+
+func TestInstantArithmetic(t *testing.T) {
+	i, err := Now.AddSpan(-Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := i.Offset(); off != -Day {
+		t.Errorf("NOW + (-1 day) offset = %v", off)
+	}
+	j, err := AbsInstant(MustDate(1999, 1, 1)).AddSpan(Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := j.Chronon(); c != MustDate(1999, 1, 8) {
+		t.Errorf("AddSpan = %v", c)
+	}
+}
+
+func TestInstantSub(t *testing.T) {
+	a := AbsInstant(MustDate(1999, 1, 8))
+	b := AbsInstant(MustDate(1999, 1, 1))
+	if s, err := a.Sub(b); err != nil || s != Week {
+		t.Errorf("Sub = %v, %v", s, err)
+	}
+	r1, r2 := NowRelative(-Day), NowRelative(-3*Day)
+	if s, err := r1.Sub(r2); err != nil || s != 2*Day {
+		t.Errorf("relative Sub = %v, %v", s, err)
+	}
+	if _, err := a.Sub(r1); err == nil {
+		t.Error("mixed-basis Sub should fail")
+	}
+}
+
+// TestInstantCompareTimeDependent exercises the paper's observation that
+// comparing a Chronon to a NOW-relative Instant may change as time
+// advances.
+func TestInstantCompareTimeDependent(t *testing.T) {
+	cutoff := AbsInstant(MustDate(2000, 1, 1))
+	yesterday := NowRelative(-Day)
+	before := MustDate(1999, 6, 1)
+	after := MustDate(2000, 6, 1)
+	if yesterday.Compare(cutoff, before) != -1 {
+		t.Error("in mid-1999, NOW-1 should be before 2000-01-01")
+	}
+	if yesterday.Compare(cutoff, after) != 1 {
+		t.Error("in mid-2000, NOW-1 should be after 2000-01-01")
+	}
+	if yesterday.Compare(cutoff, MustDate(2000, 1, 2)) != 0 {
+		t.Error("on 2000-01-02, NOW-1 should equal 2000-01-01")
+	}
+}

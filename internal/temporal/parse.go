@@ -1,0 +1,346 @@
+package temporal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Text parsing for the five TIP datatypes. The accepted grammar matches
+// String's output plus reasonable whitespace freedom:
+//
+//	chronon  := year '-' month '-' day [ time ]
+//	time     := hour ':' minute ':' second
+//	span     := ['+'|'-'] days [ time ]
+//	instant  := chronon | 'NOW' [ ('+'|'-') days [ time ] ]
+//	period   := '[' instant ',' instant ']'
+//	element  := '{' [ period (',' period)* ] '}'
+//
+// Parsing is case-insensitive for the NOW keyword.
+
+// ErrSyntax reports malformed temporal literal text.
+var ErrSyntax = errors.New("temporal: syntax error")
+
+// ParseChronon parses a chronon literal such as "1999-09-01" or
+// "2000-01-01 12:30:00".
+func ParseChronon(s string) (Chronon, error) {
+	p := newTextParser(s)
+	c, err := p.chronon()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.end(); err != nil {
+		return 0, err
+	}
+	return c, nil
+}
+
+// ParseSpan parses a span literal such as "7 12:00:00", "-7" or
+// "0 08:00:00".
+func ParseSpan(s string) (Span, error) {
+	p := newTextParser(s)
+	v, err := p.span()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.end(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// ParseInstant parses an instant literal: a chronon, or NOW with an
+// optional signed span offset ("NOW", "NOW-1", "NOW+0 08:00:00").
+func ParseInstant(s string) (Instant, error) {
+	p := newTextParser(s)
+	v, err := p.instant()
+	if err != nil {
+		return Instant{}, err
+	}
+	if err := p.end(); err != nil {
+		return Instant{}, err
+	}
+	return v, nil
+}
+
+// ParsePeriod parses a period literal such as "[1999-01-01, NOW]".
+func ParsePeriod(s string) (Period, error) {
+	p := newTextParser(s)
+	v, err := p.period()
+	if err != nil {
+		return Period{}, err
+	}
+	if err := p.end(); err != nil {
+		return Period{}, err
+	}
+	return v, nil
+}
+
+// ParseElement parses an element literal such as
+// "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}".
+func ParseElement(s string) (Element, error) {
+	p := newTextParser(s)
+	v, err := p.element()
+	if err != nil {
+		return Element{}, err
+	}
+	if err := p.end(); err != nil {
+		return Element{}, err
+	}
+	return v, nil
+}
+
+// textParser is a tiny cursor over the literal text.
+type textParser struct {
+	s   string
+	pos int
+}
+
+func newTextParser(s string) *textParser { return &textParser{s: s} }
+
+func (p *textParser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d in %q", ErrSyntax, fmt.Sprintf(format, args...), p.pos, p.s)
+}
+
+func (p *textParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *textParser) end() error {
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return p.errf("trailing input")
+	}
+	return nil
+}
+
+func (p *textParser) peek() byte {
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *textParser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// number reads an unsigned decimal integer of at most width digits
+// (width 0 means unbounded).
+func (p *textParser) number(width int) (int64, error) {
+	start := p.pos
+	var v int64
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		if width > 0 && p.pos-start >= width {
+			break
+		}
+		v = v*10 + int64(p.s[p.pos]-'0')
+		if v > 1<<53 {
+			return 0, p.errf("number too large")
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	return v, nil
+}
+
+// timeOfDay reads hh:mm:ss.
+func (p *textParser) timeOfDay() (h, m, s int64, err error) {
+	if h, err = p.number(0); err != nil {
+		return
+	}
+	if err = p.expect(':'); err != nil {
+		return
+	}
+	if m, err = p.number(0); err != nil {
+		return
+	}
+	if err = p.expect(':'); err != nil {
+		return
+	}
+	s, err = p.number(0)
+	return
+}
+
+// hasTimeOfDay reports whether a time-of-day (digits followed by ':')
+// starts at the cursor, without consuming anything.
+func (p *textParser) hasTimeOfDay() bool {
+	i := p.pos
+	for i < len(p.s) && p.s[i] == ' ' {
+		i++
+	}
+	j := i
+	for j < len(p.s) && p.s[j] >= '0' && p.s[j] <= '9' {
+		j++
+	}
+	return j > i && j < len(p.s) && p.s[j] == ':'
+}
+
+func (p *textParser) chronon() (Chronon, error) {
+	p.skipSpace()
+	year, err := p.number(0)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect('-'); err != nil {
+		return 0, err
+	}
+	month, err := p.number(0)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expect('-'); err != nil {
+		return 0, err
+	}
+	day, err := p.number(0)
+	if err != nil {
+		return 0, err
+	}
+	var h, mi, s int64
+	if p.hasTimeOfDay() {
+		p.skipSpace()
+		if h, mi, s, err = p.timeOfDay(); err != nil {
+			return 0, err
+		}
+	}
+	c, err := MakeChronon(int(year), int(month), int(day), int(h), int(mi), int(s))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return c, nil
+}
+
+// spanBody reads an unsigned span: days [ hh:mm:ss ].
+func (p *textParser) spanBody() (Span, error) {
+	p.skipSpace()
+	days, err := p.number(0)
+	if err != nil {
+		return 0, err
+	}
+	var h, m, s int64
+	if p.hasTimeOfDay() {
+		p.skipSpace()
+		if h, m, s, err = p.timeOfDay(); err != nil {
+			return 0, err
+		}
+	}
+	if h > 23 || m > 59 || s > 59 {
+		return 0, p.errf("time-of-day component out of range")
+	}
+	return Span(days)*Day + Span(h)*Hour + Span(m)*Minute + Span(s)*Second, nil
+}
+
+func (p *textParser) span() (Span, error) {
+	p.skipSpace()
+	sign := Span(1)
+	switch p.peek() {
+	case '-':
+		sign = -1
+		p.pos++
+	case '+':
+		p.pos++
+	}
+	v, err := p.spanBody()
+	if err != nil {
+		return 0, err
+	}
+	return sign * v, nil
+}
+
+func (p *textParser) instant() (Instant, error) {
+	p.skipSpace()
+	if p.pos+3 <= len(p.s) && strings.EqualFold(p.s[p.pos:p.pos+3], "NOW") {
+		p.pos += 3
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			off, err := p.spanBody()
+			if err != nil {
+				return Instant{}, err
+			}
+			return NowRelative(off), nil
+		case '-':
+			p.pos++
+			off, err := p.spanBody()
+			if err != nil {
+				return Instant{}, err
+			}
+			return NowRelative(-off), nil
+		default:
+			return Now, nil
+		}
+	}
+	c, err := p.chronon()
+	if err != nil {
+		return Instant{}, err
+	}
+	return AbsInstant(c), nil
+}
+
+func (p *textParser) period() (Period, error) {
+	if err := p.expect('['); err != nil {
+		return Period{}, err
+	}
+	start, err := p.instant()
+	if err != nil {
+		return Period{}, err
+	}
+	if err := p.expect(','); err != nil {
+		return Period{}, err
+	}
+	end, err := p.instant()
+	if err != nil {
+		return Period{}, err
+	}
+	if err := p.expect(']'); err != nil {
+		return Period{}, err
+	}
+	pd := Period{Start: start, End: end}
+	if pd.Determinate() {
+		s, _ := start.Chronon()
+		e, _ := end.Chronon()
+		if s > e {
+			return Period{}, p.errf("period start after end")
+		}
+	}
+	return pd, nil
+}
+
+func (p *textParser) element() (Element, error) {
+	if err := p.expect('{'); err != nil {
+		return Element{}, err
+	}
+	p.skipSpace()
+	if p.peek() == '}' {
+		p.pos++
+		return EmptyElement, nil
+	}
+	var periods []Period
+	for {
+		pd, err := p.period()
+		if err != nil {
+			return Element{}, err
+		}
+		periods = append(periods, pd)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect('}'); err != nil {
+		return Element{}, err
+	}
+	return MakeElement(periods...)
+}

@@ -1,0 +1,241 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseChronon(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "1999-09-01", want: "1999-09-01"},
+		{in: "2000-01-01 00:00:00", want: "2000-01-01"},
+		{in: "1999-11-12 13:30:45", want: "1999-11-12 13:30:45"},
+		{in: "  1999-09-01  ", want: "1999-09-01"},
+		{in: "1999-9-1", want: "1999-09-01"},
+		{in: "1999-13-01", wantErr: true},
+		{in: "1999-02-30", wantErr: true},
+		{in: "1999-02", wantErr: true},
+		{in: "garbage", wantErr: true},
+		{in: "1999-09-01 25:00:00", wantErr: true},
+		{in: "1999-09-01 trailing", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		c, err := ParseChronon(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseChronon(%q) = %v, want error", tt.in, c)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseChronon(%q): %v", tt.in, err)
+			continue
+		}
+		if got := c.String(); got != tt.want {
+			t.Errorf("ParseChronon(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseSpan(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Span
+		wantErr bool
+	}{
+		{in: "7 12:00:00", want: 7*Day + 12*Hour},
+		{in: "-7", want: -7 * Day},
+		{in: "+7", want: 7 * Day},
+		{in: "0 08:00:00", want: 8 * Hour},
+		{in: "0", want: 0},
+		{in: "1 00:00:01", want: Day + Second},
+		{in: "7 24:00:00", wantErr: true},
+		{in: "7 12:60:00", wantErr: true},
+		{in: "abc", wantErr: true},
+		{in: "7 12:00", wantErr: true},
+	}
+	for _, tt := range tests {
+		s, err := ParseSpan(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpan(%q) = %v, want error", tt.in, s)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpan(%q): %v", tt.in, err)
+			continue
+		}
+		if s != tt.want {
+			t.Errorf("ParseSpan(%q) = %v, want %v", tt.in, s, tt.want)
+		}
+	}
+}
+
+func TestParseInstant(t *testing.T) {
+	tests := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "NOW", want: "NOW"},
+		{in: "now", want: "NOW"},
+		{in: "NOW-1", want: "NOW-1"},
+		{in: "NOW+7 12:00:00", want: "NOW+7 12:00:00"},
+		{in: "NOW - 1", want: "NOW-1"},
+		{in: "1999-09-01", want: "1999-09-01"},
+		{in: "NOW-", wantErr: true},
+		{in: "NOWHERE", wantErr: true},
+	}
+	for _, tt := range tests {
+		i, err := ParseInstant(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseInstant(%q) = %v, want error", tt.in, i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseInstant(%q): %v", tt.in, err)
+			continue
+		}
+		if got := i.String(); got != tt.want {
+			t.Errorf("ParseInstant(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParsePeriod(t *testing.T) {
+	tests := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "[1999-01-01, NOW]", want: "[1999-01-01, NOW]"},
+		{in: "[NOW-7, NOW]", want: "[NOW-7, NOW]"},
+		{in: "[ 1999-01-01 , 1999-04-30 ]", want: "[1999-01-01, 1999-04-30]"},
+		{in: "[1999-04-30, 1999-01-01]", wantErr: true}, // reversed
+		{in: "[1999-01-01]", wantErr: true},
+		{in: "1999-01-01, 1999-04-30", wantErr: true},
+		{in: "[1999-01-01, 1999-04-30", wantErr: true},
+	}
+	for _, tt := range tests {
+		p, err := ParsePeriod(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParsePeriod(%q) = %v, want error", tt.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePeriod(%q): %v", tt.in, err)
+			continue
+		}
+		if got := p.String(); got != tt.want {
+			t.Errorf("ParsePeriod(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseElement(t *testing.T) {
+	tests := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}",
+			want: "{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}"},
+		{in: "{}", want: "{}"},
+		{in: "{ }", want: "{}"},
+		{in: "{[1999-10-01, NOW]}", want: "{[1999-10-01, NOW]}"},
+		{in: "{[1999-01-01, 1999-04-30]", wantErr: true},
+		{in: "{[1999-01-01, 1999-04-30],}", wantErr: true},
+		{in: "[1999-01-01, 1999-04-30]", wantErr: true},
+	}
+	for _, tt := range tests {
+		e, err := ParseElement(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseElement(%q) = %v, want error", tt.in, e)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseElement(%q): %v", tt.in, err)
+			continue
+		}
+		if got := e.String(); got != tt.want {
+			t.Errorf("ParseElement(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestFormatParseRoundTripChronon checks String/Parse inverse on random
+// valid chronons.
+func TestFormatParseRoundTripChronon(t *testing.T) {
+	f := func(v int64) bool {
+		c := Chronon(v % int64(MaxChronon))
+		if !c.Valid() {
+			return true
+		}
+		back, err := ParseChronon(c.String())
+		return err == nil && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatParseRoundTripSpan checks String/Parse inverse on random
+// spans.
+func TestFormatParseRoundTripSpan(t *testing.T) {
+	f := func(v int64) bool {
+		s := Span(v % (1 << 45))
+		back, err := ParseSpan(s.String())
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatParseRoundTripElement checks String/Parse inverse on random
+// canonical elements.
+func TestFormatParseRoundTripElement(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		e := randomElement(r, r.Intn(10))
+		back, err := ParseElement(e.String())
+		if err != nil {
+			t.Fatalf("ParseElement(%q): %v", e.String(), err)
+		}
+		if back.String() != e.String() {
+			t.Fatalf("round trip changed %q to %q", e.String(), back.String())
+		}
+	}
+}
+
+// TestFormatParseRoundTripInstant checks String/Parse inverse on random
+// instants of both bases.
+func TestFormatParseRoundTripInstant(t *testing.T) {
+	f := func(v int64, rel bool) bool {
+		var i Instant
+		if rel {
+			i = NowRelative(Span(v % (1 << 40)))
+		} else {
+			c := Chronon(v % int64(MaxChronon))
+			if !c.Valid() {
+				return true
+			}
+			i = AbsInstant(c)
+		}
+		back, err := ParseInstant(i.String())
+		return err == nil && back.Equal(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package temporal
+
+import "fmt"
+
+// Period is a pair of Instants: the first marks the start of the period,
+// the second its end. Periods are closed on both ends at chronon
+// granularity, so [1999-01-01, 1999-01-01] contains exactly one chronon.
+// Either endpoint may be NOW-relative: [1999-01-01, NOW] denotes "since
+// 1999", [NOW-7, NOW] "during the past week".
+type Period struct {
+	Start Instant
+	End   Instant
+}
+
+// MakePeriod builds a period between two absolute chronons, validating the
+// order of the endpoints.
+func MakePeriod(start, end Chronon) (Period, error) {
+	if start > end {
+		return Period{}, fmt.Errorf("temporal: period start %s after end %s", start, end)
+	}
+	return Period{Start: AbsInstant(start), End: AbsInstant(end)}, nil
+}
+
+// MustPeriod is like MakePeriod but panics on error; intended for tests.
+func MustPeriod(start, end Chronon) Period {
+	p, err := MakePeriod(start, end)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Determinate reports whether neither endpoint is NOW-relative.
+func (p Period) Determinate() bool { return !p.Start.Relative() && !p.End.Relative() }
+
+// Bind resolves both endpoints against a concrete value of NOW, yielding
+// the closed chronon interval the period denotes at that moment. The
+// second result is false when the bound period is empty (start after end),
+// which can happen to NOW-relative periods as time advances — e.g.
+// [2000-01-01, NOW] asked before 2000.
+func (p Period) Bind(now Chronon) (Interval, bool) {
+	s, e := p.Start.Bind(now), p.End.Bind(now)
+	if s > e {
+		return Interval{}, false
+	}
+	return Interval{Lo: s, Hi: e}, true
+}
+
+// Length returns the duration covered by the period under a concrete value
+// of NOW. The length of a closed period [a, b] is b - a; the degenerate
+// period [a, a] has length zero, matching the paper's Span semantics where
+// chronon subtraction yields the distance between the points.
+func (p Period) Length(now Chronon) Span {
+	iv, ok := p.Bind(now)
+	if !ok {
+		return 0
+	}
+	return iv.Hi.SubChronon(iv.Lo)
+}
+
+// Contains reports whether the period contains the chronon c under a
+// concrete value of NOW.
+func (p Period) Contains(c Chronon, now Chronon) bool {
+	iv, ok := p.Bind(now)
+	return ok && iv.Lo <= c && c <= iv.Hi
+}
+
+// Shift displaces both endpoints of the period by s.
+func (p Period) Shift(s Span) (Period, error) {
+	st, err := p.Start.AddSpan(s)
+	if err != nil {
+		return Period{}, err
+	}
+	en, err := p.End.AddSpan(s)
+	if err != nil {
+		return Period{}, err
+	}
+	return Period{Start: st, End: en}, nil
+}
+
+// Element converts the period into a one-period element.
+func (p Period) Element() Element { return Element{periods: []Period{p}} }
+
+// Equal reports structural equality of the two periods.
+func (p Period) Equal(q Period) bool { return p.Start.Equal(q.Start) && p.End.Equal(q.End) }
+
+// Interval is a bound (fully determinate) closed period: the concrete
+// [Lo, Hi] chronon range a Period denotes once NOW has been substituted.
+// All set-algebra on elements operates on intervals.
+type Interval struct {
+	Lo, Hi Chronon
+}
+
+// Length returns Hi - Lo, the distance between the interval's endpoints.
+func (iv Interval) Length() Span { return iv.Hi.SubChronon(iv.Lo) }
+
+// Contains reports whether c lies within the closed interval.
+func (iv Interval) Contains(c Chronon) bool { return iv.Lo <= c && c <= iv.Hi }
+
+// Overlaps reports whether the two closed intervals share any chronon.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Period converts the interval back into a determinate Period.
+func (iv Interval) Period() Period {
+	return Period{Start: AbsInstant(iv.Lo), End: AbsInstant(iv.Hi)}
+}

@@ -1,0 +1,103 @@
+package temporal
+
+import "testing"
+
+func TestMakePeriod(t *testing.T) {
+	if _, err := MakePeriod(MustDate(1999, 2, 1), MustDate(1999, 1, 1)); err == nil {
+		t.Error("reversed period should fail")
+	}
+	p, err := MakePeriod(MustDate(1999, 1, 1), MustDate(1999, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Determinate() {
+		t.Error("absolute period should be determinate")
+	}
+}
+
+func TestPeriodBind(t *testing.T) {
+	now := MustDate(1999, 11, 12)
+	p := Period{Start: AbsInstant(MustDate(1999, 1, 1)), End: Now}
+	iv, ok := p.Bind(now)
+	if !ok || iv.Lo != MustDate(1999, 1, 1) || iv.Hi != now {
+		t.Errorf("Bind = %+v, %v", iv, ok)
+	}
+
+	// [2000-01-01, NOW] asked in 1999 binds empty.
+	future := Period{Start: AbsInstant(MustDate(2000, 1, 1)), End: Now}
+	if _, ok := future.Bind(now); ok {
+		t.Error("future NOW-relative period should bind empty in 1999")
+	}
+	if _, ok := future.Bind(MustDate(2000, 6, 1)); !ok {
+		t.Error("same period should bind non-empty in mid-2000")
+	}
+}
+
+func TestPeriodPastWeek(t *testing.T) {
+	now := MustDate(1999, 11, 12)
+	p, err := ParsePeriod("[NOW-7, NOW]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := p.Bind(now)
+	if !ok {
+		t.Fatal("past week binds empty")
+	}
+	if iv.Lo != MustDate(1999, 11, 5) || iv.Hi != now {
+		t.Errorf("past week = %v..%v", iv.Lo, iv.Hi)
+	}
+	if got := p.Length(now); got != Week {
+		t.Errorf("Length = %v, want one week", got)
+	}
+}
+
+func TestPeriodContains(t *testing.T) {
+	now := MustDate(1999, 11, 12)
+	p := MustPeriod(MustDate(1999, 1, 1), MustDate(1999, 4, 30))
+	if !p.Contains(MustDate(1999, 1, 1), now) || !p.Contains(MustDate(1999, 4, 30), now) {
+		t.Error("closed period must contain both endpoints")
+	}
+	if p.Contains(MustDate(1999, 5, 1), now) {
+		t.Error("period should not contain day after end")
+	}
+}
+
+func TestPeriodShift(t *testing.T) {
+	p := MustPeriod(MustDate(1999, 1, 1), MustDate(1999, 1, 8))
+	q, err := p.Shift(Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "[1999-01-08, 1999-01-15]" {
+		t.Errorf("Shift = %q", got)
+	}
+	rel, _ := ParsePeriod("[NOW-7, NOW]")
+	r, err := rel.Shift(-Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "[NOW-14, NOW-7]" {
+		t.Errorf("relative Shift = %q", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: MustDate(1999, 1, 1), Hi: MustDate(1999, 1, 8)}
+	if iv.Length() != Week {
+		t.Errorf("Length = %v", iv.Length())
+	}
+	if !iv.Contains(MustDate(1999, 1, 4)) || iv.Contains(MustDate(1999, 1, 9)) {
+		t.Error("Contains wrong")
+	}
+	other := Interval{Lo: MustDate(1999, 1, 8), Hi: MustDate(1999, 2, 1)}
+	if !iv.Overlaps(other) {
+		t.Error("closed intervals sharing an endpoint must overlap")
+	}
+	disjoint := Interval{Lo: MustDate(1999, 2, 1), Hi: MustDate(1999, 3, 1)}
+	if iv.Overlaps(disjoint) {
+		t.Error("disjoint intervals must not overlap")
+	}
+	if iv.Period().String() != "[1999-01-01, 1999-01-08]" {
+		t.Error("Period round trip wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package temporal
+
+import (
+	"fmt"
+)
+
+// Span is a signed duration of time between two Chronons, measured in whole
+// seconds. Spans may be positive (forward) or negative (backward); the
+// paper's examples include "7 12:00:00" (seven and a half days) and "-7"
+// (seven days back).
+type Span int64
+
+// Convenient span units.
+const (
+	Second Span = 1
+	Minute Span = 60 * Second
+	Hour   Span = 60 * Minute
+	Day    Span = 24 * Hour
+	Week   Span = 7 * Day
+)
+
+// MakeSpan builds a span from day and time-of-day components. The sign
+// applies to the span as a whole: MakeSpan(-1, 7, 12, 0, 0) is seven and a
+// half days back.
+func MakeSpan(sign int, days, hours, mins, secs int) Span {
+	s := Span(days)*Day + Span(hours)*Hour + Span(mins)*Minute + Span(secs)*Second
+	if sign < 0 {
+		return -s
+	}
+	return s
+}
+
+// Components decomposes the span into a sign and non-negative day and
+// time-of-day parts such that
+// sign * (days*86400 + hours*3600 + mins*60 + secs) == s.
+func (s Span) Components() (sign int, days, hours, mins, secs int64) {
+	sign = 1
+	v := int64(s)
+	if v < 0 {
+		sign = -1
+		v = -v
+	}
+	days = v / int64(Day)
+	v %= int64(Day)
+	hours = v / int64(Hour)
+	v %= int64(Hour)
+	mins = v / int64(Minute)
+	secs = v % int64(Minute)
+	return sign, days, hours, mins, secs
+}
+
+// Seconds returns the span as a count of seconds.
+func (s Span) Seconds() int64 { return int64(s) }
+
+// Compare returns -1, 0 or +1 according to the order of s and t.
+func (s Span) Compare(t Span) int {
+	switch {
+	case s < t:
+		return -1
+	case s > t:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Neg returns the span with its direction reversed.
+func (s Span) Neg() Span { return -s }
+
+// Abs returns the non-negative magnitude of the span.
+func (s Span) Abs() Span {
+	if s < 0 {
+		return -s
+	}
+	return s
+}
+
+// Add returns s + t, reporting ErrRange on int64 overflow.
+func (s Span) Add(t Span) (Span, error) {
+	r := s + t
+	if (t > 0 && r < s) || (t < 0 && r > s) {
+		return 0, fmt.Errorf("%w: %s + %s", ErrRange, s, t)
+	}
+	return r, nil
+}
+
+// Sub returns s - t, reporting ErrRange on int64 overflow.
+func (s Span) Sub(t Span) (Span, error) { return s.Add(-t) }
+
+// Mul scales the span by an integer factor, reporting ErrRange on overflow.
+// It implements the paper's example expression '7 00:00:00'::Span * :w.
+func (s Span) Mul(k int64) (Span, error) {
+	if k == 0 || s == 0 {
+		return 0, nil
+	}
+	r := Span(int64(s) * k)
+	if int64(r)/k != int64(s) {
+		return 0, fmt.Errorf("%w: %s * %d", ErrRange, s, k)
+	}
+	return r, nil
+}
+
+// MulFloat scales the span by a floating-point factor, truncating the
+// result toward zero.
+func (s Span) MulFloat(f float64) (Span, error) {
+	r := float64(s) * f
+	if r > float64(1<<62) || r < -float64(1<<62) {
+		return 0, fmt.Errorf("%w: %s * %g", ErrRange, s, f)
+	}
+	return Span(r), nil
+}
+
+// Div divides the span by an integer factor.
+func (s Span) Div(k int64) (Span, error) {
+	if k == 0 {
+		return 0, fmt.Errorf("temporal: span division by zero")
+	}
+	return Span(int64(s) / k), nil
+}
+
+// Ratio returns s/t as a floating-point number, the natural meaning of
+// dividing one duration by another.
+func (s Span) Ratio(t Span) (float64, error) {
+	if t == 0 {
+		return 0, fmt.Errorf("temporal: span division by zero")
+	}
+	return float64(s) / float64(t), nil
+}

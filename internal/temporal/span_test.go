@@ -1,0 +1,91 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanComponents(t *testing.T) {
+	tests := []struct {
+		s    Span
+		want string
+	}{
+		{7*Day + 12*Hour, "7 12:00:00"},
+		{-7 * Day, "-7"},
+		{8 * Hour, "0 08:00:00"},
+		{0, "0"},
+		{-(1*Day + 1*Second), "-1 00:00:01"},
+		{90*Day + 23*Hour + 59*Minute + 59*Second, "90 23:59:59"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Span(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestMakeSpan(t *testing.T) {
+	if got := MakeSpan(-1, 7, 12, 0, 0); got != -(7*Day + 12*Hour) {
+		t.Errorf("MakeSpan = %v", got)
+	}
+	if got := MakeSpan(1, 0, 8, 0, 0); got != 8*Hour {
+		t.Errorf("MakeSpan = %v", got)
+	}
+}
+
+func TestSpanComponentsRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		s := Span(v % (1 << 40))
+		sign, d, h, m, sec := s.Components()
+		return Span(sign)*(Span(d)*Day+Span(h)*Hour+Span(m)*Minute+Span(sec)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanArithmetic(t *testing.T) {
+	week := 7 * Day
+	if got, err := week.Mul(4); err != nil || got != 28*Day {
+		t.Errorf("Mul = %v, %v", got, err)
+	}
+	if got, err := week.Add(Day); err != nil || got != 8*Day {
+		t.Errorf("Add = %v, %v", got, err)
+	}
+	if got, err := week.Sub(Day); err != nil || got != 6*Day {
+		t.Errorf("Sub = %v, %v", got, err)
+	}
+	if got, err := week.Div(7); err != nil || got != Day {
+		t.Errorf("Div = %v, %v", got, err)
+	}
+	if got, err := week.Ratio(Day); err != nil || got != 7 {
+		t.Errorf("Ratio = %v, %v", got, err)
+	}
+	if got, err := week.MulFloat(0.5); err != nil || got != 3*Day+12*Hour {
+		t.Errorf("MulFloat = %v, %v", got, err)
+	}
+	if _, err := week.Div(0); err == nil {
+		t.Error("Div by zero should fail")
+	}
+	if _, err := week.Ratio(0); err == nil {
+		t.Error("Ratio by zero should fail")
+	}
+	if _, err := Span(1 << 62).Mul(4); err == nil {
+		t.Error("Mul overflow should fail")
+	}
+	if _, err := Span(1 << 62).Add(1 << 62); err == nil {
+		t.Error("Add overflow should fail")
+	}
+	if got := Span(-5).Abs(); got != 5 {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := Span(5).Neg(); got != -5 {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestSpanCompare(t *testing.T) {
+	if Day.Compare(Hour) != 1 || Hour.Compare(Day) != -1 || Day.Compare(Day) != 0 {
+		t.Error("Compare ordering wrong")
+	}
+}

@@ -1,0 +1,110 @@
+// Package txn provides the engine's transaction bookkeeping: transaction
+// identity, the transaction time that interprets the special symbol NOW,
+// and an undo log of row-level changes for rollback.
+//
+// The TIP semantics of NOW (after Clifford et al.) fix the interpretation
+// of NOW-relative values to the *transaction* time: every statement within
+// one transaction sees the same NOW, assigned when the transaction begins.
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tip/internal/storage"
+	"tip/internal/temporal"
+)
+
+// Op is the kind of a logged change.
+type Op int
+
+// Logged change kinds.
+const (
+	OpInsert Op = iota
+	OpDelete
+	OpUpdate
+)
+
+// Entry records one row-level change for undo.
+type Entry struct {
+	Op    Op
+	Table string
+	RowID int
+	// Old is the pre-change row for OpDelete and OpUpdate.
+	Old storage.Row
+}
+
+// Txn is one open transaction.
+type Txn struct {
+	ID int64
+	// Time is the transaction time: the value of NOW for every statement
+	// in this transaction (unless the session overrides NOW).
+	Time temporal.Chronon
+	undo []Entry
+}
+
+// Log appends an undo entry.
+func (t *Txn) Log(e Entry) { t.undo = append(t.undo, e) }
+
+// UndoEntries returns the logged entries newest-first, the order rollback
+// must apply them in.
+func (t *Txn) UndoEntries() []Entry {
+	out := make([]Entry, len(t.undo))
+	for i, e := range t.undo {
+		out[len(t.undo)-1-i] = e
+	}
+	return out
+}
+
+// Len returns the number of logged changes.
+func (t *Txn) Len() int { return len(t.undo) }
+
+// Manager allocates transactions. The zero Manager uses the wall clock;
+// tests may pin the clock with SetClock.
+type Manager struct {
+	nextID atomic.Int64
+	clock  func() temporal.Chronon
+}
+
+// NewManager returns a manager reading the wall clock.
+func NewManager() *Manager {
+	return &Manager{clock: func() temporal.Chronon { return temporal.ChrononOf(time.Now()) }}
+}
+
+// SetClock replaces the clock, for deterministic tests and the browser's
+// what-if evaluation.
+func (m *Manager) SetClock(clock func() temporal.Chronon) { m.clock = clock }
+
+// Now reads the manager's clock.
+func (m *Manager) Now() temporal.Chronon { return m.clock() }
+
+// Begin opens a transaction stamped with the current clock reading.
+func (m *Manager) Begin() *Txn {
+	return &Txn{ID: m.nextID.Add(1), Time: m.clock()}
+}
+
+// Apply undoes one entry against the heap of its table. The caller
+// resolves the table and is responsible for index maintenance.
+func Apply(h *storage.Heap, e Entry) error {
+	switch e.Op {
+	case OpInsert:
+		// Undo an insert by deleting the row.
+		if _, err := h.Delete(e.RowID); err != nil {
+			return fmt.Errorf("txn: undo insert: %w", err)
+		}
+	case OpDelete:
+		// Undo a delete by reviving the row.
+		if err := h.InsertAt(e.RowID, e.Old); err != nil {
+			return fmt.Errorf("txn: undo delete: %w", err)
+		}
+	case OpUpdate:
+		// Undo an update by restoring the old content.
+		if _, err := h.Update(e.RowID, e.Old); err != nil {
+			return fmt.Errorf("txn: undo update: %w", err)
+		}
+	default:
+		return fmt.Errorf("txn: unknown op %d", e.Op)
+	}
+	return nil
+}

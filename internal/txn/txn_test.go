@@ -1,0 +1,89 @@
+package txn
+
+import (
+	"testing"
+
+	"tip/internal/storage"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+func row(v int64) storage.Row { return storage.Row{types.NewInt(v)} }
+
+func TestManagerClockAndIDs(t *testing.T) {
+	m := NewManager()
+	fixed := temporal.MustDate(1999, 11, 12)
+	m.SetClock(func() temporal.Chronon { return fixed })
+	tx1 := m.Begin()
+	tx2 := m.Begin()
+	if tx1.ID == tx2.ID {
+		t.Error("transaction ids must be unique")
+	}
+	if tx1.Time != fixed || tx2.Time != fixed {
+		t.Error("transaction time should come from the clock")
+	}
+	if m.Now() != fixed {
+		t.Error("Now should read the clock")
+	}
+}
+
+func TestUndoOrderNewestFirst(t *testing.T) {
+	tx := &Txn{}
+	tx.Log(Entry{Op: OpInsert, RowID: 1})
+	tx.Log(Entry{Op: OpDelete, RowID: 2})
+	tx.Log(Entry{Op: OpUpdate, RowID: 3})
+	if tx.Len() != 3 {
+		t.Fatalf("len = %d", tx.Len())
+	}
+	entries := tx.UndoEntries()
+	if entries[0].RowID != 3 || entries[1].RowID != 2 || entries[2].RowID != 1 {
+		t.Errorf("undo order = %v", entries)
+	}
+}
+
+func TestApplyUndo(t *testing.T) {
+	h := storage.NewHeap()
+	id0 := h.Insert(row(10))
+
+	// A "transaction": insert a row, update row 0, delete row 0... then
+	// undo everything in reverse.
+	tx := &Txn{}
+	id1 := h.Insert(row(20))
+	tx.Log(Entry{Op: OpInsert, RowID: id1})
+	old, _ := h.Update(id0, row(11))
+	tx.Log(Entry{Op: OpUpdate, RowID: id0, Old: old})
+	old2, _ := h.Delete(id0)
+	tx.Log(Entry{Op: OpDelete, RowID: id0, Old: old2})
+
+	for _, e := range tx.UndoEntries() {
+		if err := Apply(h, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len after undo = %d", h.Len())
+	}
+	r, ok := h.Get(id0)
+	if !ok || r[0].Int() != 10 {
+		t.Errorf("row 0 after undo = %v", r)
+	}
+	if _, ok := h.Get(id1); ok {
+		t.Error("inserted row survived undo")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	h := storage.NewHeap()
+	if err := Apply(h, Entry{Op: OpInsert, RowID: 5}); err == nil {
+		t.Error("undo insert of missing row should fail")
+	}
+	if err := Apply(h, Entry{Op: OpUpdate, RowID: 5, Old: row(1)}); err == nil {
+		t.Error("undo update of missing row should fail")
+	}
+	if err := Apply(h, Entry{Op: OpDelete, RowID: 5, Old: row(1)}); err == nil {
+		t.Error("undo delete at invalid slot should fail")
+	}
+	if err := Apply(h, Entry{Op: Op(99)}); err == nil {
+		t.Error("unknown op should fail")
+	}
+}

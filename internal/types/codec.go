@@ -1,0 +1,123 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Value binary codec, used by row storage, database snapshots and the wire
+// protocol. Layout: 1 tag byte, then a kind-specific payload. UDT payloads
+// are length-prefixed so values can be skipped without consulting the UDT.
+
+// ErrCorrupt reports malformed binary value input.
+var ErrCorrupt = errors.New("types: corrupt binary encoding")
+
+const (
+	vtagNull   = 0
+	vtagInt    = 1
+	vtagFloat  = 2
+	vtagBool   = 3
+	vtagString = 4
+	vtagDate   = 5
+	vtagUDT    = 6
+)
+
+// AppendBinary appends the value's encoding to buf. The type itself is not
+// encoded; the decoder must know the expected type (rows are decoded
+// against the table schema).
+func (v Value) AppendBinary(buf []byte) []byte {
+	if v.Null {
+		return append(buf, vtagNull)
+	}
+	switch v.T.Kind {
+	case KindInt:
+		buf = append(buf, vtagInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case KindFloat:
+		buf = append(buf, vtagFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case KindBool:
+		buf = append(buf, vtagBool)
+		return append(buf, byte(v.I))
+	case KindString:
+		buf = append(buf, vtagString)
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		return append(buf, v.S...)
+	case KindDate:
+		buf = append(buf, vtagDate)
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case KindUDT:
+		buf = append(buf, vtagUDT)
+		payload := v.T.UDT.Encode(v.O, nil)
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		return append(buf, payload...)
+	default:
+		return append(buf, vtagNull)
+	}
+}
+
+// DecodeValue decodes one value of the expected type t from the front of
+// buf, returning the remaining bytes.
+func DecodeValue(t *Type, buf []byte) (Value, []byte, error) {
+	if len(buf) < 1 {
+		return Value{}, nil, fmt.Errorf("%w: empty input", ErrCorrupt)
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	if tag == vtagNull {
+		return NewNull(t), buf, nil
+	}
+	switch t.Kind {
+	case KindInt:
+		if tag != vtagInt || len(buf) < 8 {
+			return Value{}, nil, fmt.Errorf("%w: INT", ErrCorrupt)
+		}
+		return NewInt(int64(binary.LittleEndian.Uint64(buf))), buf[8:], nil
+	case KindFloat:
+		if tag != vtagFloat || len(buf) < 8 {
+			return Value{}, nil, fmt.Errorf("%w: FLOAT", ErrCorrupt)
+		}
+		return NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf))), buf[8:], nil
+	case KindBool:
+		if tag != vtagBool || len(buf) < 1 {
+			return Value{}, nil, fmt.Errorf("%w: BOOLEAN", ErrCorrupt)
+		}
+		return NewBool(buf[0] != 0), buf[1:], nil
+	case KindString:
+		if tag != vtagString {
+			return Value{}, nil, fmt.Errorf("%w: VARCHAR", ErrCorrupt)
+		}
+		n, k := binary.Uvarint(buf)
+		if k <= 0 || uint64(len(buf)-k) < n {
+			return Value{}, nil, fmt.Errorf("%w: VARCHAR length", ErrCorrupt)
+		}
+		buf = buf[k:]
+		return NewString(string(buf[:n])), buf[n:], nil
+	case KindDate:
+		if tag != vtagDate || len(buf) < 8 {
+			return Value{}, nil, fmt.Errorf("%w: DATE", ErrCorrupt)
+		}
+		return NewDate(int64(binary.LittleEndian.Uint64(buf))), buf[8:], nil
+	case KindUDT:
+		if tag != vtagUDT {
+			return Value{}, nil, fmt.Errorf("%w: %s", ErrCorrupt, t.Name)
+		}
+		n, k := binary.Uvarint(buf)
+		if k <= 0 || uint64(len(buf)-k) < n {
+			return Value{}, nil, fmt.Errorf("%w: %s length", ErrCorrupt, t.Name)
+		}
+		buf = buf[k:]
+		obj, rest, err := t.UDT.Decode(buf[:n])
+		if err != nil {
+			return Value{}, nil, fmt.Errorf("decoding %s: %w", t.Name, err)
+		}
+		if len(rest) != 0 {
+			return Value{}, nil, fmt.Errorf("%w: %s trailing payload", ErrCorrupt, t.Name)
+		}
+		return NewUDT(t, obj), buf[n:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: unknown kind", ErrCorrupt)
+	}
+}

@@ -1,0 +1,46 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"tip/internal/temporal"
+)
+
+// DATE support. DATE is the built-in day-granularity date the paper
+// contrasts TIP's types with: a DATE can timestamp a tuple with a single
+// day but cannot express NOW-relative times or sets of periods. It is
+// stored as days since 1970-01-01.
+
+// formatDate renders days-since-epoch as yyyy-mm-dd.
+func formatDate(days int64) string {
+	c := temporal.Chronon(days * 86400)
+	y, m, d, _, _, _ := c.Civil()
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// ParseDate parses yyyy-mm-dd into days since 1970-01-01.
+func ParseDate(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	c, err := temporal.ParseChronon(s)
+	if err != nil {
+		return 0, fmt.Errorf("types: bad DATE literal %q: %w", s, err)
+	}
+	if int64(c)%86400 != 0 {
+		return 0, fmt.Errorf("types: DATE literal %q has a time of day", s)
+	}
+	return int64(c) / 86400, nil
+}
+
+// DateToChronon widens a DATE payload to a midnight Chronon.
+func DateToChronon(days int64) temporal.Chronon { return temporal.Chronon(days * 86400) }
+
+// ChrononToDate narrows a Chronon to a DATE payload, truncating the time
+// of day.
+func ChrononToDate(c temporal.Chronon) int64 {
+	v := int64(c)
+	if v < 0 && v%86400 != 0 {
+		return v/86400 - 1
+	}
+	return v / 86400
+}

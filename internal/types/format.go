@@ -1,0 +1,15 @@
+package types
+
+import (
+	"math"
+	"strconv"
+)
+
+// formatFloat renders a FLOAT payload. Integral values keep one decimal
+// place ("2.0") so FLOAT output is distinguishable from INT output.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

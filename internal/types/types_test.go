@@ -1,0 +1,202 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tip/internal/temporal"
+)
+
+func TestValueConstructorsAndFormat(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-1), "-1"},
+		{NewFloat(2.5), "2.5"},
+		{NewFloat(2), "2.0"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{NewString("hi"), "hi"},
+		{NewDate(0), "1970-01-01"},
+		{NewDate(-1), "1969-12-31"},
+		{NewNull(TInt), "NULL"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Format(); got != tt.want {
+			t.Errorf("Format(%+v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	now := temporal.Chronon(0)
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(1), NewDate(2), -1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b, now)
+		if err != nil {
+			t.Errorf("Compare(%v, %v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a.Format(), c.b.Format(), got, c.want)
+		}
+	}
+	// Errors.
+	if _, err := NewNull(TInt).Compare(NewInt(1), now); err == nil {
+		t.Error("NULL compare should fail")
+	}
+	if _, err := NewString("a").Compare(NewInt(1), now); err == nil {
+		t.Error("cross-kind compare should fail")
+	}
+}
+
+func TestValueKeyDistinguishes(t *testing.T) {
+	now := temporal.Chronon(0)
+	vals := []Value{
+		NewInt(1), NewInt(2), NewFloat(1.5), NewString("1"), NewBool(true),
+		NewNull(TInt), NewDate(3),
+	}
+	seen := map[string]int{}
+	for i, v := range vals {
+		k := v.Key(now)
+		if j, dup := seen[k]; dup && vals[j].T == v.T {
+			t.Errorf("values %d and %d share key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	if NewNull(TInt).Key(now) == NewString("NULL").Key(now) {
+		t.Error("NULL key must differ from the string 'NULL'")
+	}
+}
+
+func TestDateParsing(t *testing.T) {
+	d, err := ParseDate("1999-11-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := formatDate(d); got != "1999-11-12" {
+		t.Errorf("round trip = %q", got)
+	}
+	if _, err := ParseDate("1999-11-12 10:00:00"); err == nil {
+		t.Error("DATE with time of day should fail")
+	}
+	if _, err := ParseDate("bogus"); err == nil {
+		t.Error("bad date should fail")
+	}
+}
+
+func TestDateChrononBridge(t *testing.T) {
+	f := func(v int32) bool {
+		days := int64(v % 1000000)
+		c := DateToChronon(days)
+		return ChrononToDate(c) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation of a mid-day chronon.
+	c := temporal.MustChronon(1999, 11, 12, 13, 30, 0)
+	if got := formatDate(ChrononToDate(c)); got != "1999-11-12" {
+		t.Errorf("truncate = %q", got)
+	}
+	// Pre-epoch truncation floors toward earlier days.
+	pre := temporal.MustChronon(1969, 12, 31, 13, 30, 0)
+	if got := formatDate(ChrononToDate(pre)); got != "1969-12-31" {
+		t.Errorf("pre-epoch truncate = %q", got)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	vals := []Value{
+		NewInt(42), NewInt(-7), NewFloat(3.14), NewBool(true), NewBool(false),
+		NewString(""), NewString("hello world"), NewDate(10957),
+		NewNull(TInt), NewNull(TString), NewNull(TDate),
+	}
+	for i := 0; i < 50; i++ {
+		vals = append(vals, NewInt(r.Int63()), NewFloat(r.NormFloat64()))
+	}
+	for _, v := range vals {
+		buf := v.AppendBinary(nil)
+		back, rest, err := DecodeValue(v.T, buf)
+		if err != nil {
+			t.Errorf("decode %v: %v", v, err)
+			continue
+		}
+		if len(rest) != 0 {
+			t.Errorf("trailing bytes for %v", v)
+		}
+		if back.Null != v.Null || (!v.Null && back.Format() != v.Format()) {
+			t.Errorf("round trip %v → %v", v.Format(), back.Format())
+		}
+	}
+}
+
+func TestValueCodecUDT(t *testing.T) {
+	udt := &types_testUDT
+	typ := &Type{Name: "Blob", Kind: KindUDT, UDT: udt}
+	v := NewUDT(typ, "payload")
+	buf := v.AppendBinary(nil)
+	back, rest, err := DecodeValue(typ, buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Obj().(string) != "payload" {
+		t.Errorf("round trip = %v", back.Obj())
+	}
+}
+
+// types_testUDT is a trivial string-payload UDT for codec tests.
+var types_testUDT = UDT{
+	Name:   "Blob",
+	Format: func(v any) string { return v.(string) },
+	Encode: func(v any, buf []byte) []byte { return append(buf, v.(string)...) },
+	Decode: func(buf []byte) (any, []byte, error) { return string(buf), nil, nil },
+}
+
+func TestValueCodecCorrupt(t *testing.T) {
+	if _, _, err := DecodeValue(TInt, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := DecodeValue(TInt, []byte{vtagInt, 1, 2}); err == nil {
+		t.Error("short INT should fail")
+	}
+	if _, _, err := DecodeValue(TInt, []byte{vtagString, 0}); err == nil {
+		t.Error("tag mismatch should fail")
+	}
+	if _, _, err := DecodeValue(TString, []byte{vtagString, 200}); err == nil {
+		t.Error("oversized string length should fail")
+	}
+}
+
+func TestNewUDTPanicsOnBuiltin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewUDT on built-in type should panic")
+		}
+	}()
+	NewUDT(TInt, 1)
+}
+
+func TestFloatWidening(t *testing.T) {
+	if NewInt(3).Float() != 3.0 {
+		t.Error("INT should widen to float")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("FLOAT accessor")
+	}
+}

@@ -1,0 +1,187 @@
+// Package workload generates the synthetic medical database of the
+// paper's §4 demonstration: a Prescription table with doctors, patients,
+// dates of birth, drugs, dosages, dosage frequencies (Spans) and
+// prescription histories (Elements with several periods, some still open
+// as [start, NOW]). Generation is deterministic per seed so experiments
+// are reproducible, and the same logical rows can be loaded both into a
+// TIP table and a layered stratum for head-to-head experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/layered"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Drug names used by the generator (the paper's examples included).
+var Drugs = []string{
+	"Diabeta", "Aspirin", "Tylenol", "Prozac", "Insulin",
+	"Lipitor", "Zyrtec", "Ambien", "Motrin", "Valium",
+}
+
+var doctors = []string{
+	"Dr.Pepper", "Dr.Salt", "Dr.No", "Dr.Who", "Dr.Strange",
+	"Dr.Quinn", "Dr.House", "Dr.Zhivago",
+}
+
+// Prescription is one logical row of the demo table.
+type Prescription struct {
+	Doctor     string
+	Patient    string
+	PatientDOB temporal.Chronon
+	Drug       string
+	Dosage     int64
+	Frequency  temporal.Span
+	Valid      temporal.Element
+}
+
+// Config shapes the generated workload.
+type Config struct {
+	// Rows is the number of prescriptions.
+	Rows int
+	// Patients is the number of distinct patients (rows are spread
+	// across them, giving the per-patient multiplicity coalescing and
+	// self-joins need).
+	Patients int
+	// MaxPeriods bounds the periods per prescription element.
+	MaxPeriods int
+	// OpenFraction is the probability a prescription is still open
+	// ([start, NOW]).
+	OpenFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a paper-era demo configuration.
+func DefaultConfig(rows int) Config {
+	return Config{
+		Rows:         rows,
+		Patients:     max(1, rows/4),
+		MaxPeriods:   3,
+		OpenFraction: 0.1,
+		Seed:         1999,
+	}
+}
+
+// Generate produces the prescription rows for a configuration. The
+// generated history lives in 1997-1999, before the experiments' pinned
+// NOW of 1999-11-12.
+func Generate(cfg Config) []Prescription {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	base := temporal.MustDate(1997, 1, 1)
+	horizon := int64(1000) // days of history
+	rows := make([]Prescription, cfg.Rows)
+	for i := range rows {
+		patient := fmt.Sprintf("patient%04d", r.Intn(cfg.Patients))
+		dobDays := int64(r.Intn(30000)) // up to ~82 years before 1997
+		nPeriods := 1 + r.Intn(cfg.MaxPeriods)
+		periods := make([]temporal.Period, 0, nPeriods)
+		for k := 0; k < nPeriods; k++ {
+			lo := base + temporal.Chronon(r.Int63n(horizon)*86400)
+			hi := lo + temporal.Chronon((1+r.Int63n(90))*86400)
+			periods = append(periods, temporal.MustPeriod(lo, hi))
+		}
+		if r.Float64() < cfg.OpenFraction {
+			lo := base + temporal.Chronon(r.Int63n(horizon)*86400)
+			periods[len(periods)-1] = temporal.Period{
+				Start: temporal.AbsInstant(lo), End: temporal.Now,
+			}
+		}
+		el, err := temporal.MakeElement(periods...)
+		if err != nil {
+			panic(err) // generator invariant: periods are well-formed
+		}
+		rows[i] = Prescription{
+			Doctor:     doctors[r.Intn(len(doctors))],
+			Patient:    patient,
+			PatientDOB: base - temporal.Chronon(dobDays*86400),
+			Drug:       Drugs[r.Intn(len(Drugs))],
+			Dosage:     1 + int64(r.Intn(4)),
+			Frequency:  temporal.Span(1+r.Intn(24)) * temporal.Hour,
+			Valid:      el,
+		}
+	}
+	return rows
+}
+
+// Schema is the TIP DDL for the Prescription table.
+const Schema = `CREATE TABLE Prescription (
+	doctor VARCHAR(20), patient VARCHAR(20), patientdob Chronon,
+	drug VARCHAR(20), dosage INT, frequency Span, valid Element)`
+
+// LoadTIP creates and fills the Prescription table in a TIP-enabled
+// session.
+func LoadTIP(sess *engine.Session, b *core.Blade, rows []Prescription) error {
+	if _, err := sess.Exec(Schema, nil); err != nil {
+		return err
+	}
+	const ins = `INSERT INTO Prescription VALUES (:doc, :pat, :dob, :drug, :dose, :freq, :valid)`
+	for _, p := range rows {
+		params := map[string]types.Value{
+			"doc":   types.NewString(p.Doctor),
+			"pat":   types.NewString(p.Patient),
+			"dob":   b.ChrononValue(p.PatientDOB),
+			"drug":  types.NewString(p.Drug),
+			"dose":  types.NewInt(p.Dosage),
+			"freq":  b.SpanValue(p.Frequency),
+			"valid": b.ElementValue(p.Valid),
+		}
+		if _, err := sess.Exec(ins, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadLayered creates and fills the flat stratum encoding of the same
+// rows (one row per period, DOB and frequency as seconds).
+func LoadLayered(st *layered.Stratum, rows []Prescription) error {
+	if err := st.CreateTemporalTable("Prescription",
+		"doctor VARCHAR(20), patient VARCHAR(20), patientdob BIGINT, drug VARCHAR(20), dosage INT, frequency BIGINT"); err != nil {
+		return err
+	}
+	cols := []string{"doctor", "patient", "patientdob", "drug", "dosage", "frequency"}
+	for _, p := range rows {
+		data := []types.Value{
+			types.NewString(p.Doctor),
+			types.NewString(p.Patient),
+			types.NewInt(int64(p.PatientDOB)),
+			types.NewString(p.Drug),
+			types.NewInt(p.Dosage),
+			types.NewInt(int64(p.Frequency)),
+		}
+		if err := st.Insert("Prescription", cols, data, p.Valid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RandomElement builds one element of n random periods inside the demo
+// horizon — the unit of experiment E1's scaling series.
+func RandomElement(r *rand.Rand, n int, horizonDays int64) temporal.Element {
+	base := temporal.MustDate(1997, 1, 1)
+	periods := make([]temporal.Period, n)
+	for i := range periods {
+		lo := base + temporal.Chronon(r.Int63n(horizonDays)*86400)
+		hi := lo + temporal.Chronon(r.Int63n(30*86400))
+		periods[i] = temporal.MustPeriod(lo, hi)
+	}
+	el, err := temporal.MakeElement(periods...)
+	if err != nil {
+		panic(err)
+	}
+	return el
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tip/internal/blade"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/layered"
+	"tip/internal/temporal"
+	"tip/internal/workload"
+)
+
+var testNow = temporal.MustDate(1999, 11, 12)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := workload.DefaultConfig(50)
+	a := workload.Generate(cfg)
+	b := workload.Generate(cfg)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("rows = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Patient != b[i].Patient || a[i].Valid.String() != b[i].Valid.String() {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+	cfg.Seed = 2000
+	c := workload.Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i].Valid.String() != c[i].Valid.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := workload.DefaultConfig(200)
+	rows := workload.Generate(cfg)
+	patients := map[string]int{}
+	open := 0
+	for _, p := range rows {
+		patients[p.Patient]++
+		if !p.Valid.Determinate() {
+			open++
+		}
+		if p.Valid.IsEmpty() {
+			t.Error("generated empty element")
+		}
+		if p.Dosage < 1 || p.Dosage > 4 {
+			t.Errorf("dosage = %d", p.Dosage)
+		}
+		if p.Frequency <= 0 {
+			t.Errorf("frequency = %v", p.Frequency)
+		}
+	}
+	if len(patients) > cfg.Patients {
+		t.Errorf("distinct patients = %d > %d", len(patients), cfg.Patients)
+	}
+	// Roughly 10% open prescriptions.
+	if open == 0 || open > 60 {
+		t.Errorf("open prescriptions = %d of 200", open)
+	}
+}
+
+func TestLoadBothBackends(t *testing.T) {
+	reg := blade.NewRegistry()
+	b, err := core.Register(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tipDB := engine.New(reg)
+	tipDB.SetClock(func() temporal.Chronon { return testNow })
+	tipSess := tipDB.NewSession()
+
+	flatDB := engine.New(blade.NewRegistry())
+	flatDB.SetClock(func() temporal.Chronon { return testNow })
+	st := layered.New(flatDB.NewSession())
+
+	rows := workload.Generate(workload.DefaultConfig(30))
+	if err := workload.LoadTIP(tipSess, b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.LoadLayered(st, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := tipSess.Exec(`SELECT COUNT(*) FROM Prescription`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 30 {
+		t.Errorf("tip rows = %d", res.Rows[0][0].Int())
+	}
+	// The flat encoding has one row per period: at least one per
+	// prescription, at most MaxPeriods.
+	res, err = st.Session().Exec(`SELECT COUNT(*) FROM Prescription`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := res.Rows[0][0].Int()
+	if flat < 30 || flat > 90 {
+		t.Errorf("flat rows = %d", flat)
+	}
+	// Period counts must agree exactly with the TIP elements.
+	res, err = tipSess.Exec(`SELECT SUM(nperiods(valid)) FROM Prescription`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != flat {
+		t.Errorf("flat rows %d != total periods %d", flat, res.Rows[0][0].Int())
+	}
+}
+
+func TestRandomElement(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	e := workload.RandomElement(r, 100, 10000)
+	if e.NumPeriods() == 0 || e.NumPeriods() > 100 {
+		t.Errorf("periods = %d", e.NumPeriods())
+	}
+	if !e.Determinate() {
+		t.Error("RandomElement should be determinate")
+	}
+}
