@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is what CI runs: static checks, a full build, and the test suite
+# under the race detector (the engine promises parallel execution across
+# disjoint tables, so plain `go test` is not enough).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the experiment tables (quick sizes).
+bench:
+	$(GO) run ./cmd/tipbench

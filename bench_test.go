@@ -10,6 +10,7 @@ package tip_test
 //	E4  BenchmarkNowBinding
 //	E6  BenchmarkOverlapsScan / BenchmarkOverlapsIndex
 //	E8  BenchmarkOverlapJoinNested / BenchmarkOverlapJoinIndexed
+//	E9  BenchmarkDisjointWritersCoarse / BenchmarkDisjointWritersPerTable
 //	—   micro-benchmarks of the kernel (parse, format, codec, group_union)
 
 import (
@@ -272,6 +273,54 @@ func BenchmarkOverlapJoinIndexed(b *testing.B) {
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) { overlapJoinBench(b, true, n) })
 	}
 }
+
+// --- E9: per-table locking vs the single-lock ablation -----------------------
+
+// disjointWritersBench measures insert throughput into a writer-private
+// table while an analyst session loops full temporal scans over another
+// table. Coarse mode reproduces the seed's one-lock engine, where every
+// insert queues behind the scan in flight.
+func disjointWritersBench(b *testing.B, coarse bool) {
+	sess, blade := bench.NewTIPDB()
+	if err := workload.LoadTIP(sess, blade, workload.Generate(workload.DefaultConfig(2000))); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Exec(`CREATE TABLE w (a INT)`, nil); err != nil {
+		b.Fatal(err)
+	}
+	db := sess.Database()
+	db.SetCoarseLocking(coarse)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		analyst := db.NewSession()
+		q := `SELECT COUNT(*) FROM Prescription WHERE overlaps(valid, '[1998-03-01, 1998-03-10]')`
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := analyst.Exec(q, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	writer := db.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := writer.Exec(`INSERT INTO w VALUES (1)`, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func BenchmarkDisjointWritersCoarse(b *testing.B)   { disjointWritersBench(b, true) }
+func BenchmarkDisjointWritersPerTable(b *testing.B) { disjointWritersBench(b, false) }
 
 // --- kernel micro-benchmarks -------------------------------------------------
 

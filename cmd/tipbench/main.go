@@ -2,8 +2,9 @@
 // EXPERIMENTS.md: the element-algebra scaling series (E1), the
 // blade-vs-stratum comparisons (E2, E3), the NOW-semantics sweep (E4),
 // the generated-SQL complexity table (E5), the period-index selection
-// ablation (E6), the WAL durability ablation (E7) and the temporal-join
-// algorithm comparison (E8).
+// ablation (E6), the WAL durability ablation (E7), the temporal-join
+// algorithm comparison (E8) and the per-table vs single-lock
+// concurrency ablation (E9).
 //
 // Usage:
 //
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E8)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E9)")
 	full := flag.Bool("full", false, "run the full-scale sweeps")
 	flag.Parse()
 

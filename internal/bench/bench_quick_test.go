@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Small smoke tests: each experiment must run and produce a well-formed
@@ -95,11 +97,31 @@ func TestE8Agrees(t *testing.T) {
 	}
 }
 
+func TestE9WritersFaster(t *testing.T) {
+	tab := E9([]int{2}, 200, 80*time.Millisecond)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Rows[0]) != len(tab.Header) {
+		t.Fatalf("ragged row %v", tab.Rows[0])
+	}
+	// The per-table engine must beat the coarse ablation: the speedup
+	// column is "N.Nx" and N must be at least 1.
+	sp := strings.TrimSuffix(tab.Rows[0][3], "x")
+	v, err := strconv.ParseFloat(sp, 64)
+	if err != nil {
+		t.Fatalf("speedup cell %q: %v", tab.Rows[0][3], err)
+	}
+	if v < 1 {
+		t.Errorf("per-table locking slower than coarse: %v", tab.Rows[0])
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, err := ByID("e4"); err != nil {
 		t.Errorf("ByID(e4): %v", err)
 	}
-	if _, err := ByID("E9"); err == nil {
+	if _, err := ByID("E99"); err == nil {
 		t.Error("unknown id should fail")
 	}
 }

@@ -3,19 +3,32 @@
 // indexes, and transactions into a usable embedded DBMS — the stand-in for
 // the Informix server the TIP DataBlade plugs into.
 //
-// A Database owns the shared state; Sessions execute statements. The
-// engine serialises statements: writers take the database write lock,
-// readers share a read lock. Transactions are undo-logged and roll back
-// row-level changes; the transaction's begin time fixes the
-// interpretation of NOW for all its statements (Clifford-style
-// transaction-time NOW), and a session may override NOW for what-if
-// evaluation (SET NOW = ...).
+// A Database owns the shared state; Sessions execute statements. A
+// Session is single-goroutine state (one per client connection); the
+// Database is safe for any number of concurrent sessions. Locking is
+// two-level: a catalog lock guards the schema, the table registry and
+// the WAL handle, and every table carries its own RWMutex. DDL takes
+// the catalog lock exclusively; DML and queries share the catalog lock
+// and lock only the tables the statement binds (writers exclusively,
+// readers shared), acquired in sorted name order so disjoint-table
+// statements run in parallel and same-table statements cannot deadlock.
+// Each session keeps an LRU cache of parsed statements keyed by SQL
+// text, revalidated against a catalog generation counter that every DDL
+// bumps, so the hot repeated-statement path skips the parser.
+//
+// Transactions are undo-logged and roll back row-level changes; the
+// transaction's begin time fixes the interpretation of NOW for all its
+// statements (Clifford-style transaction-time NOW), and a session may
+// override NOW for what-if evaluation (SET NOW = ...). When the WAL is
+// enabled, state-changing statements are appended after they apply; see
+// Exec for the failure contract.
 package engine
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tip/internal/blade"
 	"tip/internal/catalog"
@@ -30,10 +43,16 @@ import (
 
 // Database is one TIP-enabled database instance.
 type Database struct {
+	// mu is the catalog lock: it guards cat, the tables/locks maps and
+	// the wal handle. Statements that only bind rows hold it shared and
+	// serialise on per-table locks instead; DDL holds it exclusively.
 	mu     sync.RWMutex
+	gen    atomic.Uint64 // catalog generation; bumped by every DDL
+	coarse atomic.Bool   // ablation: seed-style single-lock discipline
 	reg    *blade.Registry
 	cat    *catalog.Catalog
-	tables map[string]*exec.Table // lower-cased name
+	tables map[string]*exec.Table   // lower-cased name
+	locks  map[string]*sync.RWMutex // per-table locks, same keys as tables
 	tm     *txn.Manager
 	wal    *wal // nil unless EnableWAL was called
 }
@@ -45,9 +64,22 @@ func New(reg *blade.Registry) *Database {
 		reg:    reg,
 		cat:    catalog.New(),
 		tables: make(map[string]*exec.Table),
+		locks:  make(map[string]*sync.RWMutex),
 		tm:     txn.NewManager(),
 	}
 }
+
+// SetCoarseLocking switches the engine to the pre-per-table-locking
+// discipline where every statement takes the catalog lock exclusively.
+// It exists as an ablation knob — the concurrency experiment (E9)
+// measures per-table locking against it — and as a bisection aid for
+// locking bugs; leave it off otherwise.
+func (db *Database) SetCoarseLocking(on bool) { db.coarse.Store(on) }
+
+// Generation returns the catalog generation counter. Every successful
+// DDL statement bumps it; session statement caches revalidate against
+// it.
+func (db *Database) Generation() uint64 { return db.gen.Load() }
 
 // Registry returns the blade registry (for registering further blades).
 func (db *Database) Registry() *blade.Registry { return db.reg }
@@ -59,16 +91,22 @@ func (db *Database) SetClock(clock func() temporal.Chronon) { db.tm.SetClock(clo
 // Catalog exposes the schema metadata (read-only use).
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
-// Session is one client's connection state: its open transaction and its
-// NOW override.
+// Session is one client's connection state: its open transaction, its
+// NOW override and its parsed-statement cache. A Session must not be
+// used from multiple goroutines at once; open one session per client.
 type Session struct {
 	db          *Database
 	tx          *txn.Txn
 	nowOverride *temporal.Chronon
+	cache       *planCache
 }
 
 // NewSession opens a session.
 func (db *Database) NewSession() *Session { return &Session{db: db} }
+
+// Database returns the engine this session belongs to (to open sibling
+// sessions or reach engine-level knobs from code holding only a session).
+func (s *Session) Database() *Database { return s.db }
 
 // Now returns the session's current interpretation of NOW: the override
 // if set, the transaction time inside a transaction, or the engine clock.
@@ -86,73 +124,116 @@ func (s *Session) Now() temporal.Chronon {
 func (s *Session) InTransaction() bool { return s.tx != nil }
 
 // Exec parses and executes one SQL statement with optional named
-// parameters. When write-ahead logging is enabled, successful
-// state-changing statements are appended to the log.
+// parameters, consulting the session's statement cache before the
+// parser. When write-ahead logging is enabled, state-changing
+// statements are appended to the log after they apply. If the append
+// fails, the in-memory result is still returned, together with an error
+// wrapping ErrWALFailed: the statement is applied but not durable, and
+// the WAL stops accepting appends so the log on disk stays a consistent
+// prefix of the in-memory history (Checkpoint heals it).
 func (s *Session) Exec(sql string, params map[string]types.Value) (*exec.Result, error) {
-	stmt, err := parse.Parse(sql)
+	stmt, err := s.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	now := s.Now()
-	res, err := s.ExecStmt(stmt, params)
-	if err == nil && loggable(stmt) {
-		if logErr := s.db.logStatement(now, sql, params); logErr != nil {
-			return nil, logErr
-		}
-	}
-	return res, err
+	return s.execLogged(stmt, sql, params)
 }
 
 // ExecScript executes a ';'-separated sequence of statements, returning
-// the last result.
+// the last result. Each state-changing statement is WAL-logged
+// individually (with its own source text), exactly as if run through
+// Exec.
 func (s *Session) ExecScript(sql string, params map[string]types.Value) (*exec.Result, error) {
-	stmts, err := parse.ParseScript(sql)
+	parts, err := parse.ParseScriptParts(sql)
 	if err != nil {
 		return nil, err
 	}
 	var last *exec.Result
-	for _, st := range stmts {
-		if last, err = s.ExecStmt(st, params); err != nil {
+	for _, p := range parts {
+		if last, err = s.execLogged(p.Stmt, p.SQL, params); err != nil {
 			return nil, err
 		}
 	}
 	return last, nil
 }
 
-// ExecStmt executes one parsed statement.
+// execLogged executes one parsed statement and appends it to the WAL
+// when it applied successfully and changes state. NOW is captured
+// before execution so the logged time matches what the statement
+// evaluated under (BEGIN changes the session's NOW as a side effect).
+func (s *Session) execLogged(stmt ast.Statement, sql string, params map[string]types.Value) (*exec.Result, error) {
+	now := s.Now()
+	res, err := s.ExecStmt(stmt, params)
+	if err == nil && loggable(stmt) {
+		if logErr := s.db.logStatement(now, sql, params); logErr != nil {
+			// Applied in memory but not logged: surface the durability
+			// failure while still handing back the result (see Exec).
+			return res, logErr
+		}
+	}
+	return res, err
+}
+
+// parseCached parses sql through the session's LRU statement cache.
+// Cache entries carry the catalog generation they were parsed under and
+// are dropped on mismatch, so DDL from any session invalidates them.
+func (s *Session) parseCached(sql string) (ast.Statement, error) {
+	if s.cache == nil {
+		s.cache = newPlanCache(planCacheSize)
+	}
+	gen := s.db.gen.Load()
+	if stmt, ok := s.cache.get(sql, gen); ok {
+		return stmt, nil
+	}
+	stmt, err := parse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(sql, stmt, gen)
+	return stmt, nil
+}
+
+// CacheStats reports the session statement cache's hit/miss counters
+// (for tests and the concurrency experiments).
+func (s *Session) CacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.hits, s.cache.misses
+}
+
+// ExecStmt executes one parsed statement, acquiring the locks it needs
+// (see the package comment for the locking discipline).
 func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*exec.Result, error) {
+	unlock := s.lockFor(stmt)
+	defer unlock()
+	res, err := s.execLocked(stmt, params)
+	if err == nil && isDDL(stmt) {
+		// Bumped while the catalog lock is still held exclusively, so a
+		// reader never observes a new schema with an old generation.
+		s.db.gen.Add(1)
+	}
+	return res, err
+}
+
+// execLocked dispatches one statement; the caller holds the locks.
+func (s *Session) execLocked(stmt ast.Statement, params map[string]types.Value) (*exec.Result, error) {
 	switch st := stmt.(type) {
 	case *ast.Select:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
 		return exec.Run(s.env(params), st)
 	case *ast.CreateTable:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.createTable(st)
 	case *ast.DropTable:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.dropTable(st)
 	case *ast.CreateIndex:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.createIndex(st)
 	case *ast.DropIndex:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.dropIndex(st)
 	case *ast.Insert:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.insert(st, params)
 	case *ast.Update:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.update(st, params)
 	case *ast.Delete:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.deleteRows(st, params)
 	case *ast.Begin:
 		if s.tx != nil {
@@ -167,14 +248,10 @@ func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*
 		s.tx = nil // undo log discarded; changes are already applied
 		return &exec.Result{}, nil
 	case *ast.Rollback:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.rollback()
 	case *ast.SetNow:
 		return s.setNow(st, params)
 	case *ast.ShowTables:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
 		res := &exec.Result{Cols: []string{"table"}}
 		for _, n := range s.db.cat.TableNames() {
 			res.Rows = append(res.Rows, exec.Row{types.NewString(n)})
@@ -182,12 +259,8 @@ func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*
 		res.Types = []*types.Type{types.TString}
 		return res, nil
 	case *ast.Describe:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
 		return s.describe(st.Table)
 	case *ast.Explain:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
 		return exec.Explain(s.env(params), st.Query)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
@@ -229,7 +302,9 @@ func (s *Session) createTable(st *ast.CreateTable) (*exec.Result, error) {
 	if err := s.db.cat.CreateTable(meta); err != nil {
 		return nil, err
 	}
-	s.db.tables[strings.ToLower(st.Name)] = exec.NewTable(meta)
+	key := strings.ToLower(st.Name)
+	s.db.tables[key] = exec.NewTable(meta)
+	s.db.locks[key] = &sync.RWMutex{}
 	return &exec.Result{}, nil
 }
 
@@ -247,6 +322,7 @@ func (s *Session) dropTable(st *ast.DropTable) (*exec.Result, error) {
 		return nil, err
 	}
 	delete(s.db.tables, strings.ToLower(st.Name))
+	delete(s.db.locks, strings.ToLower(st.Name))
 	return &exec.Result{}, nil
 }
 
@@ -397,8 +473,6 @@ func (s *Session) setNow(st *ast.SetNow, params map[string]types.Value) (*exec.R
 		s.nowOverride = nil
 		return &exec.Result{}, nil
 	}
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
 	v, err := exec.EvalConst(s.env(params), st.Value)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"tip/internal/exec"
+	"tip/internal/sql/ast"
+)
+
+// Two-level locking. The catalog lock (Database.mu) guards the schema,
+// the tables/locks maps and the WAL handle; per-table RWMutexes guard
+// row data and indexes. A statement's lock footprint is decided up
+// front from its AST (exec.StatementTables), before any shared state is
+// touched:
+//
+//   - DDL and ROLLBACK-less statements that reshape the schema take the
+//     catalog lock exclusively and need nothing else.
+//   - Everything that binds rows takes the catalog lock shared, then
+//     the locks of exactly the tables it binds — written tables
+//     exclusively, read tables shared — in sorted name order, so two
+//     statements can never acquire the same pair of locks in opposite
+//     orders.
+//   - ROLLBACK writes the tables named in the transaction's undo log.
+//   - BEGIN, COMMIT and SET NOW = DEFAULT touch only session-local
+//     state and lock nothing.
+//
+// Table locks are only ever acquired while the catalog lock is held
+// shared, and only ever created/deleted while it is held exclusively,
+// so the locks map is stable during acquisition and a dropped table's
+// lock can never be mid-acquisition.
+
+// lockFor acquires every lock stmt needs and returns the matching
+// release function.
+func (s *Session) lockFor(stmt ast.Statement) func() {
+	db := s.db
+	if db.coarse.Load() {
+		db.mu.Lock()
+		return db.mu.Unlock
+	}
+	switch st := stmt.(type) {
+	case *ast.CreateTable, *ast.DropTable, *ast.CreateIndex, *ast.DropIndex:
+		db.mu.Lock()
+		return db.mu.Unlock
+	case *ast.Begin, *ast.Commit:
+		return func() {}
+	case *ast.SetNow:
+		if st.Value == nil {
+			return func() {}
+		}
+		reads, writes := exec.StatementTables(stmt)
+		return db.lockTables(reads, writes)
+	case *ast.Rollback:
+		var writes []string
+		if s.tx != nil {
+			seen := map[string]bool{}
+			for _, e := range s.tx.UndoEntries() {
+				key := strings.ToLower(e.Table)
+				if !seen[key] {
+					seen[key] = true
+					writes = append(writes, key)
+				}
+			}
+		}
+		return db.lockTables(nil, writes)
+	default:
+		reads, writes := exec.StatementTables(stmt)
+		return db.lockTables(reads, writes)
+	}
+}
+
+// lockTables takes the catalog lock shared plus the named table locks
+// (reads shared, writes exclusive) in sorted name order, and returns
+// the release function. Names must be lower-cased; names without a
+// registered table are skipped — the statement will fail resolution
+// under the catalog lock anyway. A name in both sets is locked
+// exclusively.
+func (db *Database) lockTables(reads, writes []string) func() {
+	db.mu.RLock()
+	write := make(map[string]bool, len(reads)+len(writes))
+	for _, t := range writes {
+		write[t] = true
+	}
+	for _, t := range reads {
+		if _, ok := write[t]; !ok {
+			write[t] = false
+		}
+	}
+	names := make([]string, 0, len(write))
+	for t := range write {
+		if _, ok := db.locks[t]; ok {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	held := make([]*sync.RWMutex, len(names))
+	for i, t := range names {
+		held[i] = db.locks[t]
+		if write[t] {
+			held[i].Lock()
+		} else {
+			held[i].RLock()
+		}
+	}
+	return func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			if write[names[i]] {
+				held[i].Unlock()
+			} else {
+				held[i].RUnlock()
+			}
+		}
+		db.mu.RUnlock()
+	}
+}
+
+// isDDL reports whether a statement reshapes the schema (and must bump
+// the catalog generation on success).
+func isDDL(stmt ast.Statement) bool {
+	switch stmt.(type) {
+	case *ast.CreateTable, *ast.DropTable, *ast.CreateIndex, *ast.DropIndex:
+		return true
+	default:
+		return false
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 
 	"tip/internal/catalog"
 	"tip/internal/exec"
@@ -37,8 +39,22 @@ var ErrBadSnapshot = errors.New("engine: bad snapshot")
 // Save writes a snapshot of the database to path (atomically via a
 // temporary file).
 func (db *Database) Save(path string) error {
+	// Writers run under a shared catalog lock, so a consistent snapshot
+	// needs every table's read lock too (sorted order, like any
+	// multi-table statement).
 	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		db.locks[n].RLock()
+	}
 	buf := db.encodeSnapshot()
+	for i := len(names) - 1; i >= 0; i-- {
+		db.locks[names[i]].RUnlock()
+	}
 	db.mu.RUnlock()
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
@@ -152,6 +168,7 @@ func (db *Database) decodeSnapshot(data []byte) error {
 		}
 		tbl := exec.NewTable(meta)
 		db.tables[strings.ToLower(name)] = tbl
+		db.locks[strings.ToLower(name)] = &sync.RWMutex{}
 		rowCount, rest, err := readUvarint(data)
 		if err != nil {
 			return err

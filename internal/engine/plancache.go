@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"container/list"
+
+	"tip/internal/sql/ast"
+)
+
+// planCacheSize is the per-session capacity of the statement cache:
+// generous enough for any realistic prepared-statement working set,
+// small enough that a session costs little.
+const planCacheSize = 256
+
+// planCache is a per-session LRU of parsed statements keyed by SQL
+// text. Parsing is schema-independent, but entries still carry the
+// catalog generation they were parsed under and are revalidated on
+// every hit: DDL from any session bumps the generation and so flushes
+// every session's cache. (That keeps the contract honest once plans —
+// not just parse trees — are cached.) The cache is session-local and a
+// session is single-goroutine, so no locking is needed; the parsed AST
+// is reused across executions, which is safe because binding never
+// mutates it.
+type planCache struct {
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used *planEntry
+	hits    uint64
+	misses  uint64
+}
+
+type planEntry struct {
+	sql  string
+	stmt ast.Statement
+	gen  uint64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached statement for sql if present and parsed under
+// the current catalog generation; stale entries are evicted.
+func (c *planCache) get(sql string, gen uint64) (ast.Statement, bool) {
+	el, ok := c.entries[sql]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*planEntry)
+	if e.gen != gen {
+		c.lru.Remove(el)
+		delete(c.entries, sql)
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.stmt, true
+}
+
+// put caches a freshly parsed statement, evicting the least recently
+// used entry at capacity.
+func (c *planCache) put(sql string, stmt ast.Statement, gen uint64) {
+	if el, ok := c.entries[sql]; ok {
+		el.Value = &planEntry{sql: sql, stmt: stmt, gen: gen}
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).sql)
+	}
+	c.entries[sql] = c.lru.PushFront(&planEntry{sql: sql, stmt: stmt, gen: gen})
+}

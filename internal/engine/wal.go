@@ -35,10 +35,22 @@ type wal struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
+	// failed is the first append error, sticky: once an append fails
+	// the log may end in a torn record, so no further records are
+	// written — the file stays a consistent (replayable) prefix of the
+	// in-memory history until Checkpoint truncates and heals it.
+	failed error
 }
 
 // ErrWAL reports a malformed log.
 var ErrWAL = errors.New("engine: corrupt WAL")
+
+// ErrWALFailed reports that a statement applied in memory but could not
+// be appended to the WAL. The statement's result is still returned to
+// the caller; the log stops growing so it remains a consistent prefix.
+// Checkpoint clears the condition (the snapshot captures the state the
+// log no longer covers).
+var ErrWALFailed = errors.New("engine: WAL append failed; statement applied but not logged")
 
 // EnableWAL starts appending state-changing statements to path,
 // creating the file if needed. Call ReplayWAL first when recovering.
@@ -68,10 +80,15 @@ func (db *Database) DisableWAL() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
+	flushErr := w.failed
+	if flushErr == nil {
+		flushErr = w.w.Flush()
 	}
-	return w.f.Close()
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
 }
 
 // Checkpoint writes a snapshot to snapshotPath, fsyncs and truncates
@@ -88,8 +105,13 @@ func (db *Database) Checkpoint(snapshotPath string) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
+	// A failed WAL may hold a poisoned buffered writer and a torn tail
+	// on disk; the snapshot supersedes both, so skip the flush and let
+	// the truncate below heal the log.
+	if w.failed == nil {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
 	}
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("engine: checkpoint: %w", err)
@@ -97,7 +119,12 @@ func (db *Database) Checkpoint(snapshotPath string) error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("engine: checkpoint: %w", err)
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	w.w.Reset(w.f)
+	w.failed = nil
+	return nil
 }
 
 // loggable reports whether a statement changes database state and must
@@ -136,15 +163,25 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
+	}
+	fail := func(err error) error {
+		w.failed = err
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(buf)))
 	if _, err := w.w.Write(hdr[:n]); err != nil {
-		return fmt.Errorf("engine: wal append: %w", err)
+		return fail(err)
 	}
 	if _, err := w.w.Write(buf); err != nil {
-		return fmt.Errorf("engine: wal append: %w", err)
+		return fail(err)
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		return fail(err)
+	}
+	return nil
 }
 
 // ReplayWAL re-executes the statements logged in path against this

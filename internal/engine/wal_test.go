@@ -191,6 +191,38 @@ func TestWALCheckpointTruncates(t *testing.T) {
 	}
 }
 
+// Regression: ExecScript used to bypass WAL logging entirely, so any
+// state created through a script silently vanished on recovery. Scripts
+// now log each statement individually.
+func TestWALScriptStatementsReplay(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "wal.log")
+	_, s := newWALDB(t, wal)
+	if _, err := s.ExecScript(`
+		CREATE TABLE t (a INT, valid Element);
+		INSERT INTO t VALUES (:a, '{[1999-01-01, NOW]}');
+		INSERT INTO t VALUES (2, NULL);
+		DELETE FROM t WHERE a = 2;
+	`, params("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A mixed script: reads interleaved with writes; only writes log.
+	if _, err := s.ExecScript(`
+		SELECT * FROM t;
+		UPDATE t SET a = 7 WHERE a = 1;
+	`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := recoverDB(t, wal)
+	res := mustExec(t, s2, `SELECT a, valid FROM t`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 7 {
+		t.Fatalf("recovered script rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Format() != "{[1999-01-01, NOW]}" {
+		t.Errorf("recovered element = %s", res.Rows[0][1].Format())
+	}
+}
+
 func TestWALSelectsNotLogged(t *testing.T) {
 	wal := filepath.Join(t.TempDir(), "wal.log")
 	db, s := newWALDB(t, wal)

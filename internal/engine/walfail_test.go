@@ -1,0 +1,165 @@
+package engine
+
+// White-box test of WAL append failure. When the log write fails AFTER a
+// statement has applied in memory, the engine must (a) return the result
+// together with an error wrapping ErrWALFailed, (b) keep the in-memory
+// change, (c) refuse to log any later statement (sticky failure, so the
+// on-disk log stays a consistent replayable prefix), and (d) heal on
+// Checkpoint. Needs package engine to reach the wal's file handle.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"tip/internal/blade"
+	"tip/internal/core"
+	"tip/internal/sql/parse"
+	"tip/internal/temporal"
+)
+
+func newFailDB(t *testing.T) (*Database, *Session, string) {
+	t.Helper()
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	db := New(reg)
+	db.SetClock(func() temporal.Chronon { return temporal.MustDate(1999, 11, 12) })
+	wal := filepath.Join(t.TempDir(), "wal.log")
+	if err := db.EnableWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	return db, db.NewSession(), wal
+}
+
+func execSQL(t *testing.T, s *Session, sql string) {
+	t.Helper()
+	if _, err := s.Exec(sql, nil); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func rowCount(t *testing.T, s *Session, table string) int64 {
+	t.Helper()
+	res, err := s.Exec(`SELECT COUNT(*) FROM `+table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestWALAppendFailureKeepsMemoryConsistent(t *testing.T) {
+	db, s, wal := newFailDB(t)
+	execSQL(t, s, `CREATE TABLE t (a INT)`)
+	execSQL(t, s, `INSERT INTO t VALUES (1)`)
+
+	// Break the log: close its file out from under the writer. The next
+	// append's flush fails.
+	if err := db.wal.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Exec(`INSERT INTO t VALUES (2)`, nil)
+	if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("err = %v, want ErrWALFailed", err)
+	}
+	if res == nil || res.Affected != 1 {
+		t.Fatalf("result alongside WAL failure = %+v, want the applied result", res)
+	}
+	// The statement applied in memory even though it could not be logged.
+	if got := rowCount(t, s, "t"); got != 2 {
+		t.Errorf("in-memory rows = %d, want 2", got)
+	}
+	// The failure is sticky: later loggable statements apply but keep
+	// reporting it; reads are unaffected.
+	if _, err := s.Exec(`INSERT INTO t VALUES (3)`, nil); !errors.Is(err, ErrWALFailed) {
+		t.Errorf("second append after failure: err = %v, want ErrWALFailed", err)
+	}
+	if got := rowCount(t, s, "t"); got != 3 {
+		t.Errorf("in-memory rows = %d, want 3", got)
+	}
+
+	// The on-disk log is a consistent prefix: replay sees only the
+	// statements appended before the failure.
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(reg)
+	if err := db2.ReplayWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowCount(t, db2.NewSession(), "t"); got != 1 {
+		t.Errorf("replayed prefix rows = %d, want 1", got)
+	}
+}
+
+func TestWALAppendFailureHealedByCheckpoint(t *testing.T) {
+	db, s, wal := newFailDB(t)
+	execSQL(t, s, `CREATE TABLE t (a INT)`)
+	if err := db.wal.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO t VALUES (1)`, nil); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("err = %v, want ErrWALFailed", err)
+	}
+
+	// Checkpoint cannot truncate a closed file either, so it reports the
+	// I/O error — but after reopening the log (fresh handle on the same
+	// path), a checkpoint clears the sticky failure and logging resumes.
+	snap := filepath.Join(t.TempDir(), "snap.tipdb")
+	if err := db.Checkpoint(snap); err == nil {
+		t.Fatal("checkpoint over a closed WAL file should fail")
+	}
+	db.mu.Lock()
+	db.wal = nil
+	db.mu.Unlock()
+	if err := db.EnableWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	execSQL(t, s, `INSERT INTO t VALUES (2)`)
+
+	// Recovery from the checkpoint snapshot plus the healed log sees the
+	// full post-checkpoint history.
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New(reg)
+	if err := db2.Load(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.ReplayWAL(wal); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowCount(t, db2.NewSession(), "t"); got != 2 {
+		t.Errorf("recovered rows = %d, want 2", got)
+	}
+}
+
+// Parsing sanity for the script-splitting used by ExecScript's WAL
+// logging: each part carries the exact source text of its statement.
+func TestParseScriptPartsSourceText(t *testing.T) {
+	parts, err := parse.ParseScriptParts(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1); -- trailing comment
+		SELECT *
+		  FROM t
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	want := []string{"CREATE TABLE t (a INT)", "INSERT INTO t VALUES (1)", "SELECT *\n\t\t  FROM t"}
+	for i, w := range want {
+		if parts[i].SQL != w {
+			t.Errorf("part %d SQL = %q, want %q", i, parts[i].SQL, w)
+		}
+	}
+}

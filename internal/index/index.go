@@ -10,6 +10,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"tip/internal/temporal"
 )
@@ -60,10 +61,16 @@ func (h *Hash) Len() int { return len(h.m) }
 // of interval ends, giving O(log n + k) overlap search for k candidates in
 // the start-bounded prefix. Mutations mark the index dirty; the next
 // search rebuilds the sorted form (build is O(n log n)).
+//
+// Concurrency: mutations (AddPeriod, AddElement, Remove) require external
+// exclusive locking, but Search and SearchElement are safe to call from
+// concurrent readers — the lazy rebuild is the one mutation on the read
+// path, and buildMu serializes it.
 type Period struct {
 	entries []periodEntry
 	dirty   bool
-	maxHi   []int64 // prefix maxima of entries[i].hi
+	buildMu sync.Mutex // serializes the lazy build among concurrent readers
+	maxHi   []int64    // prefix maxima of entries[i].hi
 }
 
 type periodEntry struct {
@@ -141,9 +148,14 @@ func (ix *Period) build() {
 // Search returns the distinct row ids whose indexed intervals overlap
 // [qlo, qhi] (closed). The result order is unspecified.
 func (ix *Period) Search(qlo, qhi temporal.Chronon) []int {
+	// The dirty check and rebuild are the only mutation on the read path;
+	// take buildMu so concurrent readers don't race on it. The unlock
+	// publishes the rebuilt entries/maxHi to every later reader.
+	ix.buildMu.Lock()
 	if ix.dirty {
 		ix.build()
 	}
+	ix.buildMu.Unlock()
 	// Entries with lo > qhi cannot overlap; binary-search the cut.
 	n := sort.Search(len(ix.entries), func(i int) bool { return ix.entries[i].lo > int64(qhi) })
 	var ids []int

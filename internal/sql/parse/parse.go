@@ -37,22 +37,49 @@ func Parse(sql string) (ast.Statement, error) {
 
 // ParseScript parses a ';'-separated sequence of statements.
 func ParseScript(sql string) ([]ast.Statement, error) {
+	parts, err := ParseScriptParts(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ast.Statement, len(parts))
+	for i, p := range parts {
+		out[i] = p.Stmt
+	}
+	return out, nil
+}
+
+// ScriptPart is one statement of a script together with its source
+// text (terminator and surrounding whitespace stripped), so callers
+// that record statements — the engine's WAL — can log each one in a
+// replayable single-statement form.
+type ScriptPart struct {
+	Stmt ast.Statement
+	SQL  string
+}
+
+// ParseScriptParts parses a ';'-separated sequence of statements,
+// returning each with the slice of the input it was parsed from.
+func ParseScriptParts(sql string) ([]ScriptPart, error) {
 	p, err := newParser(sql)
 	if err != nil {
 		return nil, err
 	}
-	var out []ast.Statement
+	var out []ScriptPart
 	for {
 		for p.acceptSymbol(";") {
 		}
 		if p.at(scan.EOF) {
 			return out, nil
 		}
+		start := p.cur().Pos
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, st)
+		// The current token is the terminator (';' or EOF); its offset
+		// bounds the statement's text.
+		text := strings.TrimSpace(p.src[start:p.cur().Pos])
+		out = append(out, ScriptPart{Stmt: st, SQL: text})
 		if !p.acceptSymbol(";") && !p.at(scan.EOF) {
 			return nil, p.errf("expected ';' between statements, got %s", p.cur())
 		}

@@ -61,27 +61,35 @@ func (t *Txn) UndoEntries() []Entry {
 func (t *Txn) Len() int { return len(t.undo) }
 
 // Manager allocates transactions. The zero Manager uses the wall clock;
-// tests may pin the clock with SetClock.
+// tests may pin the clock with SetClock. The clock is stored atomically
+// so SetClock may race with concurrent sessions reading Now.
 type Manager struct {
 	nextID atomic.Int64
-	clock  func() temporal.Chronon
+	clock  atomic.Pointer[func() temporal.Chronon]
 }
 
 // NewManager returns a manager reading the wall clock.
 func NewManager() *Manager {
-	return &Manager{clock: func() temporal.Chronon { return temporal.ChrononOf(time.Now()) }}
+	m := &Manager{}
+	m.SetClock(func() temporal.Chronon { return temporal.ChrononOf(time.Now()) })
+	return m
 }
 
 // SetClock replaces the clock, for deterministic tests and the browser's
-// what-if evaluation.
-func (m *Manager) SetClock(clock func() temporal.Chronon) { m.clock = clock }
+// what-if evaluation. Safe to call while other goroutines read Now.
+func (m *Manager) SetClock(clock func() temporal.Chronon) { m.clock.Store(&clock) }
 
 // Now reads the manager's clock.
-func (m *Manager) Now() temporal.Chronon { return m.clock() }
+func (m *Manager) Now() temporal.Chronon {
+	if c := m.clock.Load(); c != nil {
+		return (*c)()
+	}
+	return temporal.ChrononOf(time.Now())
+}
 
 // Begin opens a transaction stamped with the current clock reading.
 func (m *Manager) Begin() *Txn {
-	return &Txn{ID: m.nextID.Add(1), Time: m.clock()}
+	return &Txn{ID: m.nextID.Add(1), Time: m.Now()}
 }
 
 // Apply undoes one entry against the heap of its table. The caller

@@ -20,7 +20,7 @@ func TestTipbenchTool(t *testing.T) {
 	if !strings.Contains(string(out), "Query complexity") {
 		t.Errorf("tipbench output missing table:\n%s", out)
 	}
-	if out, err := exec.Command("go", "run", "./cmd/tipbench", "-exp", "E9").CombinedOutput(); err == nil {
+	if out, err := exec.Command("go", "run", "./cmd/tipbench", "-exp", "E99").CombinedOutput(); err == nil {
 		t.Errorf("unknown experiment should fail:\n%s", out)
 	}
 }
