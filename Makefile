@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench obs-smoke
 
-# check is what CI runs: static checks, a full build, and the test suite
+# check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
-# disjoint tables, so plain `go test` is not enough).
-check: vet build race
+# disjoint tables, so plain `go test` is not enough), and the
+# metrics-overhead smoke.
+check: vet build race obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +23,10 @@ race:
 # bench regenerates the experiment tables (quick sizes).
 bench:
 	$(GO) run ./cmd/tipbench
+
+# obs-smoke compares writer throughput with the metrics subsystem on
+# (BenchmarkDisjointWritersPerTable) and off (...PerTableNoObs). The
+# observability overhead budget is <=5%; DESIGN.md ("Observability")
+# records the measured numbers.
+obs-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDisjointWritersPerTable' -benchtime 300ms .

@@ -280,7 +280,7 @@ func BenchmarkOverlapJoinIndexed(b *testing.B) {
 // table while an analyst session loops full temporal scans over another
 // table. Coarse mode reproduces the seed's one-lock engine, where every
 // insert queues behind the scan in flight.
-func disjointWritersBench(b *testing.B, coarse bool) {
+func disjointWritersBench(b *testing.B, coarse, obsOn bool) {
 	sess, blade := bench.NewTIPDB()
 	if err := workload.LoadTIP(sess, blade, workload.Generate(workload.DefaultConfig(2000))); err != nil {
 		b.Fatal(err)
@@ -290,6 +290,7 @@ func disjointWritersBench(b *testing.B, coarse bool) {
 	}
 	db := sess.Database()
 	db.SetCoarseLocking(coarse)
+	db.SetObservability(obsOn)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -319,8 +320,13 @@ func disjointWritersBench(b *testing.B, coarse bool) {
 	<-done
 }
 
-func BenchmarkDisjointWritersCoarse(b *testing.B)   { disjointWritersBench(b, true) }
-func BenchmarkDisjointWritersPerTable(b *testing.B) { disjointWritersBench(b, false) }
+func BenchmarkDisjointWritersCoarse(b *testing.B)   { disjointWritersBench(b, true, true) }
+func BenchmarkDisjointWritersPerTable(b *testing.B) { disjointWritersBench(b, false, true) }
+
+// BenchmarkDisjointWritersPerTableNoObs is the observability-overhead
+// ablation: identical to PerTable with the metrics subsystem switched
+// off. `make obs-smoke` compares the two; DESIGN.md records the gap.
+func BenchmarkDisjointWritersPerTableNoObs(b *testing.B) { disjointWritersBench(b, false, false) }
 
 // --- kernel micro-benchmarks -------------------------------------------------
 

@@ -8,15 +8,19 @@
 //	tipserver -addr :4711 -db medical.tipdb    # load/save a snapshot
 //	tipserver -addr :4711 -durable ./dbdir     # WAL-backed, crash-safe
 //	tipserver -addr :4711 -demo 500            # synthetic medical demo data
+//	tipserver -addr :4711 -metrics :8711       # expvar-style /stats endpoint
+//	tipserver -addr :4711 -slowquery 50ms      # log statements slower than 50ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tip"
 	"tip/internal/workload"
@@ -27,6 +31,8 @@ func main() {
 	dbPath := flag.String("db", "", "snapshot file to load on start and save on shutdown")
 	durable := flag.String("durable", "", "directory for a WAL-backed, crash-safe database")
 	demo := flag.Int("demo", 0, "load N synthetic prescriptions on start")
+	metrics := flag.String("metrics", "", "serve the metrics snapshot as JSON on this HTTP address (/stats)")
+	slow := flag.Duration("slowquery", 0, "log statements slower than this (0 disables)")
 	flag.Parse()
 
 	var db *tip.DB
@@ -57,6 +63,25 @@ func main() {
 			log.Fatalf("demo data: %v", err)
 		}
 		log.Printf("loaded %d synthetic prescriptions", *demo)
+	}
+
+	if *slow > 0 {
+		db.Engine().SetSlowQueryLog(*slow, func(msg string) { log.Print(msg) })
+		log.Printf("slow-query log enabled at %s", *slow)
+	}
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(db.Engine().Metrics().Snapshot().JSON())
+		})
+		go func() {
+			srv := &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/stats", *metrics)
 	}
 
 	srv, err := db.Serve(*addr)

@@ -10,7 +10,8 @@
 //	tipsql -demo 200                # embedded with synthetic data
 //
 // Statements end with ';'. Shell commands: \q quits, \t lists tables,
-// \save <path> snapshots an embedded database.
+// \stats prints the engine metrics snapshot, \save <path> snapshots an
+// embedded database.
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 
 	var run executor
 	var db *tip.DB
+	var netc *client.Conn
 	switch {
 	case *connect != "":
 		reg := blade.NewRegistry()
@@ -52,7 +54,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer c.Close()
-		run = c
+		run, netc = c, c
 		fmt.Printf("connected to %s\n", *connect)
 	default:
 		if *dbPath != "" {
@@ -92,6 +94,8 @@ func main() {
 				execute(run, "SHOW TABLES")
 			case strings.HasPrefix(trimmed, `\d `):
 				execute(run, "DESCRIBE "+strings.TrimSpace(strings.TrimPrefix(trimmed, `\d `)))
+			case trimmed == `\stats`:
+				printStats(db, netc)
 			case strings.HasPrefix(trimmed, `\save `):
 				if db == nil {
 					fmt.Println("error: \\save only works embedded")
@@ -104,7 +108,7 @@ func main() {
 					fmt.Printf("saved %s\n", path)
 				}
 			default:
-				fmt.Println(`commands: \q quit, \t tables, \d <table>, \save <path>`)
+				fmt.Println(`commands: \q quit, \t tables, \d <table>, \stats, \save <path>`)
 			}
 			fmt.Print("tip> ")
 			continue
@@ -119,6 +123,21 @@ func main() {
 			fmt.Print("...> ")
 		}
 	}
+}
+
+// printStats renders the metrics snapshot: locally when embedded, over
+// the wire (MsgStats) when connected.
+func printStats(db *tip.DB, netc *client.Conn) {
+	if netc != nil {
+		snap, err := netc.Stats()
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(snap.Text())
+		return
+	}
+	fmt.Print(db.Engine().Metrics().Snapshot().Text())
 }
 
 func execute(run executor, sql string) {

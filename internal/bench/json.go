@@ -1,0 +1,190 @@
+package bench
+
+// Machine-readable benchmark output. Each scenario runs against a
+// pinned-clock engine with trace sampling forced to every statement, so
+// the per-kind latency histograms of internal/obs hold the full
+// distribution; the JSON reports ops/s plus the histogram's p50/p99.
+// cmd/tipbench writes one BENCH_<name>.json per scenario with -json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tip/internal/engine"
+	"tip/internal/types"
+	"tip/internal/workload"
+)
+
+// Result is one scenario's machine-readable measurement. Latencies come
+// from the engine's stmt.<kind>.latency histogram, not from wall-clock
+// division, so p50/p99 reflect the true per-statement distribution.
+type Result struct {
+	Name       string             `json:"name"`
+	Statements int64              `json:"statements"`
+	OpsPerSec  float64            `json:"ops_per_sec"`
+	P50Nanos   float64            `json:"p50_ns"`
+	P99Nanos   float64            `json:"p99_ns"`
+	MeanNanos  float64            `json:"mean_ns"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// jsonScenario runs fn (which must execute `n` statements of the given
+// kind) on a fresh fully-traced engine and assembles the Result from the
+// registry snapshot.
+func jsonScenario(name, kind string, extra []string, fn func(db *engine.Database) int64) Result {
+	sess, _ := NewTIPDB()
+	db := sess.Database()
+	db.SetTraceSampling(1) // every statement feeds the histograms
+	start := time.Now()
+	n := fn(db)
+	elapsed := time.Since(start)
+	snap := db.Metrics().Snapshot()
+	get := func(metric string) float64 {
+		v, _ := snap.Get(metric)
+		return v
+	}
+	res := Result{
+		Name:       name,
+		Statements: n,
+		OpsPerSec:  float64(n) / elapsed.Seconds(),
+		P50Nanos:   get("stmt." + kind + ".latency.p50"),
+		P99Nanos:   get("stmt." + kind + ".latency.p99"),
+		MeanNanos:  get("stmt." + kind + ".latency.mean"),
+	}
+	if len(extra) > 0 {
+		res.Metrics = make(map[string]float64, len(extra))
+		for _, m := range extra {
+			res.Metrics[m] = get(m)
+		}
+	}
+	return res
+}
+
+// JSONResults measures the machine-readable scenarios: insert
+// throughput, a repeated coalescing query (plan-cache resident), and the
+// period-index temporal join.
+func JSONResults(rows int) []Result {
+	data := workload.Generate(workload.DefaultConfig(rows))
+
+	insert := jsonScenario("insert", "insert",
+		[]string{"wal.appends", "rows.written"},
+		func(db *engine.Database) int64 {
+			sess := db.NewSession()
+			if _, err := sess.Exec(workload.Schema, nil); err != nil {
+				panic(err)
+			}
+			reg := db.Registry()
+			elementT, _ := reg.LookupType("Element")
+			chrononT, _ := reg.LookupType("Chronon")
+			spanT, _ := reg.LookupType("Span")
+			const ins = `INSERT INTO Prescription VALUES (:doc, :pat, :dob, :drug, :dose, :freq, :valid)`
+			for _, p := range data {
+				params := map[string]types.Value{
+					"doc":   types.NewString(p.Doctor),
+					"pat":   types.NewString(p.Patient),
+					"dob":   types.NewUDT(chrononT, p.PatientDOB),
+					"drug":  types.NewString(p.Drug),
+					"dose":  types.NewInt(p.Dosage),
+					"freq":  types.NewUDT(spanT, p.Frequency),
+					"valid": types.NewUDT(elementT, p.Valid),
+				}
+				if _, err := sess.Exec(ins, params); err != nil {
+					panic(err)
+				}
+			}
+			return int64(len(data))
+		})
+
+	coalesce := jsonScenario("coalesce", "select",
+		[]string{"plancache.hit_rate", "rows.read"},
+		func(db *engine.Database) int64 {
+			sess := db.NewSession()
+			if err := loadPrescriptions(sess, data); err != nil {
+				panic(err)
+			}
+			const reps = 50
+			q := `SELECT patient, length(group_union(valid)) FROM Prescription GROUP BY patient`
+			for i := 0; i < reps; i++ {
+				if _, err := sess.Exec(q, nil); err != nil {
+					panic(err)
+				}
+			}
+			return reps
+		})
+
+	join := jsonScenario("period_index_join", "select",
+		[]string{"table.prescription.reads"},
+		func(db *engine.Database) int64 {
+			sess := db.NewSession()
+			if err := loadPrescriptions(sess, data); err != nil {
+				panic(err)
+			}
+			if _, err := sess.Exec(`CREATE INDEX rx_valid ON Prescription (valid) USING PERIOD`, nil); err != nil {
+				panic(err)
+			}
+			const reps = 20
+			q := `SELECT COUNT(*) FROM Prescription WHERE overlaps(valid, '[1998-03-01, 1998-03-31]')`
+			for i := 0; i < reps; i++ {
+				if _, err := sess.Exec(q, nil); err != nil {
+					panic(err)
+				}
+			}
+			return reps
+		})
+
+	return []Result{insert, coalesce, join}
+}
+
+// loadPrescriptions creates the schema and loads the workload rows into
+// an existing session (scenario setup outside the measured window is
+// fine: the histograms still count those statements, but insert latency
+// does not pollute the select histogram the scenarios report).
+func loadPrescriptions(sess *engine.Session, data []workload.Prescription) error {
+	if _, err := sess.Exec(workload.Schema, nil); err != nil {
+		return err
+	}
+	reg := sess.Database().Registry()
+	elementT, _ := reg.LookupType("Element")
+	chrononT, _ := reg.LookupType("Chronon")
+	spanT, _ := reg.LookupType("Span")
+	const ins = `INSERT INTO Prescription VALUES (:doc, :pat, :dob, :drug, :dose, :freq, :valid)`
+	for _, p := range data {
+		params := map[string]types.Value{
+			"doc":   types.NewString(p.Doctor),
+			"pat":   types.NewString(p.Patient),
+			"dob":   types.NewUDT(chrononT, p.PatientDOB),
+			"drug":  types.NewString(p.Drug),
+			"dose":  types.NewInt(p.Dosage),
+			"freq":  types.NewUDT(spanT, p.Frequency),
+			"valid": types.NewUDT(elementT, p.Valid),
+		}
+		if _, err := sess.Exec(ins, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes each result as BENCH_<name>.json under dir and
+// returns the paths written.
+func WriteJSON(dir string, results []Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, r := range results {
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Name))
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"tip/internal/blade"
 	"tip/internal/exec"
+	"tip/internal/obs"
 	"tip/internal/protocol"
 	"tip/internal/types"
 )
@@ -91,6 +92,28 @@ func (c *Conn) Exec(sql string, params map[string]types.Value) (*exec.Result, er
 	default:
 		return nil, fmt.Errorf("client: unexpected message kind %d", frame[0])
 	}
+}
+
+// Stats requests the server's metrics snapshot (engine counters,
+// histograms and connection-layer totals).
+func (c *Conn) Stats() (obs.Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := protocol.WriteFrame(c.w, []byte{protocol.MsgStats}); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	frame, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if len(frame) == 0 || frame[0] != protocol.MsgStats {
+		return nil, fmt.Errorf("client: unexpected reply to stats request")
+	}
+	snap, err := protocol.DecodeStats(frame[1:])
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return snap, nil
 }
 
 // Close sends a quit and closes the connection.

@@ -34,6 +34,7 @@ import (
 	"tip/internal/catalog"
 	"tip/internal/exec"
 	"tip/internal/index"
+	"tip/internal/obs"
 	"tip/internal/sql/ast"
 	"tip/internal/sql/parse"
 	"tip/internal/temporal"
@@ -54,7 +55,8 @@ type Database struct {
 	tables map[string]*exec.Table   // lower-cased name
 	locks  map[string]*sync.RWMutex // per-table locks, same keys as tables
 	tm     *txn.Manager
-	wal    *wal // nil unless EnableWAL was called
+	wal    *wal      // nil unless EnableWAL was called
+	obs    *obsState // metrics registry + statement instrumentation
 }
 
 // New creates an empty in-memory database using the given registry (which
@@ -66,6 +68,7 @@ func New(reg *blade.Registry) *Database {
 		tables: make(map[string]*exec.Table),
 		locks:  make(map[string]*sync.RWMutex),
 		tm:     txn.NewManager(),
+		obs:    newObsState(),
 	}
 }
 
@@ -99,6 +102,8 @@ type Session struct {
 	tx          *txn.Txn
 	nowOverride *temporal.Chronon
 	cache       *planCache
+	tr          obs.Trace // reused phase trace; armed on sampled statements
+	stmtSeq     uint64    // statements executed; drives trace sampling
 }
 
 // NewSession opens a session.
@@ -132,11 +137,25 @@ func (s *Session) InTransaction() bool { return s.tx != nil }
 // the WAL stops accepting appends so the log on disk stays a consistent
 // prefix of the in-memory history (Checkpoint heals it).
 func (s *Session) Exec(sql string, params map[string]types.Value) (*exec.Result, error) {
+	o := s.db.obs
+	if o.enabled() {
+		s.stmtSeq++
+		if o.shouldTrace(s.stmtSeq) {
+			s.tr.Begin()
+		}
+	}
 	stmt, err := s.parseCached(sql)
 	if err != nil {
+		s.tr.Active = false
+		if o.enabled() {
+			o.errors.Inc()
+		}
 		return nil, err
 	}
-	return s.execLogged(stmt, sql, params)
+	s.tr.Mark(&s.tr.Parse)
+	res, err := s.execLogged(stmt, sql, params)
+	s.obsFinish(stmt, sql)
+	return res, err
 }
 
 // ExecScript executes a ';'-separated sequence of statements, returning
@@ -165,7 +184,9 @@ func (s *Session) execLogged(stmt ast.Statement, sql string, params map[string]t
 	now := s.Now()
 	res, err := s.ExecStmt(stmt, params)
 	if err == nil && loggable(stmt) {
-		if logErr := s.db.logStatement(now, sql, params); logErr != nil {
+		logErr := s.db.logStatement(now, sql, params)
+		s.tr.Mark(&s.tr.WAL)
+		if logErr != nil {
 			// Applied in memory but not logged: surface the durability
 			// failure while still handing back the result (see Exec).
 			return res, logErr
@@ -180,10 +201,18 @@ func (s *Session) execLogged(stmt ast.Statement, sql string, params map[string]t
 func (s *Session) parseCached(sql string) (ast.Statement, error) {
 	if s.cache == nil {
 		s.cache = newPlanCache(planCacheSize)
+		s.cache.evictC = s.db.obs.pcEvictions
 	}
 	gen := s.db.gen.Load()
+	o := s.db.obs
 	if stmt, ok := s.cache.get(sql, gen); ok {
+		if o.enabled() {
+			o.pcHits.Inc()
+		}
 		return stmt, nil
+	}
+	if o.enabled() {
+		o.pcMisses.Inc()
 	}
 	stmt, err := parse.Parse(sql)
 	if err != nil {
@@ -206,8 +235,24 @@ func (s *Session) CacheStats() (hits, misses uint64) {
 // (see the package comment for the locking discipline).
 func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*exec.Result, error) {
 	unlock := s.lockFor(stmt)
+	s.tr.Mark(&s.tr.Lock)
 	defer unlock()
 	res, err := s.execLocked(stmt, params)
+	s.tr.Mark(&s.tr.Exec)
+	if o := s.db.obs; o.enabled() {
+		o.stmts[stmtKind(stmt)].Inc()
+		switch {
+		case err != nil:
+			o.errors.Inc()
+		case res != nil:
+			if n := len(res.Rows); n > 0 {
+				o.rowsRead.Add(uint64(n))
+			}
+			if res.Affected > 0 {
+				o.rowsWrit.Add(uint64(res.Affected))
+			}
+		}
+	}
 	if err == nil && isDDL(stmt) {
 		// Bumped while the catalog lock is still held exclusively, so a
 		// reader never observes a new schema with an old generation.
@@ -261,6 +306,9 @@ func (s *Session) execLocked(stmt ast.Statement, params map[string]types.Value) 
 	case *ast.Describe:
 		return s.describe(st.Table)
 	case *ast.Explain:
+		if st.Analyze {
+			return exec.ExplainAnalyze(s.env(params), st.Query)
+		}
 		return exec.Explain(s.env(params), st.Query)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)

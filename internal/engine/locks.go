@@ -94,9 +94,20 @@ func (db *Database) lockTables(reads, writes []string) func() {
 		}
 	}
 	sort.Strings(names)
+	obsOn := db.obs.enabled()
 	held := make([]*sync.RWMutex, len(names))
 	for i, t := range names {
 		held[i] = db.locks[t]
+		if obsOn {
+			// Per-table op counters, counted on the same filtered name
+			// list the locks use (nonexistent tables never reach here).
+			to := db.obs.tableOf(t)
+			if write[t] {
+				to.writes.Inc()
+			} else {
+				to.reads.Inc()
+			}
+		}
 		if write[t] {
 			held[i].Lock()
 		} else {

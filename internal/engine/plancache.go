@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 
+	"tip/internal/obs"
 	"tip/internal/sql/ast"
 )
 
@@ -26,6 +27,9 @@ type planCache struct {
 	lru     *list.List // front = most recently used *planEntry
 	hits    uint64
 	misses  uint64
+	// evictC counts evictions (LRU pressure and catalog-generation
+	// staleness) into the engine metrics registry; nil-safe.
+	evictC *obs.Counter
 }
 
 type planEntry struct {
@@ -51,6 +55,9 @@ func (c *planCache) get(sql string, gen uint64) (ast.Statement, bool) {
 		c.lru.Remove(el)
 		delete(c.entries, sql)
 		c.misses++
+		if c.evictC != nil {
+			c.evictC.Inc()
+		}
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
@@ -70,6 +77,9 @@ func (c *planCache) put(sql string, stmt ast.Statement, gen uint64) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*planEntry).sql)
+		if c.evictC != nil {
+			c.evictC.Inc()
+		}
 	}
 	c.entries[sql] = c.lru.PushFront(&planEntry{sql: sql, stmt: stmt, gen: gen})
 }

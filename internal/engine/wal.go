@@ -163,11 +163,18 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	obsOn := db.obs.enabled()
 	if w.failed != nil {
+		if obsOn {
+			db.obs.walFailures.Inc()
+		}
 		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
 	}
 	fail := func(err error) error {
 		w.failed = err
+		if obsOn {
+			db.obs.walFailures.Inc()
+		}
 		return fmt.Errorf("%w: %v", ErrWALFailed, err)
 	}
 	var hdr [binary.MaxVarintLen64]byte
@@ -180,6 +187,10 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 	}
 	if err := w.w.Flush(); err != nil {
 		return fail(err)
+	}
+	if obsOn {
+		db.obs.walAppends.Inc()
+		db.obs.walBytes.Add(uint64(n + len(buf)))
 	}
 	return nil
 }

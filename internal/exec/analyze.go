@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"tip/internal/sql/ast"
+	"tip/internal/types"
+)
+
+// EXPLAIN ANALYZE support. The planner is closure-based, so operator
+// instrumentation is also closure-based: when binding under an
+// analyzing explainLog, every plan note carries an OpStats handle and
+// the compiled closures add their actual row counts, loop counts and
+// wall time into it. Ordinary execution binds with a nil explain log,
+// so the handles are nil and the only cost is a pointer test.
+
+// OpStats accumulates one operator's runtime totals. A query runs on a
+// single goroutine, so plain fields suffice.
+type OpStats struct {
+	Rows  int64 // rows produced across all loops
+	Loops int64 // times the operator ran (correlated subqueries re-run)
+	Nanos int64 // wall time including children, like EXPLAIN ANALYZE elsewhere
+}
+
+// record closes one execution of the operator.
+func (st *OpStats) record(start time.Time, rows int) {
+	st.Rows += int64(rows)
+	st.Loops++
+	st.Nanos += time.Since(start).Nanoseconds()
+}
+
+// suffix renders the actuals appended to the operator's plan line.
+func (st *OpStats) suffix() string {
+	if st.Loops == 0 {
+		return " (never executed)"
+	}
+	return fmt.Sprintf(" (actual rows=%d loops=%d time=%s)",
+		st.Rows, st.Loops, time.Duration(st.Nanos).Round(time.Microsecond))
+}
+
+// instrumentRows wraps a row-producing closure with an OpStats handle;
+// with a nil handle (ordinary execution) the closure is returned as-is.
+func instrumentRows(st *OpStats, fn func(rt *runtime) ([]Row, error)) func(rt *runtime) ([]Row, error) {
+	if st == nil {
+		return fn
+	}
+	return func(rt *runtime) ([]Row, error) {
+		start := time.Now()
+		rows, err := fn(rt)
+		if err != nil {
+			return nil, err
+		}
+		st.record(start, len(rows))
+		return rows, nil
+	}
+}
+
+// ExplainAnalyze binds and runs a SELECT with operator instrumentation,
+// returning the plan annotated with per-operator actual rows, loops and
+// wall time, plus a trailing total-execution-time row.
+func ExplainAnalyze(env *Env, sel *ast.Select) (*Result, error) {
+	b := &binder{env: env, explain: &explainLog{analyze: true}}
+	plan, err := b.bindSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := plan.run(&runtime{env: env}); err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+	res := &Result{Cols: []string{"plan"}}
+	for _, n := range b.explain.notes {
+		line := n.text
+		if n.st != nil {
+			line += n.st.suffix()
+		}
+		res.Rows = append(res.Rows, Row{types.NewString(line)})
+	}
+	res.Rows = append(res.Rows, Row{types.NewString(
+		fmt.Sprintf("execution time: %s", total.Round(time.Microsecond)))})
+	res.Types = []*types.Type{types.TString}
+	return res, nil
+}

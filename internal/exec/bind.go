@@ -51,18 +51,36 @@ type binder struct {
 	explain *explainLog
 }
 
-// explainLog accumulates planner notes with subquery indentation.
+// explainLog accumulates planner notes with subquery indentation. Under
+// EXPLAIN ANALYZE each note also carries an OpStats the compiled plan
+// updates at run time.
 type explainLog struct {
-	depth int
-	notes []string
+	depth   int
+	analyze bool
+	notes   []*explainNote
 }
 
-func (b *binder) note(format string, args ...any) {
+// explainNote is one plan line; st is nil unless analyzing.
+type explainNote struct {
+	text string
+	st   *OpStats
+}
+
+// note records one planner decision and returns the stats handle the
+// matching operator closure should update — nil for plain EXPLAIN or
+// ordinary execution, so hot closures guard with a nil check.
+func (b *binder) note(format string, args ...any) *OpStats {
 	if b.explain == nil {
-		return
+		return nil
 	}
-	b.explain.notes = append(b.explain.notes,
-		strings.Repeat("  ", b.explain.depth)+fmt.Sprintf(format, args...))
+	n := &explainNote{
+		text: strings.Repeat("  ", b.explain.depth) + fmt.Sprintf(format, args...),
+	}
+	if b.explain.analyze {
+		n.st = &OpStats{}
+	}
+	b.explain.notes = append(b.explain.notes, n)
+	return n.st
 }
 
 // bind compiles e for evaluation in scope sc.

@@ -29,7 +29,7 @@ func Explain(env *Env, sel *ast.Select) (*Result, error) {
 	}
 	res := &Result{Cols: []string{"plan"}}
 	for _, n := range b.explain.notes {
-		res.Rows = append(res.Rows, Row{types.NewString(n)})
+		res.Rows = append(res.Rows, Row{types.NewString(n.text)})
 	}
 	res.Types = []*types.Type{types.TString}
 	return res, nil

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tip/internal/sql/ast"
 	"tip/internal/types"
@@ -86,8 +87,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 	}
 	fromScope := &bindScope{parent: parent, schema: fromSchema}
 
+	var stRoot *OpStats
 	if b.explain != nil {
-		b.note("select: %d source(s)", len(sources))
+		stRoot = b.note("select: %d source(s)", len(sources))
 		b.explain.depth++
 		defer func() { b.explain.depth-- }()
 	}
@@ -205,21 +207,23 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		}
 	}
 
+	var joinStats []*OpStats
 	if b.explain != nil {
+		joinStats = make([]*OpStats, len(sources))
 		for i := 1; i < len(sources); i++ {
 			switch {
 			case sources[i].leftJoin:
-				b.note("join %s: left outer nested loop (%d ON conjunct(s), %d post filter(s))",
+				joinStats[i] = b.note("join %s: left outer nested loop (%d ON conjunct(s), %d post filter(s))",
 					sources[i].binding, len(sources[i].on), len(levelConj[i]))
 			case hashConds[i] != nil:
-				b.note("join %s: hash join (%d residual filter(s))",
+				joinStats[i] = b.note("join %s: hash join (%d residual filter(s))",
 					sources[i].binding, len(levelConj[i]))
 			case periodConds[i] != nil:
-				b.note("join %s: period-index nested loop on %s (%d filter(s) re-checked)",
+				joinStats[i] = b.note("join %s: period-index nested loop on %s (%d filter(s) re-checked)",
 					sources[i].binding,
 					sources[i].tbl.Meta.Columns[periodConds[i].col].Name, len(levelConj[i]))
 			default:
-				b.note("join %s: nested loop (%d filter(s))",
+				joinStats[i] = b.note("join %s: nested loop (%d filter(s))",
 					sources[i].binding, len(levelConj[i]))
 			}
 		}
@@ -261,18 +265,19 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		return nil, err
 	}
 	grouped := len(aggSpecs) > 0 || len(sel.GroupBy) > 0
+	var stAgg, stDistinct, stSort, stLimit *OpStats
 	if b.explain != nil {
 		if grouped {
-			b.note("aggregate: %d group expr(s), %d aggregate(s)", len(sel.GroupBy), len(aggSpecs))
+			stAgg = b.note("aggregate: %d group expr(s), %d aggregate(s)", len(sel.GroupBy), len(aggSpecs))
 		}
 		if sel.Distinct {
-			b.note("distinct")
+			stDistinct = b.note("distinct")
 		}
 		if len(sel.OrderBy) > 0 {
-			b.note("sort: %d key(s)", len(sel.OrderBy))
+			stSort = b.note("sort: %d key(s)", len(sel.OrderBy))
 		}
 		if sel.Limit != nil || sel.Offset != nil {
-			b.note("limit/offset")
+			stLimit = b.note("limit/offset")
 		}
 	}
 
@@ -418,7 +423,11 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 	groupByN := len(sel.GroupBy)
 
 	run := func(rt *runtime) (*Result, error) {
-		fromRows, err := joinSources(rt, sources, width, hashConds, periodConds, levelFilters)
+		var rootStart time.Time
+		if stRoot != nil {
+			rootStart = time.Now()
+		}
+		fromRows, err := joinSources(rt, sources, width, hashConds, periodConds, levelFilters, joinStats)
 		if err != nil {
 			return nil, err
 		}
@@ -468,6 +477,10 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		}
 
 		if grouped {
+			var aggStart time.Time
+			if stAgg != nil {
+				aggStart = time.Now()
+			}
 			type group struct {
 				vals []types.Value
 				accs []*aggAcc
@@ -545,6 +558,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				}
 				out = append(out, *e)
 			}
+			if stAgg != nil {
+				stAgg.record(aggStart, len(out))
+			}
 		} else {
 			for _, fr := range fromRows {
 				rt.push(fr)
@@ -558,6 +574,10 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		}
 
 		if distinct {
+			var dStart time.Time
+			if stDistinct != nil {
+				dStart = time.Now()
+			}
 			seen := make(map[string]struct{}, len(out))
 			kept := out[:0]
 			for _, e := range out {
@@ -569,9 +589,16 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				kept = append(kept, e)
 			}
 			out = kept
+			if stDistinct != nil {
+				stDistinct.record(dStart, len(out))
+			}
 		}
 
 		if len(orders) > 0 {
+			var sStart time.Time
+			if stSort != nil {
+				sStart = time.Now()
+			}
 			var sortErr error
 			sort.SliceStable(out, func(i, j int) bool {
 				for k, o := range orders {
@@ -592,8 +619,15 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			if sortErr != nil {
 				return nil, sortErr
 			}
+			if stSort != nil {
+				stSort.record(sStart, len(out))
+			}
 		}
 
+		var limStart time.Time
+		if stLimit != nil {
+			limStart = time.Now()
+		}
 		lo, hi := 0, len(out)
 		if offsetC != nil {
 			n, err := evalCount(rt, offsetC, "OFFSET")
@@ -615,6 +649,10 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			}
 		}
 
+		if stLimit != nil {
+			stLimit.record(limStart, hi-lo)
+		}
+
 		res := &Result{Cols: make([]string, len(outSchema))}
 		for i, c := range outSchema {
 			res.Cols[i] = c.Name
@@ -624,6 +662,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			res.Rows = append(res.Rows, e.row)
 		}
 		res.inferTypes()
+		if stRoot != nil {
+			stRoot.record(rootStart, len(res.Rows))
+		}
 		return res, nil
 	}
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"tip/internal/sql/ast"
 	"tip/internal/temporal"
@@ -127,16 +128,17 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 		}
 	}
 
+	var stScan *OpStats
 	if b.explain != nil {
 		switch {
 		case probe != nil && probe.kind == "hash":
-			b.note("scan %s: hash index on %s (%d filter(s) re-checked)",
+			stScan = b.note("scan %s: hash index on %s (%d filter(s) re-checked)",
 				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
 		case probe != nil && probe.kind == "period":
-			b.note("scan %s: period index on %s (%d filter(s) re-checked)",
+			stScan = b.note("scan %s: period index on %s (%d filter(s) re-checked)",
 				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
 		default:
-			b.note("scan %s: full scan (%d filter(s))", src.binding, len(filters))
+			stScan = b.note("scan %s: full scan (%d filter(s))", src.binding, len(filters))
 		}
 	}
 
@@ -174,11 +176,11 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 	}
 
 	if probe == nil {
-		return func(rt *runtime) ([]Row, error) { return scan(rt, nil) }, nil
+		return instrumentRows(stScan, func(rt *runtime) ([]Row, error) { return scan(rt, nil) }), nil
 	}
 
 	colType := tbl.Meta.Columns[probe.col].Type
-	return func(rt *runtime) ([]Row, error) {
+	return instrumentRows(stScan, func(rt *runtime) ([]Row, error) {
 		pv, err := probe.probe(rt)
 		if err != nil {
 			return nil, err
@@ -207,7 +209,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 			return scan(rt, ids)
 		}
 		return scan(rt, nil)
-	}, nil
+	}), nil
 }
 
 // periodCandidates probes a period index with a value convertible to the
@@ -544,18 +546,29 @@ func walkExpr(e ast.Expr, visit func(ast.Expr) bool) bool {
 
 // joinSources materialises the left-deep join of all sources into
 // full-width from rows.
-func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoinCond, periodConds []*periodJoinCond, levelFilters [][]cexpr) ([]Row, error) {
+func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoinCond, periodConds []*periodJoinCond, levelFilters [][]cexpr, levelStats []*OpStats) ([]Row, error) {
 	if len(sources) == 0 {
 		return []Row{{}}, nil
 	}
 	var acc []Row
 	for level, src := range sources {
+		var st *OpStats
+		if level < len(levelStats) {
+			st = levelStats[level]
+		}
+		var lvlStart time.Time
+		if st != nil {
+			lvlStart = time.Now()
+		}
 		if level > 0 && periodConds[level] != nil && hashConds[level] == nil && !src.leftJoin {
 			joined, err := periodIndexJoin(rt, acc, src, width, periodConds[level], levelFilters[level])
 			if err != nil {
 				return nil, err
 			}
 			acc = joined
+			if st != nil {
+				st.record(lvlStart, len(acc))
+			}
 			continue
 		}
 		srcRows, err := src.exec(rt)
@@ -626,6 +639,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 				}
 			}
 			acc = joined
+			if st != nil {
+				st.record(lvlStart, len(acc))
+			}
 			continue
 		}
 		if hc := hashConds[level]; hc != nil {
@@ -683,6 +699,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 			}
 		}
 		acc = joined
+		if st != nil {
+			st.record(lvlStart, len(acc))
+		}
 	}
 	return acc, nil
 }

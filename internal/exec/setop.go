@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tip/internal/sql/ast"
 )
@@ -23,15 +24,17 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 		op   string
 		all  bool
 		plan *selectPlan
+		st   *OpStats
 	}
 	parts := make([]part, len(sel.SetOps))
 	for i, sp := range sel.SetOps {
+		var st *OpStats
 		if b.explain != nil {
 			op := sp.Op
 			if sp.All {
 				op += " ALL"
 			}
-			b.note("set operation: %s", op)
+			st = b.note("set operation: %s", op)
 		}
 		plan, err := b.bindSelect(sp.Sel, parent)
 		if err != nil {
@@ -41,7 +44,7 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 			return nil, fmt.Errorf("exec: %s operands have %d and %d columns",
 				sp.Op, len(left.outSchema), len(plan.outSchema))
 		}
-		parts[i] = part{op: sp.Op, all: sp.All, plan: plan}
+		parts[i] = part{op: sp.Op, all: sp.All, plan: plan, st: st}
 	}
 
 	// ORDER BY binds against the leftmost operand's output columns.
@@ -89,6 +92,10 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 		}
 		rows := res.Rows
 		for _, p := range parts {
+			var pStart time.Time
+			if p.st != nil {
+				pStart = time.Now()
+			}
 			rres, err := p.plan.run(rt)
 			if err != nil {
 				return nil, err
@@ -116,6 +123,9 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 					}
 				}
 				rows = kept
+			}
+			if p.st != nil {
+				p.st.record(pStart, len(rows))
 			}
 		}
 		if len(orders) > 0 {

@@ -1,0 +1,291 @@
+// Package obs is TIP's observability kernel: a zero-dependency registry
+// of named counters, gauges and fixed-bucket latency histograms, plus a
+// lightweight per-statement trace recorder. The hot path is lock-free —
+// instruments are plain atomics once resolved, and resolution happens
+// under a read lock only on first use per call site (engine code
+// resolves its instruments once at startup and holds the pointers).
+//
+// Snapshot() flattens every instrument into sorted (name, value) pairs
+// with a stable text and JSON rendering, so the same snapshot feeds the
+// wire protocol's MsgStats frame, the shell's \stats command and the
+// server's HTTP metrics endpoint.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The trailing padding
+// keeps independently allocated counters on separate cache lines, so
+// two sessions hammering different counters do not false-share.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 (e.g. open connections).
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket layout: bucket i counts observations v (in
+// nanoseconds) with bits.Len64(v) == i, i.e. power-of-two latency
+// bands from <1ns up to >=2^62ns. Fixed buckets, atomics only; an
+// observation is one Len64, three atomic adds and no allocation.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket latency histogram over nanosecond values.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value (nanoseconds; negatives clamp to zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations, in nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds. Within
+// the located power-of-two bucket the estimate interpolates linearly,
+// so the error is bounded by the bucket width. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			// Bucket i spans [2^(i-1), 2^i); interpolate inside it.
+			lo := 0.0
+			if i > 0 {
+				lo = float64(uint64(1) << (i - 1))
+			}
+			hi := float64(uint64(1) << i)
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return float64(h.sum.Load()) // unreachable unless racing; any bound is fine
+}
+
+// Registry holds named instruments. Lookup methods lazily create; the
+// returned pointers are stable, so hot code resolves once and keeps
+// them.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// RegisterFunc registers a derived metric evaluated at snapshot time
+// (e.g. a hit rate computed from two counters). Re-registering a name
+// replaces the function.
+func (r *Registry) RegisterFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Stat is one flattened snapshot entry.
+type Stat struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is a point-in-time flattening of a registry, sorted by name.
+// Counters and gauges appear under their own names; a histogram h
+// contributes h.count, h.sum, h.mean, h.p50 and h.p99.
+type Snapshot []Stat
+
+// Snapshot flattens every instrument. Values are read without a global
+// pause, so a snapshot taken under load is consistent per-instrument,
+// not across instruments — fine for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(Snapshot, 0, len(r.counters)+len(r.gauges)+5*len(r.hists)+len(r.funcs))
+	for name, c := range r.counters {
+		out = append(out, Stat{name, float64(c.Load())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Stat{name, float64(g.Load())})
+	}
+	for name, h := range r.hists {
+		out = append(out,
+			Stat{name + ".count", float64(h.Count())},
+			Stat{name + ".sum", float64(h.Sum())},
+			Stat{name + ".mean", h.Mean()},
+			Stat{name + ".p50", h.Quantile(0.50)},
+			Stat{name + ".p99", h.Quantile(0.99)},
+		)
+	}
+	for name, fn := range r.funcs {
+		out = append(out, Stat{name, fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named entry's value.
+func (s Snapshot) Get(name string) (float64, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i].Value, true
+	}
+	return 0, false
+}
+
+// formatValue renders a value compactly: integers without a fraction,
+// everything else with three decimals.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// Text renders "name value" lines, one per entry, sorted.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, st := range s {
+		b.WriteString(st.Name)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(st.Value))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders a stable (sorted-key) JSON object.
+func (s Snapshot) JSON() []byte {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, st := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%s", st.Name, formatValue(st.Value))
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter not stable across lookups")
+	}
+	g := r.Gauge("open")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations at 1µs, 10 at 1ms: p50 lands in the 1µs band
+	// and p99.9 in the 1ms band.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	if h.Count() != 1010 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 1000*1000+10*1_000_000 {
+		t.Fatalf("sum = %d", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 512 || p50 > 2048 {
+		t.Errorf("p50 = %v, want within the 1µs power-of-two band", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 512*1024 || p999 > 2*1024*1024 {
+		t.Errorf("p99.9 = %v, want within the 1ms band", p999)
+	}
+	if h.Quantile(0.5) > h.Quantile(0.999) {
+		t.Error("quantiles not monotone")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+// TestRegistryConcurrency exercises lazy creation and hot-path updates
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter("own.count").Add(1)
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("lat").Observe(int64(i))
+				if i%64 == 0 {
+					_ = r.Snapshot() // snapshots race against writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Load(); got != goroutines*perG {
+		t.Fatalf("shared.count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("lat").Count(); got != goroutines*perG {
+		t.Fatalf("lat.count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotStableAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Histogram("h").Observe(1000)
+	r.RegisterFunc("derived.rate", func() float64 { return 0.5 })
+	snap := r.Snapshot()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name }) {
+		t.Fatal("snapshot not sorted")
+	}
+	if v, ok := snap.Get("a.count"); !ok || v != 1 {
+		t.Fatalf("Get(a.count) = %v, %v", v, ok)
+	}
+	if v, ok := snap.Get("derived.rate"); !ok || v != 0.5 {
+		t.Fatalf("Get(derived.rate) = %v, %v", v, ok)
+	}
+	if _, ok := snap.Get("h.p50"); !ok {
+		t.Fatal("histogram p50 missing from snapshot")
+	}
+	// JSON must be valid and round-trip the values.
+	var m map[string]float64
+	if err := json.Unmarshal(snap.JSON(), &m); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if m["b.count"] != 2 {
+		t.Fatalf("JSON b.count = %v", m["b.count"])
+	}
+	if math.Abs(m["derived.rate"]-0.5) > 1e-9 {
+		t.Fatalf("JSON derived.rate = %v", m["derived.rate"])
+	}
+	if snap.Text() == "" {
+		t.Fatal("empty text rendering")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	tr.Mark(&tr.Parse) // inactive: no effect
+	if tr.Parse != 0 {
+		t.Fatal("Mark on inactive trace recorded time")
+	}
+	tr.Begin()
+	time.Sleep(time.Millisecond)
+	tr.Mark(&tr.Parse)
+	tr.Mark(&tr.Lock)
+	total := tr.End()
+	if tr.Parse <= 0 {
+		t.Fatalf("parse phase = %v", tr.Parse)
+	}
+	if total < tr.Parse {
+		t.Fatalf("total %v < parse %v", total, tr.Parse)
+	}
+	if tr.Active {
+		t.Fatal("trace still active after End")
+	}
+}

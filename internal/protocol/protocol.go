@@ -14,6 +14,8 @@
 //	            (str name)*, uvarint nRows, rows of values
 //	MsgError    server→client: str message
 //	MsgQuit     client→server: no body
+//	MsgStats    client→server: no body (request);
+//	            server→client: uvarint n, (str name, float64 bits)*
 //
 // Value: str typeName ("" for untyped NULL), then the types codec bytes.
 package protocol
@@ -24,9 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"tip/internal/blade"
 	"tip/internal/exec"
+	"tip/internal/obs"
 	"tip/internal/types"
 )
 
@@ -38,6 +42,7 @@ const (
 	MsgResult
 	MsgError
 	MsgQuit
+	MsgStats
 )
 
 // Version identifies the protocol revision.
@@ -265,6 +270,46 @@ func DecodeResult(reg *blade.Registry, body []byte) (*exec.Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// EncodeStats builds a MsgStats response payload from a metrics
+// snapshot. Values travel as raw IEEE-754 bits, names as strings; the
+// snapshot's sorted order is preserved.
+func EncodeStats(snap obs.Snapshot) []byte {
+	buf := []byte{MsgStats}
+	buf = binary.AppendUvarint(buf, uint64(len(snap)))
+	for _, st := range snap {
+		buf = AppendString(buf, st.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Value))
+	}
+	return buf
+}
+
+// DecodeStats parses a MsgStats response body (after the kind byte).
+func DecodeStats(body []byte) (obs.Snapshot, error) {
+	n, k := binary.Uvarint(body)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: stat count", ErrProtocol)
+	}
+	body = body[k:]
+	snap := make(obs.Snapshot, 0, n)
+	var err error
+	for range n {
+		var name string
+		if name, body, err = ReadString(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 8 {
+			return nil, fmt.Errorf("%w: stat value", ErrProtocol)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(body))
+		body = body[8:]
+		snap = append(snap, obs.Stat{Name: name, Value: v})
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: trailing stats bytes", ErrProtocol)
+	}
+	return snap, nil
 }
 
 // EncodeError builds a MsgError payload.

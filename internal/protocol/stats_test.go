@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"testing"
+
+	"tip/internal/obs"
+)
+
+func TestStatsRoundTrip(t *testing.T) {
+	snap := obs.Snapshot{
+		{Name: "plancache.hit_rate", Value: 0.75},
+		{Name: "stmt.select", Value: 42},
+		{Name: "wal.bytes", Value: 1.5e9},
+		{Name: "zero", Value: 0},
+	}
+	payload := EncodeStats(snap)
+	if payload[0] != MsgStats {
+		t.Fatalf("kind byte = %d, want MsgStats", payload[0])
+	}
+	got, err := DecodeStats(payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snap) {
+		t.Fatalf("decoded %d stats, want %d", len(got), len(snap))
+	}
+	for i := range snap {
+		if got[i] != snap[i] {
+			t.Errorf("stat %d = %+v, want %+v", i, got[i], snap[i])
+		}
+	}
+}
+
+func TestStatsEmptyAndMalformed(t *testing.T) {
+	payload := EncodeStats(nil)
+	got, err := DecodeStats(payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty snapshot decoded to %d stats", len(got))
+	}
+	// Truncated value bytes must error, not panic.
+	bad := EncodeStats(obs.Snapshot{{Name: "x", Value: 1}})
+	if _, err := DecodeStats(bad[1 : len(bad)-3]); err == nil {
+		t.Error("truncated stats should fail")
+	}
+	// Trailing garbage must error.
+	if _, err := DecodeStats(append(payload[1:], 0xab)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}

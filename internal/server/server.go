@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"tip/internal/engine"
+	"tip/internal/obs"
 	"tip/internal/protocol"
 )
 
@@ -25,6 +26,14 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// Connection-layer counters, registered in the engine's metrics
+	// registry so MsgStats and the HTTP endpoint report them alongside
+	// the engine's own.
+	cConns    *obs.Counter // accepted connections that completed handshake
+	cRejected *obs.Counter // rejected handshakes
+	cQueries  *obs.Counter // MsgQuery frames served
+	cErrors   *obs.Counter // queries answered with MsgError
 }
 
 // Option configures a Server.
@@ -41,11 +50,16 @@ func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	m := db.Metrics()
 	s := &Server{
-		db:    db,
-		ln:    ln,
-		logf:  func(string, ...any) {},
-		conns: make(map[net.Conn]struct{}),
+		db:        db,
+		ln:        ln,
+		logf:      func(string, ...any) {},
+		conns:     make(map[net.Conn]struct{}),
+		cConns:    m.Counter("server.connections"),
+		cRejected: m.Counter("server.handshake.rejected"),
+		cQueries:  m.Counter("server.queries"),
+		cErrors:   m.Counter("server.errors"),
 	}
 	for _, o := range opts {
 		o(s)
@@ -110,14 +124,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Handshake.
 	frame, err := protocol.ReadFrame(r)
 	if err != nil || len(frame) == 0 || frame[0] != protocol.MsgHello {
+		s.cRejected.Inc()
 		s.logf("server: bad handshake from %s", conn.RemoteAddr())
 		return
 	}
 	client, err := protocol.DecodeString(frame[1:])
 	if err != nil {
+		s.cRejected.Inc()
+		s.logf("server: bad handshake from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
+	s.cConns.Inc()
 	s.logf("server: %s connected as %q", conn.RemoteAddr(), client)
+	var connQueries, connErrors uint64
+	defer func() {
+		s.logf("server: %s (%q) disconnected after %d queries (%d errors)",
+			conn.RemoteAddr(), client, connQueries, connErrors)
+	}()
 	if err := protocol.WriteFrame(w, protocol.EncodeWelcome(protocol.Version)); err != nil {
 		return
 	}
@@ -136,9 +159,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch frame[0] {
 		case protocol.MsgQuit:
 			return
+		case protocol.MsgStats:
+			if err := protocol.WriteFrame(w, protocol.EncodeStats(s.db.Metrics().Snapshot())); err != nil {
+				return
+			}
 		case protocol.MsgQuery:
+			s.cQueries.Inc()
+			connQueries++
 			q, err := protocol.DecodeQuery(s.db.Registry(), frame[1:])
 			if err != nil {
+				s.cErrors.Inc()
+				connErrors++
 				if werr := protocol.WriteFrame(w, protocol.EncodeError(err.Error())); werr != nil {
 					return
 				}
@@ -147,6 +178,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			res, err := sess.Exec(q.SQL, q.Params)
 			var payload []byte
 			if err != nil {
+				s.cErrors.Inc()
+				connErrors++
 				payload = protocol.EncodeError(err.Error())
 			} else {
 				payload = protocol.EncodeResult(res)

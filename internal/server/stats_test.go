@@ -1,0 +1,114 @@
+package server_test
+
+// The MsgStats surface: a client can pull the engine's metrics snapshot
+// over the wire, and the server's own connection counters are in it.
+
+import (
+	"testing"
+	"time"
+
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/server"
+	"tip/internal/temporal"
+)
+
+func TestStatsOverWire(t *testing.T) {
+	reg := blade.NewRegistry()
+	core.MustRegister(reg)
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return temporal.MustDate(1999, 11, 12) })
+	srv, err := server.Listen(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	creg := blade.NewRegistry()
+	core.MustRegister(creg)
+	c, err := client.Connect(srv.Addr(), creg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO t VALUES (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`SELECT * FROM t`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`SELECT broken FROM t`, nil); err == nil {
+		t.Fatal("bad query should error")
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing from wire snapshot", name)
+		}
+		return v
+	}
+	if get("server.connections") != 1 {
+		t.Errorf("server.connections = %v, want 1", get("server.connections"))
+	}
+	if get("server.queries") != 4 {
+		t.Errorf("server.queries = %v, want 4", get("server.queries"))
+	}
+	if get("server.errors") != 1 {
+		t.Errorf("server.errors = %v, want 1", get("server.errors"))
+	}
+	if get("stmt.select") != 2 {
+		t.Errorf("stmt.select = %v, want 2", get("stmt.select"))
+	}
+	// The acceptance checklist: plan-cache hit rate, lock wait and WAL
+	// bytes must all cross the wire (WAL is off here, so bytes is 0 but
+	// present).
+	for _, name := range []string{"plancache.hit_rate", "lock.wait.count", "wal.bytes"} {
+		get(name)
+	}
+	// Another Exec after Stats proves the connection is still usable.
+	if _, err := c.Exec(`SELECT 1`, nil); err != nil {
+		t.Fatalf("query after stats: %v", err)
+	}
+}
+
+func TestRejectedHandshakeCounted(t *testing.T) {
+	reg := blade.NewRegistry()
+	core.MustRegister(reg)
+	db := engine.New(reg)
+	srv, err := server.Listen(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	conn := dial(t, srv)
+	if _, err := conn.Write([]byte("not a tip frame at all")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The reject is counted asynchronously as the server tears the
+	// connection down; poll the registry briefly.
+	deadline := 200
+	for i := 0; ; i++ {
+		if v, _ := db.Metrics().Snapshot().Get("server.handshake.rejected"); v >= 1 {
+			break
+		}
+		if i >= deadline {
+			t.Fatal("rejected handshake never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -165,9 +165,13 @@ type ShowTables struct{}
 // Describe is DESCRIBE <table>: columns, types, nullability and indexes.
 type Describe struct{ Table string }
 
-// Explain is EXPLAIN <select>: the planner's decisions, without running
-// the query.
-type Explain struct{ Query *Select }
+// Explain is EXPLAIN [ANALYZE] <select>: the planner's decisions. With
+// Analyze the query also runs, and every plan operator reports its
+// actual row count, loop count and wall time.
+type Explain struct {
+	Query   *Select
+	Analyze bool
+}
 
 func (*CreateTable) stmt() {}
 func (*DropTable) stmt()   {}

@@ -217,11 +217,12 @@ func (p *parser) statement() (ast.Statement, error) {
 		return &ast.Describe{Table: name}, nil
 	case p.atKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.accept("ANALYZE")
 		sel, err := p.selectBody()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Query: sel}, nil
+		return &ast.Explain{Query: sel, Analyze: analyze}, nil
 	default:
 		return nil, p.errf("expected a statement, got %s", p.cur())
 	}
