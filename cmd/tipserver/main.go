@@ -7,6 +7,8 @@
 //	tipserver -addr :4711                      # empty in-memory database
 //	tipserver -addr :4711 -db medical.tipdb    # load/save a snapshot
 //	tipserver -addr :4711 -durable ./dbdir     # WAL-backed, crash-safe
+//	tipserver -durable ./dbdir -durability strict         # fsync every append
+//	tipserver -durable ./dbdir -durability grouped=5ms    # background group fsync
 //	tipserver -addr :4711 -demo 500            # synthetic medical demo data
 //	tipserver -addr :4711 -metrics :8711       # expvar-style /stats endpoint
 //	tipserver -addr :4711 -slowquery 50ms      # log statements slower than 50ms
@@ -30,6 +32,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4711", "listen address")
 	dbPath := flag.String("db", "", "snapshot file to load on start and save on shutdown")
 	durable := flag.String("durable", "", "directory for a WAL-backed, crash-safe database")
+	durability := flag.String("durability", "checkpoint",
+		`WAL fsync policy with -durable: "checkpoint", "strict", or "grouped[=interval]"`)
 	demo := flag.Int("demo", 0, "load N synthetic prescriptions on start")
 	metrics := flag.String("metrics", "", "serve the metrics snapshot as JSON on this HTTP address (/stats)")
 	slow := flag.Duration("slowquery", 0, "log statements slower than this (0 disables)")
@@ -41,8 +45,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("open durable %s: %v", *durable, err)
 		}
+		policy, interval, err := tip.ParseDurability(*durability)
+		if err != nil {
+			log.Fatalf("-durability: %v", err)
+		}
+		opened.SetDurability(policy, interval)
 		db = opened
-		log.Printf("durable database at %s (WAL-backed)", *durable)
+		log.Printf("durable database at %s (WAL-backed, %s durability)", *durable, *durability)
 	}
 	if db == nil && *dbPath != "" {
 		if _, err := os.Stat(*dbPath); err == nil {

@@ -72,31 +72,20 @@ func JSONResults(rows int) []Result {
 	insert := jsonScenario("insert", "insert",
 		[]string{"wal.appends", "rows.written"},
 		func(db *engine.Database) int64 {
-			sess := db.NewSession()
-			if _, err := sess.Exec(workload.Schema, nil); err != nil {
+			if err := loadPrescriptions(db.NewSession(), data); err != nil {
 				panic(err)
-			}
-			reg := db.Registry()
-			elementT, _ := reg.LookupType("Element")
-			chrononT, _ := reg.LookupType("Chronon")
-			spanT, _ := reg.LookupType("Span")
-			const ins = `INSERT INTO Prescription VALUES (:doc, :pat, :dob, :drug, :dose, :freq, :valid)`
-			for _, p := range data {
-				params := map[string]types.Value{
-					"doc":   types.NewString(p.Doctor),
-					"pat":   types.NewString(p.Patient),
-					"dob":   types.NewUDT(chrononT, p.PatientDOB),
-					"drug":  types.NewString(p.Drug),
-					"dose":  types.NewInt(p.Dosage),
-					"freq":  types.NewUDT(spanT, p.Frequency),
-					"valid": types.NewUDT(elementT, p.Valid),
-				}
-				if _, err := sess.Exec(ins, params); err != nil {
-					panic(err)
-				}
 			}
 			return int64(len(data))
 		})
+	// The durability dimension: the same insert workload on WAL-backed
+	// engines under each fsync policy. wal_nofsync (SyncOnCheckpoint) is
+	// the baseline the grouped policy is judged against.
+	insert.Metrics["durability.wal_nofsync.ops_per_sec"] =
+		durabilityOpsPerSec(data, engine.SyncOnCheckpoint, 0)
+	insert.Metrics["durability.grouped.ops_per_sec"] =
+		durabilityOpsPerSec(data, engine.SyncGrouped, 0)
+	insert.Metrics["durability.sync_every.ops_per_sec"] =
+		durabilityOpsPerSec(data, engine.SyncEveryAppend, 0)
 
 	coalesce := jsonScenario("coalesce", "select",
 		[]string{"plancache.hit_rate", "rows.read"},
@@ -136,6 +125,28 @@ func JSONResults(rows int) []Result {
 		})
 
 	return []Result{insert, coalesce, join}
+}
+
+// durabilityOpsPerSec measures insert throughput on a fresh WAL-backed
+// engine under one fsync policy (interval 0 keeps the grouped default).
+func durabilityOpsPerSec(data []workload.Prescription, p engine.SyncPolicy, interval time.Duration) float64 {
+	dir, err := os.MkdirTemp("", "tipbench-wal-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, _ := NewTIPDB()
+	db := sess.Database()
+	db.SetDurability(p, interval)
+	if err := db.EnableWAL(filepath.Join(dir, "wal.log")); err != nil {
+		panic(err)
+	}
+	defer func() { _ = db.DisableWAL() }()
+	start := time.Now()
+	if err := loadPrescriptions(sess, data); err != nil {
+		panic(err)
+	}
+	return float64(len(data)) / time.Since(start).Seconds()
 }
 
 // loadPrescriptions creates the schema and loads the workload rows into

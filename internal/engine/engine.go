@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tip/internal/blade"
 	"tip/internal/catalog"
@@ -57,12 +58,26 @@ type Database struct {
 	tm     *txn.Manager
 	wal    *wal      // nil unless EnableWAL was called
 	obs    *obsState // metrics registry + statement instrumentation
+
+	// Durability state. epoch is the current durability epoch (stamped
+	// on snapshots and WAL frames; bumped by Checkpoint) and walSeq the
+	// last WAL frame sequence number; both are guarded by mu and fed by
+	// Load/ReplayWAL at recovery. ckpt is the checkpoint gate: writers
+	// hold it shared across apply+log, Checkpoint exclusively across
+	// epoch-bump+snapshot+truncate, so no statement lands in the
+	// snapshot while its WAL frame carries the new epoch (which would
+	// double-apply it at recovery).
+	epoch        uint64
+	walSeq       uint64
+	ckpt         sync.RWMutex
+	syncPolicy   atomic.Int32 // SyncPolicy; see SetDurability
+	syncInterval atomic.Int64 // SyncGrouped fsync cadence, nanoseconds
 }
 
 // New creates an empty in-memory database using the given registry (which
 // must already hold every blade the schema needs).
 func New(reg *blade.Registry) *Database {
-	return &Database{
+	db := &Database{
 		reg:    reg,
 		cat:    catalog.New(),
 		tables: make(map[string]*exec.Table),
@@ -70,6 +85,8 @@ func New(reg *blade.Registry) *Database {
 		tm:     txn.NewManager(),
 		obs:    newObsState(),
 	}
+	db.syncInterval.Store(int64(2 * time.Millisecond))
+	return db
 }
 
 // SetCoarseLocking switches the engine to the pre-per-table-locking
@@ -182,6 +199,13 @@ func (s *Session) ExecScript(sql string, params map[string]types.Value) (*exec.R
 // evaluated under (BEGIN changes the session's NOW as a side effect).
 func (s *Session) execLogged(stmt ast.Statement, sql string, params map[string]types.Value) (*exec.Result, error) {
 	now := s.Now()
+	if loggable(stmt) {
+		// Hold the checkpoint gate across apply+log so Checkpoint never
+		// snapshots a statement whose WAL frame then lands in the new
+		// epoch (it would replay on top of the snapshot).
+		s.db.ckpt.RLock()
+		defer s.db.ckpt.RUnlock()
+	}
 	res, err := s.ExecStmt(stmt, params)
 	if err == nil && loggable(stmt) {
 		logErr := s.db.logStatement(now, sql, params)

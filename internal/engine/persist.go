@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -16,29 +17,53 @@ import (
 )
 
 // Database snapshot persistence. The format is a self-describing binary
-// file: magic, the catalog (tables, columns with type names, indexes),
-// then per table the row count and rows encoded with the value codec
-// (UDT payloads through their blade Encode hooks). Loading requires the
-// same blades to be registered so type names resolve.
+// file: magic, the durability epoch, the catalog (tables, columns with
+// type names, indexes), then per table the row count and rows encoded
+// with the value codec (UDT payloads through their blade Encode hooks).
+// Loading requires the same blades to be registered so type names
+// resolve.
 //
-// Layout:
+// Layout (version 2):
 //
-//	"TIPDB1\n"
+//	"TIPDB2\n"
+//	uvarint epoch — durability epoch; WAL frames from an older epoch
+//	                are skipped at replay (see wal.go)
 //	uvarint tableCount
 //	  table: str name, uvarint colCount,
 //	         col: str name, str typeName, byte notNull
 //	         uvarint rowCount, rows (schema-directed values)
 //	uvarint indexCount
 //	  index: str name, str table, str column, byte kind
+//
+// Version 1 ("TIPDB1\n") lacks the epoch field and loads as epoch 0.
+//
+// Snapshots are written atomically: the bytes go to path+".tmp", the
+// temp file is fsynced, renamed over path, and the parent directory is
+// fsynced — a crash at any point leaves either the old snapshot or the
+// new one, never a torn file.
 
-const snapshotMagic = "TIPDB1\n"
+const (
+	snapshotMagicV1 = "TIPDB1\n"
+	snapshotMagic   = "TIPDB2\n"
+)
 
 // ErrBadSnapshot reports a malformed snapshot file.
 var ErrBadSnapshot = errors.New("engine: bad snapshot")
 
-// Save writes a snapshot of the database to path (atomically via a
-// temporary file).
+// Save writes a snapshot of the database to path (atomically, fsynced),
+// stamped with the current durability epoch. It does not bump the
+// epoch: a standalone Save does not truncate the WAL, so recovery from
+// a Save-written snapshot plus a live log still replays the log in
+// full — use Checkpoint for WAL-coordinated snapshots.
 func (db *Database) Save(path string) error {
+	db.mu.RLock()
+	epoch := db.epoch
+	db.mu.RUnlock()
+	return db.save(path, epoch)
+}
+
+// save snapshots the database under the given epoch stamp.
+func (db *Database) save(path string, epoch uint64) error {
 	// Writers run under a shared catalog lock, so a consistent snapshot
 	// needs every table's read lock too (sorted order, like any
 	// multi-table statement).
@@ -51,23 +76,65 @@ func (db *Database) Save(path string) error {
 	for _, n := range names {
 		db.locks[n].RLock()
 	}
-	buf := db.encodeSnapshot()
+	buf := db.encodeSnapshot(epoch)
 	for i := len(names) - 1; i >= 0; i-- {
 		db.locks[names[i]].RUnlock()
 	}
 	db.mu.RUnlock()
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("engine: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeFileAtomic(path, buf); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	return nil
 }
 
-func (db *Database) encodeSnapshot() []byte {
+// writeFileAtomic writes data to path so that a crash leaves either the
+// old file or the new one: write to a temp file, fsync it, rename over
+// path, fsync the parent directory (the rename itself is not durable
+// until the directory entry is).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (db *Database) encodeSnapshot(epoch uint64) []byte {
 	buf := []byte(snapshotMagic)
+	buf = binary.AppendUvarint(buf, epoch)
 	names := db.cat.TableNames()
 	buf = binary.AppendUvarint(buf, uint64(len(names)))
 	for _, name := range names {
@@ -107,6 +174,9 @@ func (db *Database) encodeSnapshot() []byte {
 
 // Load reads a snapshot from path into a fresh database state. The
 // database must be empty (freshly constructed with the right blades).
+// The snapshot is decoded into staging state and installed only if it
+// decodes completely, so a failed Load leaves the database empty and
+// retryable.
 func (db *Database) Load(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -117,61 +187,91 @@ func (db *Database) Load(path string) error {
 	if len(db.tables) != 0 {
 		return fmt.Errorf("engine: load into non-empty database")
 	}
-	return db.decodeSnapshot(data)
-}
-
-func (db *Database) decodeSnapshot(data []byte) error {
-	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
-		return fmt.Errorf("%w: magic", ErrBadSnapshot)
+	// Decode into a staging shadow of this database: same registry and
+	// managers, fresh catalog/tables/locks. Nothing is installed until
+	// the whole snapshot decoded.
+	stage := &Database{
+		reg:    db.reg,
+		cat:    catalog.New(),
+		tables: make(map[string]*exec.Table),
+		locks:  make(map[string]*sync.RWMutex),
+		tm:     db.tm,
+		obs:    db.obs,
 	}
-	data = data[len(snapshotMagic):]
-	tableCount, data, err := readUvarint(data)
+	epoch, err := stage.decodeSnapshot(data)
 	if err != nil {
 		return err
+	}
+	db.cat = stage.cat
+	db.tables = stage.tables
+	db.locks = stage.locks
+	db.epoch = epoch
+	return nil
+}
+
+// decodeSnapshot populates the (empty) database from snapshot bytes and
+// returns the snapshot's durability epoch.
+func (db *Database) decodeSnapshot(data []byte) (uint64, error) {
+	var epoch uint64
+	switch {
+	case len(data) >= len(snapshotMagic) && string(data[:len(snapshotMagic)]) == snapshotMagic:
+		data = data[len(snapshotMagic):]
+		var err error
+		if epoch, data, err = readUvarint(data); err != nil {
+			return 0, err
+		}
+	case len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1:
+		data = data[len(snapshotMagicV1):] // pre-epoch format
+	default:
+		return 0, fmt.Errorf("%w: magic", ErrBadSnapshot)
+	}
+	tableCount, data, err := readUvarint(data)
+	if err != nil {
+		return 0, err
 	}
 	for range tableCount {
 		var name string
 		if name, data, err = readString(data); err != nil {
-			return err
+			return 0, err
 		}
 		colCount, rest, err := readUvarint(data)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		data = rest
 		cols := make([]catalog.Column, colCount)
 		for i := range cols {
 			var cname, tname string
 			if cname, data, err = readString(data); err != nil {
-				return err
+				return 0, err
 			}
 			if tname, data, err = readString(data); err != nil {
-				return err
+				return 0, err
 			}
 			if len(data) < 1 {
-				return fmt.Errorf("%w: truncated column", ErrBadSnapshot)
+				return 0, fmt.Errorf("%w: truncated column", ErrBadSnapshot)
 			}
 			notNull := data[0] == 1
 			data = data[1:]
 			t, ok := db.reg.LookupType(tname)
 			if !ok {
-				return fmt.Errorf("%w: unknown type %s (blade not registered?)", ErrBadSnapshot, tname)
+				return 0, fmt.Errorf("%w: unknown type %s (blade not registered?)", ErrBadSnapshot, tname)
 			}
 			cols[i] = catalog.Column{Name: cname, Type: t, NotNull: notNull}
 		}
 		meta, err := catalog.NewTableMeta(name, cols)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := db.cat.CreateTable(meta); err != nil {
-			return err
+			return 0, err
 		}
 		tbl := exec.NewTable(meta)
 		db.tables[strings.ToLower(name)] = tbl
 		db.locks[strings.ToLower(name)] = &sync.RWMutex{}
 		rowCount, rest, err := readUvarint(data)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		data = rest
 		for range rowCount {
@@ -179,7 +279,7 @@ func (db *Database) decodeSnapshot(data []byte) error {
 			for i, c := range cols {
 				v, rest, err := types.DecodeValue(c.Type, data)
 				if err != nil {
-					return fmt.Errorf("%w: table %s: %v", ErrBadSnapshot, name, err)
+					return 0, fmt.Errorf("%w: table %s: %v", ErrBadSnapshot, name, err)
 				}
 				row[i] = v
 				data = rest
@@ -189,22 +289,22 @@ func (db *Database) decodeSnapshot(data []byte) error {
 	}
 	indexCount, data, err := readUvarint(data)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s := &Session{db: db}
 	for range indexCount {
 		var iname, itable, icol string
 		if iname, data, err = readString(data); err != nil {
-			return err
+			return 0, err
 		}
 		if itable, data, err = readString(data); err != nil {
-			return err
+			return 0, err
 		}
 		if icol, data, err = readString(data); err != nil {
-			return err
+			return 0, err
 		}
 		if len(data) < 1 {
-			return fmt.Errorf("%w: truncated index", ErrBadSnapshot)
+			return 0, fmt.Errorf("%w: truncated index", ErrBadSnapshot)
 		}
 		kind := catalog.IndexKind(data[0])
 		data = data[1:]
@@ -213,13 +313,13 @@ func (db *Database) decodeSnapshot(data []byte) error {
 		if _, err := s.createIndex(&ast.CreateIndex{
 			Name: iname, Table: itable, Column: icol, Period: kind == catalog.PeriodIndex,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	if len(data) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data))
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data))
 	}
-	return nil
+	return epoch, nil
 }
 
 func appendString(buf []byte, s string) []byte {

@@ -94,6 +94,8 @@ type obsState struct {
 	walAppends  *obs.Counter
 	walBytes    *obs.Counter
 	walFailures *obs.Counter
+	walFsyncs   *obs.Counter
+	walFsyncLat *obs.Histogram
 
 	lockWait *obs.Histogram
 
@@ -116,6 +118,8 @@ func newObsState() *obsState {
 	o.walAppends = o.reg.Counter("wal.appends")
 	o.walBytes = o.reg.Counter("wal.bytes")
 	o.walFailures = o.reg.Counter("wal.failures")
+	o.walFsyncs = o.reg.Counter("wal.fsyncs")
+	o.walFsyncLat = o.reg.Histogram("wal.fsync.latency")
 	o.lockWait = o.reg.Histogram("lock.wait")
 	o.reg.RegisterFunc("plancache.hit_rate", func() float64 {
 		h, m := float64(o.pcHits.Load()), float64(o.pcMisses.Load())

@@ -5,10 +5,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"tip/internal/blade"
 	"tip/internal/sql/ast"
 	"tip/internal/sql/parse"
 	"tip/internal/temporal"
@@ -23,53 +28,163 @@ import (
 //
 // The log is a redo log of statements, not of row changes: replay
 // re-executes the SQL. A transaction left open at the end of the log
-// (crash mid-transaction) is rolled back after replay. Records are
-// flushed to the OS on every append; fsync is left to Checkpoint.
+// (crash mid-transaction) is rolled back after replay.
 //
-// Record layout (length-prefixed frame):
+// Frame layout (length-prefixed, checksummed, epoch-stamped):
 //
-//	int64 now, str sql, uvarint nParams, (str name, str typeName, value)*
+//	uvarint bodyLen
+//	uint32  CRC32C of the rest of the body (little-endian)
+//	uvarint epoch   — durability epoch; frames older than the
+//	                  snapshot's epoch are skipped at replay
+//	uvarint seq     — frame sequence number, consecutive within a log
+//	payload: int64 now, str sql, uvarint nParams,
+//	         (str name, str typeName, value)*  — names sorted, so
+//	         identical runs produce byte-identical logs
+//
+// The checksum makes corruption anywhere in a frame detectable: replay
+// applies every frame up to the first damaged one and surfaces ErrWAL
+// instead of executing damaged SQL. A frame cut short by a crash (torn
+// tail) ends replay cleanly. The epoch closes the checkpoint crash
+// window: Checkpoint stamps the new snapshot with epoch+1 before
+// truncating the log, so if the truncate never happens the stale frames
+// are skipped rather than double-applied on top of the snapshot.
+//
+// Durability is a policy (SetDurability): SyncOnCheckpoint flushes to
+// the OS on every append and fsyncs only at Checkpoint (an OS crash can
+// lose the tail); SyncEveryAppend fsyncs before the statement returns,
+// with concurrent appenders sharing one fsync (group commit);
+// SyncGrouped bounds the loss window to an interval by fsyncing from a
+// background syncer.
+
+// walMaxFrame bounds a frame's decoded length. A corrupt length prefix
+// must not turn into an unbounded allocation at replay; no legitimate
+// statement payload approaches this.
+const walMaxFrame = 64 << 20
+
+// walCRC is the Castagnoli polynomial table (hardware-accelerated on
+// most platforms).
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when WAL appends are fsynced; see SetDurability.
+type SyncPolicy int32
+
+const (
+	// SyncOnCheckpoint (the default) flushes appends to the OS but
+	// fsyncs only at Checkpoint: commits survive a process crash, not
+	// necessarily an OS crash or power loss.
+	SyncOnCheckpoint SyncPolicy = iota
+	// SyncEveryAppend fsyncs before a statement's Exec returns.
+	// Concurrent appenders are batched into one fsync (group commit).
+	SyncEveryAppend
+	// SyncGrouped fsyncs from a background syncer at a fixed interval:
+	// a power loss can take back at most the last interval's commits.
+	SyncGrouped
+)
+
+// walSink is the file behind the log: an *os.File in production, a
+// fault-injection wrapper (internal/iofault) in crash tests.
+type walSink interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
 
 // wal is the open log file.
 type wal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  walSink
 	w  *bufio.Writer
 	// failed is the first append error, sticky: once an append fails
 	// the log may end in a torn record, so no further records are
 	// written — the file stays a consistent (replayable) prefix of the
 	// in-memory history until Checkpoint truncates and heals it.
 	failed error
+	epoch  uint64 // stamped on new frames; bumped by Checkpoint (guarded by mu)
+	seq    uint64 // last assigned frame seq (guarded by mu)
+
+	// Group commit: appenders record the highest seq flushed to the
+	// file; fsyncs are serialized on syncMu, and one fsync covers every
+	// frame flushed before it started, so concurrent SyncEveryAppend
+	// committers behind the same fsync all return without a second one.
+	flushedSeq atomic.Uint64 // highest seq written through to f
+	syncedSeq  atomic.Uint64 // highest seq known durable (fsynced)
+	syncMu     sync.Mutex    // serializes fsyncs
+
+	stop chan struct{} // closed by DisableWAL to end the group syncer
+	done chan struct{} // closed when the syncer goroutine exits
 }
 
-// ErrWAL reports a malformed log.
+// ErrWAL reports a malformed log: a frame whose checksum does not match
+// its bytes, an impossible length, or a sequence gap. Replay applies
+// everything before the damaged frame and stops.
 var ErrWAL = errors.New("engine: corrupt WAL")
 
 // ErrWALFailed reports that a statement applied in memory but could not
-// be appended to the WAL. The statement's result is still returned to
-// the caller; the log stops growing so it remains a consistent prefix.
-// Checkpoint clears the condition (the snapshot captures the state the
-// log no longer covers).
+// be appended to the WAL (or, under SyncEveryAppend, not fsynced). The
+// statement's result is still returned to the caller; the log stops
+// growing so it remains a consistent prefix. Checkpoint clears the
+// condition (the snapshot captures the state the log no longer covers).
 var ErrWALFailed = errors.New("engine: WAL append failed; statement applied but not logged")
 
+// SetDurability selects the WAL fsync policy. groupInterval is the
+// background fsync cadence for SyncGrouped (ignored by the other
+// policies; <=0 keeps the current interval, default 2ms). Safe to call
+// before or after EnableWAL.
+func (db *Database) SetDurability(p SyncPolicy, groupInterval time.Duration) {
+	if groupInterval > 0 {
+		db.syncInterval.Store(int64(groupInterval))
+	}
+	db.syncPolicy.Store(int32(p))
+}
+
+// Durability returns the current sync policy.
+func (db *Database) Durability() SyncPolicy {
+	return SyncPolicy(db.syncPolicy.Load())
+}
+
 // EnableWAL starts appending state-changing statements to path,
-// creating the file if needed. Call ReplayWAL first when recovering.
+// creating the file if needed. Call Load and ReplayWAL first when
+// recovering: they establish the durability epoch and the next frame
+// sequence number that new appends continue from.
 func (db *Database) EnableWAL(path string) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("engine: wal: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal != nil {
+	if err := db.enableWALSink(f); err != nil {
 		_ = f.Close()
-		return fmt.Errorf("engine: WAL already enabled")
+		return err
 	}
-	db.wal = &wal{f: f, w: bufio.NewWriter(f)}
 	return nil
 }
 
-// DisableWAL stops logging and closes the file.
+// enableWALSink installs an already-open sink as the log. Split from
+// EnableWAL so crash tests can inject a fault layer.
+func (db *Database) enableWALSink(f walSink) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		return fmt.Errorf("engine: WAL already enabled")
+	}
+	w := &wal{
+		f:     f,
+		w:     bufio.NewWriter(f),
+		epoch: db.epoch,
+		seq:   db.walSeq,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	w.flushedSeq.Store(w.seq)
+	w.syncedSeq.Store(w.seq)
+	db.wal = w
+	go db.walSyncer(w)
+	return nil
+}
+
+// DisableWAL stops logging, fsyncs what was appended and closes the
+// file.
 func (db *Database) DisableWAL() error {
 	db.mu.Lock()
 	w := db.wal
@@ -78,11 +193,16 @@ func (db *Database) DisableWAL() error {
 	if w == nil {
 		return nil
 	}
+	close(w.stop)
+	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	flushErr := w.failed
 	if flushErr == nil {
 		flushErr = w.w.Flush()
+	}
+	if flushErr == nil {
+		flushErr = w.f.Sync()
 	}
 	closeErr := w.f.Close()
 	if flushErr != nil {
@@ -91,28 +211,98 @@ func (db *Database) DisableWAL() error {
 	return closeErr
 }
 
-// Checkpoint writes a snapshot to snapshotPath, fsyncs and truncates
-// the log: recovery now needs only the snapshot plus the (empty) log.
-func (db *Database) Checkpoint(snapshotPath string) error {
-	if err := db.Save(snapshotPath); err != nil {
+// walSyncer is the background group-commit loop: under SyncGrouped it
+// fsyncs any frames flushed since the last sync, bounding the loss
+// window to the configured interval. It runs for every enabled WAL
+// (the off-policy tick is a couple of atomic loads) so switching
+// policies at runtime needs no goroutine management.
+func (db *Database) walSyncer(w *wal) {
+	defer close(w.done)
+	for {
+		d := time.Duration(db.syncInterval.Load())
+		timer := time.NewTimer(d)
+		select {
+		case <-w.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if SyncPolicy(db.syncPolicy.Load()) != SyncGrouped {
+			continue
+		}
+		if target := w.flushedSeq.Load(); target > w.syncedSeq.Load() {
+			w.mu.Lock()
+			broken := w.failed != nil
+			w.mu.Unlock()
+			if !broken {
+				_ = db.walSyncTo(w, target) // a failed fsync is caught by the next strict append or Checkpoint
+			}
+		}
+	}
+}
+
+// walSyncTo makes frame seq durable: it fsyncs unless a concurrent
+// fsync already covered it. One fsync covers every frame flushed before
+// it started, which is what batches concurrent committers.
+func (db *Database) walSyncTo(w *wal, seq uint64) error {
+	if w.syncedSeq.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.syncedSeq.Load() >= seq {
+		return nil
+	}
+	target := w.flushedSeq.Load()
+	start := time.Now()
+	err := w.f.Sync()
+	if o := db.obs; o.enabled() {
+		o.walFsyncs.Inc()
+		o.walFsyncLat.Observe(time.Since(start).Nanoseconds())
+	}
+	if err != nil {
 		return err
 	}
+	w.syncedSeq.Store(target)
+	return nil
+}
+
+// Checkpoint writes a snapshot under the next durability epoch, then
+// truncates the log: recovery needs only the snapshot plus the (empty)
+// log. The epoch ordering closes the crash window between the two
+// steps — a snapshot at epoch e+1 makes replay skip every frame still
+// stamped e, so a crash before the truncate cannot double-apply them.
+// Writers are quiesced (db.ckpt held exclusively) so no statement
+// straddles the snapshot with its WAL frame.
+func (db *Database) Checkpoint(snapshotPath string) error {
+	db.ckpt.Lock()
+	defer db.ckpt.Unlock()
 	db.mu.RLock()
 	w := db.wal
+	epoch := db.epoch
 	db.mu.RUnlock()
 	if w == nil {
-		return nil
+		// No log to truncate: a plain consistent snapshot at the
+		// current epoch.
+		return db.save(snapshotPath, epoch)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	// A failed WAL may hold a poisoned buffered writer and a torn tail
-	// on disk; the snapshot supersedes both, so skip the flush and let
-	// the truncate below heal the log.
-	if w.failed == nil {
-		if err := w.w.Flush(); err != nil {
-			return err
-		}
+	newEpoch := w.epoch + 1
+	if err := db.save(snapshotPath, newEpoch); err != nil {
+		return err
 	}
+	// The snapshot at newEpoch is on disk: commit the epoch so frames
+	// appended from here on replay on top of it, even if the truncate
+	// below fails — stale frames stay skippable either way.
+	w.epoch = newEpoch
+	db.mu.Lock()
+	db.epoch = newEpoch
+	db.mu.Unlock()
+	// A failed WAL may hold a poisoned buffered writer and a torn tail
+	// on disk; the snapshot supersedes both, so drop the buffer and let
+	// the truncate heal the log.
+	w.w.Reset(w.f)
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("engine: checkpoint: %w", err)
 	}
@@ -122,8 +312,11 @@ func (db *Database) Checkpoint(snapshotPath string) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("engine: checkpoint: %w", err)
 	}
-	w.w.Reset(w.f)
 	w.failed = nil
+	// Everything logged so far is inside the snapshot: nothing awaits
+	// an fsync.
+	w.flushedSeq.Store(w.seq)
+	w.syncedSeq.Store(w.seq)
 	return nil
 }
 
@@ -140,19 +333,21 @@ func loggable(stmt ast.Statement) bool {
 	}
 }
 
-// logStatement appends one executed statement to the WAL.
-func (db *Database) logStatement(now temporal.Chronon, sql string, params map[string]types.Value) error {
-	db.mu.RLock()
-	w := db.wal
-	db.mu.RUnlock()
-	if w == nil {
-		return nil
-	}
+// encodeWALPayload serializes one statement. Parameter names are
+// sorted so identical runs produce byte-identical logs (map iteration
+// order must not leak into the file).
+func encodeWALPayload(now temporal.Chronon, sql string, params map[string]types.Value) []byte {
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(now))
 	buf = appendString(buf, sql)
 	buf = binary.AppendUvarint(buf, uint64(len(params)))
-	for name, v := range params {
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := params[name]
 		buf = appendString(buf, name)
 		tname := ""
 		if v.T != nil && v.T.Kind != types.KindNull {
@@ -161,53 +356,130 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 		buf = appendString(buf, tname)
 		buf = v.AppendBinary(buf)
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	return buf
+}
+
+// appendWALFrame wraps a payload into a checksummed frame under the
+// given epoch and seq.
+func appendWALFrame(dst []byte, epoch, seq uint64, payload []byte) []byte {
+	var body []byte
+	body = binary.AppendUvarint(body, epoch)
+	body = binary.AppendUvarint(body, seq)
+	body = append(body, payload...)
+	dst = binary.AppendUvarint(dst, uint64(len(body)+4))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, walCRC))
+	return append(dst, body...)
+}
+
+// walFrame is one decoded log frame.
+type walFrame struct {
+	epoch   uint64
+	seq     uint64
+	payload []byte
+}
+
+// decodeWALFrame validates and splits a frame body (everything after
+// the length prefix). The payload aliases body.
+func decodeWALFrame(body []byte) (walFrame, error) {
+	if len(body) < 4 {
+		return walFrame{}, fmt.Errorf("%w: short frame", ErrWAL)
+	}
+	sum := binary.LittleEndian.Uint32(body)
+	rest := body[4:]
+	if crc32.Checksum(rest, walCRC) != sum {
+		return walFrame{}, fmt.Errorf("%w: bad checksum", ErrWAL)
+	}
+	epoch, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return walFrame{}, fmt.Errorf("%w: epoch", ErrWAL)
+	}
+	rest = rest[n:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return walFrame{}, fmt.Errorf("%w: seq", ErrWAL)
+	}
+	return walFrame{epoch: epoch, seq: seq, payload: rest[n:]}, nil
+}
+
+// logStatement appends one executed statement to the WAL and, under
+// SyncEveryAppend, fsyncs before returning.
+func (db *Database) logStatement(now temporal.Chronon, sql string, params map[string]types.Value) error {
+	db.mu.RLock()
+	w := db.wal
+	db.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	payload := encodeWALPayload(now, sql, params)
 	obsOn := db.obs.enabled()
-	if w.failed != nil {
+	seq, size, err := func() (uint64, int, error) {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.failed != nil {
+			return 0, 0, fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
+		}
+		frame := appendWALFrame(nil, w.epoch, w.seq+1, payload)
+		if _, err := w.w.Write(frame); err != nil {
+			w.failed = err
+			return 0, 0, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		if err := w.w.Flush(); err != nil {
+			w.failed = err
+			return 0, 0, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		w.seq++
+		w.flushedSeq.Store(w.seq)
+		return w.seq, len(frame), nil
+	}()
+	if err != nil {
 		if obsOn {
 			db.obs.walFailures.Inc()
 		}
-		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
-	}
-	fail := func(err error) error {
-		w.failed = err
-		if obsOn {
-			db.obs.walFailures.Inc()
-		}
-		return fmt.Errorf("%w: %v", ErrWALFailed, err)
-	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(buf)))
-	if _, err := w.w.Write(hdr[:n]); err != nil {
-		return fail(err)
-	}
-	if _, err := w.w.Write(buf); err != nil {
-		return fail(err)
-	}
-	if err := w.w.Flush(); err != nil {
-		return fail(err)
+		return err
 	}
 	if obsOn {
 		db.obs.walAppends.Inc()
-		db.obs.walBytes.Add(uint64(n + len(buf)))
+		db.obs.walBytes.Add(uint64(size))
+	}
+	if SyncPolicy(db.syncPolicy.Load()) == SyncEveryAppend {
+		if err := db.walSyncTo(w, seq); err != nil {
+			w.mu.Lock()
+			if w.failed == nil {
+				w.failed = err
+			}
+			w.mu.Unlock()
+			if obsOn {
+				db.obs.walFailures.Inc()
+			}
+			return fmt.Errorf("%w: fsync: %v", ErrWALFailed, err)
+		}
 	}
 	return nil
 }
 
 // ReplayWAL re-executes the statements logged in path against this
-// database (typically right after loading the matching snapshot). Each
-// statement runs under the NOW it originally executed with. A
-// transaction still open at the end of the log is rolled back. A
-// truncated trailing record (torn write at crash) ends replay cleanly.
+// database (typically right after loading the matching snapshot).
+// Frames are streamed through a bounded buffer, so recovery memory
+// scales with the largest record, not the log size. Each statement runs
+// under the NOW it originally executed with; frames from an epoch older
+// than the loaded snapshot's are skipped (they are already inside the
+// snapshot). A transaction still open at the end of the log is rolled
+// back. A truncated trailing record (torn write at crash) ends replay
+// cleanly; a checksum mismatch or sequence gap stops replay at the last
+// valid frame and surfaces ErrWAL.
 func (db *Database) ReplayWAL(path string) error {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
 		}
 		return fmt.Errorf("engine: wal replay: %w", err)
 	}
+	defer f.Close()
+	db.mu.RLock()
+	snapEpoch := db.epoch
+	db.mu.RUnlock()
+
 	sess := db.NewSession()
 	defer func() {
 		if sess.InTransaction() {
@@ -215,35 +487,92 @@ func (db *Database) ReplayWAL(path string) error {
 		}
 		sess.nowOverride = nil
 	}()
-	for len(data) > 0 {
-		n, k := binary.Uvarint(data)
-		if k <= 0 || uint64(len(data)-k) < n {
-			return nil // torn tail: everything before it replayed
+
+	r := bufio.NewReaderSize(f, 64<<10)
+	var (
+		body     []byte // reused frame buffer
+		lastSeq  uint64
+		haveSeq  bool
+		frameIdx int
+		maxEpoch = snapEpoch
+	)
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return db.finishReplay(maxEpoch, lastSeq, haveSeq)
+			}
+			return fmt.Errorf("%w: frame %d length (after seq %d): %v", ErrWAL, frameIdx+1, lastSeq, err)
 		}
-		rec := data[k : k+int(n)]
-		data = data[k+int(n):]
-		if err := db.replayRecord(sess, rec); err != nil {
+		if n > walMaxFrame {
+			return fmt.Errorf("%w: frame %d length %d (after seq %d)", ErrWAL, frameIdx+1, n, lastSeq)
+		}
+		if uint64(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			// Torn tail: the crash cut the last frame short. Everything
+			// before it replayed.
+			return db.finishReplay(maxEpoch, lastSeq, haveSeq)
+		}
+		frameIdx++
+		fr, err := decodeWALFrame(body)
+		if err != nil {
+			return fmt.Errorf("frame %d (after seq %d): %w", frameIdx, lastSeq, err)
+		}
+		if haveSeq && fr.seq != lastSeq+1 {
+			return fmt.Errorf("%w: frame %d seq %d, want %d", ErrWAL, frameIdx, fr.seq, lastSeq+1)
+		}
+		lastSeq, haveSeq = fr.seq, true
+		if fr.epoch > maxEpoch {
+			maxEpoch = fr.epoch
+		}
+		if fr.epoch < snapEpoch {
+			// Pre-checkpoint frame: its effect is inside the snapshot
+			// (the checkpoint crashed before truncating the log).
+			continue
+		}
+		if err := db.replayRecord(sess, fr.payload); err != nil {
 			return err
 		}
+	}
+}
+
+// finishReplay records where the log ended so EnableWAL continues the
+// epoch and sequence numbering from there.
+func (db *Database) finishReplay(maxEpoch, lastSeq uint64, haveSeq bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if maxEpoch > db.epoch {
+		db.epoch = maxEpoch
+	}
+	if haveSeq && lastSeq > db.walSeq {
+		db.walSeq = lastSeq
 	}
 	return nil
 }
 
-func (db *Database) replayRecord(sess *Session, rec []byte) error {
+// decodeWALPayload parses a frame payload into the statement's original
+// NOW, SQL text and parameters. Type names resolve through reg.
+func decodeWALPayload(reg *blade.Registry, rec []byte) (temporal.Chronon, string, map[string]types.Value, error) {
 	if len(rec) < 8 {
-		return fmt.Errorf("%w: short record", ErrWAL)
+		return 0, "", nil, fmt.Errorf("%w: short record", ErrWAL)
 	}
 	now := temporal.Chronon(binary.LittleEndian.Uint64(rec))
 	rec = rec[8:]
 	sql, rec, err := readString(rec)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrWAL, err)
+		return 0, "", nil, fmt.Errorf("%w: %v", ErrWAL, err)
 	}
 	nParams, k := binary.Uvarint(rec)
 	if k <= 0 {
-		return fmt.Errorf("%w: param count", ErrWAL)
+		return 0, "", nil, fmt.Errorf("%w: param count", ErrWAL)
 	}
 	rec = rec[k:]
+	if nParams > uint64(len(rec)) {
+		return 0, "", nil, fmt.Errorf("%w: param count %d", ErrWAL, nParams)
+	}
 	var params map[string]types.Value
 	if nParams > 0 {
 		params = make(map[string]types.Value, nParams)
@@ -251,33 +580,41 @@ func (db *Database) replayRecord(sess *Session, rec []byte) error {
 	for range nParams {
 		var name, tname string
 		if name, rec, err = readString(rec); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
+			return 0, "", nil, fmt.Errorf("%w: %v", ErrWAL, err)
 		}
 		if tname, rec, err = readString(rec); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
+			return 0, "", nil, fmt.Errorf("%w: %v", ErrWAL, err)
 		}
 		t := types.TNull
 		if tname != "" {
 			var ok bool
-			if t, ok = db.reg.LookupType(tname); !ok {
-				return fmt.Errorf("%w: unknown type %s", ErrWAL, tname)
+			if t, ok = reg.LookupType(tname); !ok {
+				return 0, "", nil, fmt.Errorf("%w: unknown type %s", ErrWAL, tname)
 			}
 		}
 		var v types.Value
 		if t.Kind == types.KindNull {
 			if len(rec) < 1 {
-				return fmt.Errorf("%w: null value", ErrWAL)
+				return 0, "", nil, fmt.Errorf("%w: null value", ErrWAL)
 			}
 			v, rec = types.NewNull(types.TNull), rec[1:]
 		} else {
 			if v, rec, err = types.DecodeValue(t, rec); err != nil {
-				return fmt.Errorf("%w: %v", ErrWAL, err)
+				return 0, "", nil, fmt.Errorf("%w: %v", ErrWAL, err)
 			}
 		}
 		params[name] = v
 	}
 	if len(rec) != 0 {
-		return fmt.Errorf("%w: trailing bytes in record", ErrWAL)
+		return 0, "", nil, fmt.Errorf("%w: trailing bytes in record", ErrWAL)
+	}
+	return now, sql, params, nil
+}
+
+func (db *Database) replayRecord(sess *Session, rec []byte) error {
+	now, sql, params, err := decodeWALPayload(db.reg, rec)
+	if err != nil {
+		return err
 	}
 	// Replay under the original NOW so NOW-relative semantics match.
 	sess.nowOverride = &now

@@ -1,0 +1,122 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f
+}
+
+func readBack(t *testing.T, f *os.File) []byte {
+	t.Helper()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestUnlimitedPassThrough(t *testing.T) {
+	raw := tempFile(t)
+	f := Wrap(raw)
+	for _, chunk := range []string{"hello ", "world"} {
+		if n, err := f.Write([]byte(chunk)); err != nil || n != len(chunk) {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readBack(t, raw)); got != "hello world" {
+		t.Errorf("file = %q", got)
+	}
+	if f.Written() != 11 {
+		t.Errorf("written = %d", f.Written())
+	}
+}
+
+func TestFailWritesPastBudget(t *testing.T) {
+	raw := tempFile(t)
+	f := Wrap(raw)
+	f.SetWriteBudget(4, FailWrites)
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := string(readBack(t, raw)); got != "abcd" {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestShortWriteSplitsTheCrossingWrite(t *testing.T) {
+	raw := tempFile(t)
+	f := Wrap(raw)
+	f.SetWriteBudget(6, ShortWrite)
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("efgh"))
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	if got := string(readBack(t, raw)); got != "abcdef" {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestCrashDropsSilently(t *testing.T) {
+	raw := tempFile(t)
+	f := Wrap(raw)
+	f.SetWriteBudget(3, Crash)
+	// The crossing write and everything after report success...
+	for _, chunk := range []string{"abcd", "efgh"} {
+		if n, err := f.Write([]byte(chunk)); err != nil || n != len(chunk) {
+			t.Fatalf("crash-mode write = %d, %v", n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but only the budgeted prefix reached the file.
+	if got := string(readBack(t, raw)); got != "abc" {
+		t.Errorf("file = %q", got)
+	}
+}
+
+func TestFailSyncAndTruncate(t *testing.T) {
+	raw := tempFile(t)
+	f := Wrap(raw)
+	if _, err := f.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	f.FailSync(true)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v", err)
+	}
+	f.FailTruncate(true)
+	if err := f.Truncate(0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate err = %v", err)
+	}
+	if got := string(readBack(t, raw)); got != "abcdef" {
+		t.Errorf("file after failed truncate = %q", got)
+	}
+	f.FailTruncate(false)
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Written() != 0 {
+		t.Errorf("written after truncate = %d", f.Written())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"tip/internal/blade"
@@ -135,6 +136,60 @@ func OpenDurable(dir string) (*DB, error) {
 	}
 	db.durableDir = dir
 	return db, nil
+}
+
+// SyncPolicy selects how often the WAL is fsynced; see the constants
+// below and DESIGN.md's Durability section for the commit contract of
+// each policy.
+type SyncPolicy = engine.SyncPolicy
+
+const (
+	// SyncOnCheckpoint (the default) flushes appends to the OS but
+	// fsyncs only at Checkpoint: a crash can lose the tail of
+	// acknowledged statements still in the kernel's page cache.
+	SyncOnCheckpoint = engine.SyncOnCheckpoint
+	// SyncEveryAppend fsyncs before each logged statement returns;
+	// concurrent appenders share one fsync (group commit).
+	SyncEveryAppend = engine.SyncEveryAppend
+	// SyncGrouped fsyncs from a background syncer on a fixed cadence;
+	// a crash loses at most one interval of acknowledged statements.
+	SyncGrouped = engine.SyncGrouped
+)
+
+// SetDurability selects the WAL fsync policy. groupInterval sets the
+// background cadence for SyncGrouped (0 keeps the 2ms default); the
+// other policies ignore it. Safe to call while the database is open.
+func (db *DB) SetDurability(p SyncPolicy, groupInterval time.Duration) {
+	db.eng.SetDurability(p, groupInterval)
+}
+
+// Durability reports the current WAL fsync policy.
+func (db *DB) Durability() SyncPolicy { return db.eng.Durability() }
+
+// ParseDurability parses a command-line durability spec: "checkpoint",
+// "strict", or "grouped[=interval]" (for example "grouped=5ms").
+func ParseDurability(spec string) (SyncPolicy, time.Duration, error) {
+	name, arg, hasArg := strings.Cut(spec, "=")
+	if hasArg && name != "grouped" {
+		return 0, 0, fmt.Errorf("tip: durability %q takes no argument", name)
+	}
+	switch name {
+	case "checkpoint":
+		return SyncOnCheckpoint, 0, nil
+	case "strict":
+		return SyncEveryAppend, 0, nil
+	case "grouped":
+		if !hasArg {
+			return SyncGrouped, 0, nil
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("tip: bad grouped interval %q", arg)
+		}
+		return SyncGrouped, d, nil
+	default:
+		return 0, 0, fmt.Errorf("tip: unknown durability %q (want checkpoint, strict, or grouped[=interval])", spec)
+	}
 }
 
 // Checkpoint snapshots a durable database and truncates its WAL.
