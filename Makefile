@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
 # disjoint tables, so plain `go test` is not enough), the crash-recovery
-# torture subset, and the metrics-overhead smoke.
-check: vet build race crash-smoke obs-smoke
+# torture subset, the wire-fault torture subset, and the
+# metrics-overhead smoke.
+check: vet build race crash-smoke netfault-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +31,15 @@ bench:
 # recovery must restore an exact statement prefix with no double-applies.
 crash-smoke:
 	$(GO) test -short -run 'TestCrashTorture|TestCheckpointCrashWindow|TestWALCorrupt|TestWALSeqGap|TestWALShortWrite|TestWALCrashSink' ./internal/engine
+
+# netfault-smoke replays the wire-fault torture battery under the race
+# detector: 1000 hostile connections (slowloris trickles, mid-frame
+# severs, silent truncations, stalls) must leak no goroutines and keep
+# memory bounded, cancellation racing writes must never half-apply a
+# statement, and the lifecycle acceptance tests (MsgCancel and statement
+# timeout under 100ms, shedding, graceful drain) must hold.
+netfault-smoke:
+	$(GO) test -race -run 'TestNetFault|TestLifecycle' ./internal/server
 
 # fuzz-smoke gives each fuzz target (SQL surface and WAL frame decoder)
 # a short randomized burst beyond the checked-in corpus.

@@ -12,6 +12,9 @@
 //	tipserver -addr :4711 -demo 500            # synthetic medical demo data
 //	tipserver -addr :4711 -metrics :8711       # expvar-style /stats endpoint
 //	tipserver -addr :4711 -slowquery 50ms      # log statements slower than 50ms
+//	tipserver -stmt-timeout 30s                # cap every statement's runtime
+//	tipserver -max-conns 512 -max-inflight 64  # admission control
+//	tipserver -drain-timeout 10s               # graceful-shutdown drain budget
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"tip"
+	"tip/internal/server"
 	"tip/internal/workload"
 )
 
@@ -37,6 +41,12 @@ func main() {
 	demo := flag.Int("demo", 0, "load N synthetic prescriptions on start")
 	metrics := flag.String("metrics", "", "serve the metrics snapshot as JSON on this HTTP address (/stats)")
 	slow := flag.Duration("slowquery", 0, "log statements slower than this (0 disables)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0,
+		"cap statement runtime; sessions may override with SET STATEMENT_TIMEOUT (0 disables)")
+	maxConns := flag.Int("max-conns", 0, "reject connections beyond this limit with a busy error (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "shed queries beyond this many executing statements (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long graceful shutdown waits for in-flight statements before interrupting them")
 	flag.Parse()
 
 	var db *tip.DB
@@ -93,7 +103,12 @@ func main() {
 		log.Printf("metrics on http://%s/stats", *metrics)
 	}
 
-	srv, err := db.Serve(*addr)
+	srv, err := db.Serve(*addr,
+		server.WithStmtTimeout(*stmtTimeout),
+		server.WithMaxConns(*maxConns),
+		server.WithMaxInflight(*maxInflight),
+		server.WithLogger(log.Printf),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,8 +117,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
-	_ = srv.Close()
+	log.Printf("shutting down (draining up to %s)", *drainTimeout)
+	_ = srv.Shutdown(*drainTimeout)
 	switch {
 	case *durable != "":
 		if err := db.Checkpoint(); err != nil {

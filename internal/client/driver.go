@@ -83,27 +83,29 @@ func (s *sqlStmt) Close() error { return nil }
 // parsing, so the sql package skips the arity check.
 func (s *sqlStmt) NumInput() int { return -1 }
 
-func (s *sqlStmt) run(args []driver.NamedValue) (*exec.Result, error) {
+func (s *sqlStmt) run(ctx context.Context, args []driver.NamedValue) (*exec.Result, error) {
 	params, err := namedParams(args)
 	if err != nil {
 		return nil, err
 	}
-	return s.c.Exec(s.query, params)
+	return s.c.ExecContext(ctx, s.query, params)
 }
 
 // ExecContext implements driver.StmtExecContext, the path database/sql
-// uses for sql.Named arguments.
-func (s *sqlStmt) ExecContext(_ context.Context, args []driver.NamedValue) (driver.Result, error) {
-	res, err := s.run(args)
+// uses for sql.Named arguments. The context is forwarded to the server:
+// cancelling it aborts the statement with a MsgCancel frame.
+func (s *sqlStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	res, err := s.run(ctx, args)
 	if err != nil {
 		return nil, err
 	}
 	return driver.RowsAffected(res.Affected), nil
 }
 
-// QueryContext implements driver.StmtQueryContext.
-func (s *sqlStmt) QueryContext(_ context.Context, args []driver.NamedValue) (driver.Rows, error) {
-	res, err := s.run(args)
+// QueryContext implements driver.StmtQueryContext; the context is
+// forwarded like ExecContext's.
+func (s *sqlStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	res, err := s.run(ctx, args)
 	if err != nil {
 		return nil, err
 	}

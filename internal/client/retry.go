@@ -1,0 +1,86 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// RetryPolicy configures transparent statement retry. A retry is
+// attempted only when it cannot double-apply work:
+//
+//   - "server busy" and "shutting down" rejections: the statement never
+//     ran, so any statement is safe to retry.
+//   - Transport failures (broken, severed or timed-out connections):
+//     the statement's fate is unknown, so only idempotent statements
+//     (per IdempotentSQL) are retried, over a freshly dialled
+//     connection.
+//
+// Cancelled and timed-out statements and SQL errors are never retried.
+// Reconnecting starts a fresh session: open transactions and session
+// settings (SET NOW, SET STATEMENT_TIMEOUT) do not survive a redial,
+// which is another reason retry stays limited to idempotent reads.
+type RetryPolicy struct {
+	// MaxAttempts is the total statement budget including the first
+	// attempt; 0 means the default of 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; 0 means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff; 0 means 1s.
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 3
+}
+
+// Backoff computes the delay before retry number attempt (1-based):
+// exponential growth capped at MaxDelay, with jitter in [d/2, d] so a
+// herd of retrying clients spreads out.
+func (p *RetryPolicy) Backoff(attempt int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryable reports whether err is worth another attempt of sql.
+func (p *RetryPolicy) retryable(sql string, err error) bool {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrShutdown):
+		return true // rejected before running: always safe
+	case errors.Is(err, ErrConnClosed):
+		return IdempotentSQL(sql)
+	}
+	return false
+}
+
+// IdempotentSQL reports whether a statement is safe to retry when its
+// fate on the server is unknown: read-only statements, recognised by
+// their leading keyword.
+func IdempotentSQL(sql string) bool {
+	f := strings.Fields(sql)
+	if len(f) == 0 {
+		return false
+	}
+	switch strings.ToUpper(f[0]) {
+	case "SELECT", "SHOW", "DESCRIBE", "EXPLAIN":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package client_test
+
+// Client lifecycle: sticky ErrConnClosed, idempotent Close, retry with
+// backoff over a flapping listener, and context cancellation through
+// the database/sql driver.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/server"
+	"tip/internal/temporal"
+)
+
+func newServer(t *testing.T) *server.Server {
+	t.Helper()
+	reg := blade.NewRegistry()
+	core.MustRegister(reg)
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return temporal.MustDate(1999, 11, 12) })
+	srv, err := server.Listen(db, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func TestCloseIsIdempotentAndSticky(t *testing.T) {
+	srv := newServer(t)
+	c, err := client.Connect(srv.Addr(), clientReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := c.Exec(`SELECT 1`, nil); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("Exec after Close: want ErrConnClosed, got %v", err)
+	}
+	if err := c.Cancel(); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("Cancel after Close: want ErrConnClosed, got %v", err)
+	}
+}
+
+func TestBrokenPipeIsSticky(t *testing.T) {
+	srv := newServer(t)
+	c, err := client.Connect(srv.Addr(), clientReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`SELECT 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	// The first statement on the dead transport reports the failure...
+	if _, err := c.Exec(`SELECT 1`, nil); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("want ErrConnClosed on dead transport, got %v", err)
+	}
+	// ...and without a retry policy, every later one fails the same way.
+	if _, err := c.Exec(`SELECT 1`, nil); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("want sticky ErrConnClosed, got %v", err)
+	}
+}
+
+// TestRetryFlappingListener kills the server under a connected client
+// and brings a new one up on the same address: an idempotent statement
+// under a RetryPolicy must transparently redial and succeed, within its
+// attempt budget.
+func TestRetryFlappingListener(t *testing.T) {
+	srv := newServer(t)
+	addr := srv.Addr()
+	c, err := client.ConnectOpts(addr, clientReg(t), client.Options{
+		DialTimeout: 2 * time.Second,
+		Retry:       &client.RetryPolicy{MaxAttempts: 6, BaseDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`SELECT 1`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = srv.Close()
+	// Rebind the same address behind the client's back.
+	reg := blade.NewRegistry()
+	core.MustRegister(reg)
+	db := engine.New(reg)
+	srv2, err := server.Listen(db, addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	if _, err := c.Exec(`SELECT 1`, nil); err != nil {
+		t.Fatalf("retried statement failed: %v", err)
+	}
+	if v, _ := c.Metrics().Snapshot().Get("client.retries"); v < 1 {
+		t.Errorf("client.retries = %v, want >= 1", v)
+	}
+}
+
+// TestNonIdempotentNotRetried: when the transport dies under a write,
+// the statement's fate is unknown and the client must NOT retry it.
+func TestNonIdempotentNotRetried(t *testing.T) {
+	srv := newServer(t)
+	addr := srv.Addr()
+	c, err := client.ConnectOpts(addr, clientReg(t), client.Options{
+		DialTimeout: 2 * time.Second,
+		Retry:       &client.RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	before, _ := c.Metrics().Snapshot().Get("client.retries")
+	if _, err := c.Exec(`INSERT INTO t VALUES (1)`, nil); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("want ErrConnClosed for unretried write, got %v", err)
+	}
+	if after, _ := c.Metrics().Snapshot().Get("client.retries"); after != before {
+		t.Errorf("non-idempotent statement was retried (%v -> %v)", before, after)
+	}
+}
+
+// TestRetryBudgetExhausted: with no server ever coming back, the retry
+// loop must stop at its attempt budget, not spin forever.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv := newServer(t)
+	c, err := client.ConnectOpts(srv.Addr(), clientReg(t), client.Options{
+		DialTimeout: 500 * time.Millisecond,
+		Retry:       &client.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = srv.Close()
+	start := time.Now()
+	if _, err := c.Exec(`SELECT 1`, nil); err == nil {
+		t.Fatal("statement succeeded against a dead server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("retry budget took %v: loop not bounded", elapsed)
+	}
+	if v, _ := c.Metrics().Snapshot().Get("client.retries"); v != 2 {
+		t.Errorf("client.retries = %v, want 2 (3 attempts)", v)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	p := &client.RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := p.BaseDelay << (attempt - 1)
+		if want > p.MaxDelay {
+			want = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+		if want < prevMax {
+			t.Fatalf("backoff ceiling decreased at attempt %d", attempt)
+		}
+		prevMax = want
+	}
+}
+
+func TestIdempotentSQL(t *testing.T) {
+	for sql, want := range map[string]bool{
+		"SELECT * FROM t":          true,
+		"  select 1":               true,
+		"EXPLAIN SELECT 1":         true,
+		"INSERT INTO t VALUES (1)": false,
+		"UPDATE t SET a = 1":       false,
+		"DELETE FROM t":            false,
+		"BEGIN":                    false,
+		"":                         false,
+	} {
+		if got := client.IdempotentSQL(sql); got != want {
+			t.Errorf("IdempotentSQL(%q) = %v, want %v", sql, got, want)
+		}
+	}
+}
+
+// TestDriverContextCancelled: a context already cancelled surfaces as
+// the context's error through the database/sql driver path.
+func TestDriverContextCancelled(t *testing.T) {
+	srv := newServer(t)
+	c, err := client.Connect(srv.Addr(), clientReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecContext(ctx, `SELECT 1`, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The connection is untouched — the statement was never sent.
+	if _, err := c.Exec(`SELECT 1`, nil); err != nil {
+		t.Fatalf("connection unusable after pre-cancelled ctx: %v", err)
+	}
+}

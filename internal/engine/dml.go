@@ -59,6 +59,11 @@ func (s *Session) insert(st *ast.Insert, params map[string]types.Value) (*exec.R
 		}
 	}
 
+	// Last cancel point: once the first row applies, the statement runs
+	// to completion so cancellation can never leave a partial insert.
+	if err := env.CancelErr(); err != nil {
+		return nil, err
+	}
 	affected := 0
 	for _, in := range incoming {
 		if len(in) != len(cols) {
@@ -128,6 +133,11 @@ func (s *Session) update(st *ast.Update, params map[string]types.Value) (*exec.R
 	if err != nil {
 		return nil, err
 	}
+	// Last cancel point: the WHERE scan above polls the token per row;
+	// once the first row mutates, the update runs to completion.
+	if err := env.CancelErr(); err != nil {
+		return nil, err
+	}
 	for _, id := range ids {
 		old, _ := tbl.Heap.Get(id)
 		row := make(exec.Row, len(old))
@@ -177,6 +187,10 @@ func (s *Session) deleteRows(st *ast.Delete, params map[string]types.Value) (*ex
 	if err != nil {
 		return nil, err
 	}
+	// Last cancel point before the first row is deleted (see update).
+	if err := env.CancelErr(); err != nil {
+		return nil, err
+	}
 	for _, id := range ids {
 		old, err := tbl.Heap.Delete(id)
 		if err != nil {
@@ -195,7 +209,13 @@ func (s *Session) deleteRows(st *ast.Delete, params map[string]types.Value) (*ex
 func (s *Session) matchingRows(tbl *exec.Table, env *exec.Env, where exec.RowExpr) ([]int, error) {
 	var ids []int
 	var scanErr error
+	var ticks uint32
 	tbl.Heap.Scan(func(id int, r exec.Row) bool {
+		if ticks++; ticks&63 == 0 {
+			if scanErr = env.CancelErr(); scanErr != nil {
+				return false
+			}
+		}
 		if where != nil {
 			v, err := where(env, r)
 			if err != nil {

@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -121,6 +122,14 @@ type Session struct {
 	cache       *planCache
 	tr          obs.Trace // reused phase trace; armed on sampled statements
 	stmtSeq     uint64    // statements executed; drives trace sampling
+
+	// cancel is the session's statement-cancellation token; see
+	// cancel.go for the lifecycle. stmtTimeout caps each statement's
+	// wall time (0 = none); defaultTimeout is what SET
+	// STATEMENT_TIMEOUT = DEFAULT reverts to.
+	cancel         exec.Token
+	stmtTimeout    time.Duration
+	defaultTimeout time.Duration
 }
 
 // NewSession opens a session.
@@ -170,6 +179,14 @@ func (s *Session) Exec(sql string, params map[string]types.Value) (*exec.Result,
 		return nil, err
 	}
 	s.tr.Mark(&s.tr.Parse)
+	// The cancel token covers exactly one statement: arm the timeout
+	// timer (when configured), run, then clear the token so a cancel
+	// cannot leak into the next statement and the session stays usable.
+	defer s.cancel.Reset()
+	if d := s.stmtTimeout; d > 0 {
+		timer := time.AfterFunc(d, func() { s.cancel.Cancel(exec.CauseTimeout) })
+		defer timer.Stop()
+	}
 	res, err := s.execLogged(stmt, sql, params)
 	s.obsFinish(stmt, sql)
 	return res, err
@@ -268,6 +285,11 @@ func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*
 		switch {
 		case err != nil:
 			o.errors.Inc()
+			if errors.Is(err, exec.ErrCancelled) {
+				o.cancelled.Inc()
+			} else if errors.Is(err, exec.ErrTimeout) {
+				o.timeouts.Inc()
+			}
 		case res != nil:
 			if n := len(res.Rows); n > 0 {
 				o.rowsRead.Add(uint64(n))
@@ -320,6 +342,8 @@ func (s *Session) execLocked(stmt ast.Statement, params map[string]types.Value) 
 		return s.rollback()
 	case *ast.SetNow:
 		return s.setNow(st, params)
+	case *ast.SetTimeout:
+		return s.setTimeout(st, params)
 	case *ast.ShowTables:
 		res := &exec.Result{Cols: []string{"table"}}
 		for _, n := range s.db.cat.TableNames() {
@@ -349,6 +373,7 @@ func (s *Session) env(params map[string]types.Value) *exec.Env {
 			t, ok := s.db.tables[strings.ToLower(name)]
 			return t, ok
 		},
+		Cancel: &s.cancel,
 	}
 }
 

@@ -81,11 +81,13 @@ type obsState struct {
 	slowNs     atomic.Int64  // slow-query threshold; 0 disables the log
 	slowLog    atomic.Value  // func(string)
 
-	stmts    [nKinds]*obs.Counter
-	lats     [nKinds]*obs.Histogram
-	errors   *obs.Counter
-	rowsRead *obs.Counter
-	rowsWrit *obs.Counter
+	stmts     [nKinds]*obs.Counter
+	lats      [nKinds]*obs.Histogram
+	errors    *obs.Counter
+	cancelled *obs.Counter
+	timeouts  *obs.Counter
+	rowsRead  *obs.Counter
+	rowsWrit  *obs.Counter
 
 	pcHits      *obs.Counter
 	pcMisses    *obs.Counter
@@ -110,6 +112,8 @@ func newObsState() *obsState {
 		o.lats[k] = o.reg.Histogram("stmt." + kindNames[k] + ".latency")
 	}
 	o.errors = o.reg.Counter("stmt.errors")
+	o.cancelled = o.reg.Counter("stmt.cancelled")
+	o.timeouts = o.reg.Counter("stmt.timeout")
 	o.rowsRead = o.reg.Counter("rows.read")
 	o.rowsWrit = o.reg.Counter("rows.written")
 	o.pcHits = o.reg.Counter("plancache.hits")

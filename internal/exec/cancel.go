@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Cooperative statement cancellation. A Token is shared between the
+// goroutine executing a statement and whoever wants to abort it (the
+// server's connection reader on MsgCancel, a statement-timeout timer).
+// The executor polls the token inside every row loop — scans, joins,
+// aggregation, DISTINCT, sort and set operations — so a runaway query
+// stops within a bounded number of rows of the cancel, without any
+// locking on the hot path.
+//
+// The polls are rationed: the runtime checks the token once every
+// cancelCheckRows loop iterations, so the steady-state cost is one
+// local counter increment per row and one atomic load per batch.
+
+// CancelCause says why a statement was aborted.
+type CancelCause int32
+
+const (
+	causeNone CancelCause = iota
+	// CauseCancelled is an explicit abort (MsgCancel, Conn.Cancel).
+	CauseCancelled
+	// CauseTimeout is a statement deadline expiring.
+	CauseTimeout
+)
+
+var (
+	// ErrCancelled reports a statement aborted by an explicit cancel.
+	ErrCancelled = errors.New("exec: statement cancelled")
+	// ErrTimeout reports a statement aborted by its statement timeout.
+	ErrTimeout = errors.New("exec: statement timeout exceeded")
+)
+
+// Token is a single-statement cancellation flag. The zero value is
+// ready to use and not cancelled. All methods are safe for concurrent
+// use.
+type Token struct {
+	state atomic.Int32
+}
+
+// Cancel flags the token with the given cause. The first cause wins;
+// later cancels of an already-cancelled token are no-ops, so a timeout
+// firing just after a client cancel still reports "cancelled".
+func (t *Token) Cancel(cause CancelCause) {
+	if cause == causeNone {
+		return
+	}
+	t.state.CompareAndSwap(int32(causeNone), int32(cause))
+}
+
+// Reset re-arms the token for the next statement.
+func (t *Token) Reset() { t.state.Store(int32(causeNone)) }
+
+// Err returns nil while the token is live, or the typed cancellation
+// error once it has been cancelled.
+func (t *Token) Err() error {
+	switch CancelCause(t.state.Load()) {
+	case CauseCancelled:
+		return ErrCancelled
+	case CauseTimeout:
+		return ErrTimeout
+	default:
+		return nil
+	}
+}
+
+// cancelCheckRows is how many loop iterations pass between token polls;
+// must be a power of two. At typical scan speeds (millions of rows per
+// second) this bounds cancellation latency to well under a millisecond.
+const cancelCheckRows = 64
+
+// CancelErr polls the environment's cancel token (nil-safe).
+func (e *Env) CancelErr() error {
+	if e.Cancel == nil {
+		return nil
+	}
+	return e.Cancel.Err()
+}
+
+// checkCancel is the executor's rationed cancel point: call it once per
+// row-loop iteration; it polls the token every cancelCheckRows calls.
+func (rt *runtime) checkCancel() error {
+	rt.ticks++
+	if rt.ticks&(cancelCheckRows-1) != 0 {
+		return nil
+	}
+	return rt.env.CancelErr()
+}

@@ -488,6 +488,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			groups := make(map[string]*group)
 			var order []*group
 			for _, fr := range fromRows {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				rt.push(fr)
 				vals := make([]types.Value, groupByN)
 				for i, ge := range groupKeyExprs {
@@ -563,6 +566,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			}
 		} else {
 			for _, fr := range fromRows {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				rt.push(fr)
 				e, err := projectRow(rt)
 				rt.pop()
@@ -581,6 +587,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			seen := make(map[string]struct{}, len(out))
 			kept := out[:0]
 			for _, e := range out {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				k := rt.rowKey(e.row)
 				if _, dup := seen[k]; dup {
 					continue
@@ -601,6 +610,13 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			}
 			var sortErr error
 			sort.SliceStable(out, func(i, j int) bool {
+				if sortErr != nil {
+					return false
+				}
+				if err := rt.checkCancel(); err != nil {
+					sortErr = err
+					return false
+				}
 				for k, o := range orders {
 					c, err := orderCompare(rt, out[i].keys[k], out[j].keys[k])
 					if err != nil {

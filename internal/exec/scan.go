@@ -146,6 +146,9 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 	scan := func(rt *runtime, candidates []int) ([]Row, error) {
 		var out []Row
 		consider := func(r Row) error {
+			if err := rt.checkCancel(); err != nil {
+				return err
+			}
 			ok, err := evalFilters(rt, filters, r)
 			if err != nil {
 				return err
@@ -413,6 +416,9 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 	var joined []Row
 	colType := src.tbl.Meta.Columns[pc.col].Type
 	for _, a := range acc {
+		if err := rt.checkCancel(); err != nil {
+			return nil, err
+		}
 		rt.push(a)
 		pv, err := pc.probe(rt)
 		rt.pop()
@@ -448,6 +454,9 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 			continue
 		}
 		for _, id := range ids {
+			if err := rt.checkCancel(); err != nil {
+				return nil, err
+			}
 			sr, live := src.tbl.Heap.Get(id)
 			if !live {
 				continue
@@ -578,6 +587,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 		if level == 0 {
 			acc = make([]Row, 0, len(srcRows))
 			for _, sr := range srcRows {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				full := make(Row, width)
 				copy(full[src.off:], sr)
 				ok, err := evalFilters(rt, levelFilters[0], full)
@@ -592,6 +604,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 		}
 		var joined []Row
 		merge := func(a Row, sr Row) (Row, bool, error) {
+			if err := rt.checkCancel(); err != nil {
+				return nil, false, err
+			}
 			m := make(Row, width)
 			copy(m, a)
 			copy(m[src.off:], sr)
@@ -602,6 +617,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 			for _, a := range acc {
 				matched := false
 				for _, sr := range srcRows {
+					if err := rt.checkCancel(); err != nil {
+						return nil, err
+					}
 					m := make(Row, width)
 					copy(m, a)
 					copy(m[src.off:], sr)
@@ -649,6 +667,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 			buildMap := make(map[string][]Row, len(srcRows))
 			tmp := make(Row, width)
 			for _, sr := range srcRows {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				for i := range tmp {
 					tmp[i] = types.Value{T: types.TNull, Null: true}
 				}
@@ -666,6 +687,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 				buildMap[k] = append(buildMap[k], sr)
 			}
 			for _, a := range acc {
+				if err := rt.checkCancel(); err != nil {
+					return nil, err
+				}
 				rt.push(a)
 				kv, err := hc.probe(rt)
 				rt.pop()

@@ -115,6 +115,10 @@ type Env struct {
 	Params map[string]types.Value
 	// Lookup resolves a table name to its runtime state.
 	Lookup func(name string) (*Table, bool)
+	// Cancel, when non-nil, is polled by every executor row loop; a
+	// cancelled token aborts the statement with its typed error (see
+	// cancel.go). nil means the statement cannot be cancelled.
+	Cancel *Token
 }
 
 // Ctx returns the blade evaluation context for this environment.
@@ -122,10 +126,11 @@ func (e *Env) Ctx() *blade.Ctx { return &blade.Ctx{Now: e.Now} }
 
 // runtime is the per-execution state: the environment plus the scope
 // stack of rows for correlated evaluation. rows[len-1] is the innermost
-// scope.
+// scope. ticks counts row-loop iterations to ration cancel polls.
 type runtime struct {
-	env  *Env
-	rows []Row
+	env   *Env
+	rows  []Row
+	ticks uint32
 }
 
 func (rt *runtime) push(r Row) { rt.rows = append(rt.rows, r) }

@@ -104,25 +104,32 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 			case p.op == "UNION" && p.all:
 				rows = append(rows, rres.Rows...)
 			case p.op == "UNION":
-				rows = dedup(rt, append(rows, rres.Rows...))
+				rows, err = dedup(rt, append(rows, rres.Rows...))
 			case p.op == "EXCEPT":
 				right := keySet(rt, rres.Rows)
-				var kept []Row
-				for _, r := range dedup(rt, rows) {
-					if _, hit := right[rt.rowKey(r)]; !hit {
-						kept = append(kept, r)
+				var kept, deduped []Row
+				if deduped, err = dedup(rt, rows); err == nil {
+					for _, r := range deduped {
+						if _, hit := right[rt.rowKey(r)]; !hit {
+							kept = append(kept, r)
+						}
 					}
+					rows = kept
 				}
-				rows = kept
 			case p.op == "INTERSECT":
 				right := keySet(rt, rres.Rows)
-				var kept []Row
-				for _, r := range dedup(rt, rows) {
-					if _, hit := right[rt.rowKey(r)]; hit {
-						kept = append(kept, r)
+				var kept, deduped []Row
+				if deduped, err = dedup(rt, rows); err == nil {
+					for _, r := range deduped {
+						if _, hit := right[rt.rowKey(r)]; hit {
+							kept = append(kept, r)
+						}
 					}
+					rows = kept
 				}
-				rows = kept
+			}
+			if err != nil {
+				return nil, err
 			}
 			if p.st != nil {
 				p.st.record(pStart, len(rows))
@@ -131,6 +138,13 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 		if len(orders) > 0 {
 			var sortErr error
 			sort.SliceStable(rows, func(i, j int) bool {
+				if sortErr != nil {
+					return false
+				}
+				if err := rt.checkCancel(); err != nil {
+					sortErr = err
+					return false
+				}
 				for _, o := range orders {
 					cmp, err := orderCompare(rt, rows[i][o.idx], rows[j][o.idx])
 					if err != nil {
@@ -178,10 +192,13 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 }
 
 // dedup removes duplicate rows by key, preserving first occurrence.
-func dedup(rt *runtime, rows []Row) []Row {
+func dedup(rt *runtime, rows []Row) ([]Row, error) {
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0:0]
 	for _, r := range rows {
+		if err := rt.checkCancel(); err != nil {
+			return nil, err
+		}
 		k := rt.rowKey(r)
 		if _, dup := seen[k]; dup {
 			continue
@@ -189,7 +206,7 @@ func dedup(rt *runtime, rows []Row) []Row {
 		seen[k] = struct{}{}
 		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
 // keySet builds the key set of rows.

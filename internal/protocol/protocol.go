@@ -43,6 +43,35 @@ const (
 	MsgError
 	MsgQuit
 	MsgStats
+	// MsgCancel (client→server, no body) asks the server to abort the
+	// connection's in-flight statement. It is fire-and-forget: the
+	// server sends no reply to the cancel itself; the cancelled
+	// statement answers with MsgError carrying ErrCodeCancelled. A
+	// cancel that arrives with no statement running aborts the next
+	// statement on the connection (at most one statement is ever
+	// cancelled per MsgCancel).
+	MsgCancel
+)
+
+// Error codes carried by MsgError frames (after the message string), so
+// clients can react to a failure class without parsing text. A frame
+// without a code byte is ErrCodeGeneric — the SQL-error case, where the
+// connection stays usable.
+const (
+	// ErrCodeGeneric is an ordinary statement error (SQL or engine).
+	ErrCodeGeneric byte = iota
+	// ErrCodeCancelled reports a statement aborted by MsgCancel.
+	ErrCodeCancelled
+	// ErrCodeTimeout reports a statement aborted by the statement
+	// timeout.
+	ErrCodeTimeout
+	// ErrCodeBusy reports admission-control rejection (connection limit
+	// or load shedding); the statement never ran and a retry after
+	// backoff is safe.
+	ErrCodeBusy
+	// ErrCodeShutdown reports a server that is draining: the statement
+	// never ran and the connection is about to close.
+	ErrCodeShutdown
 )
 
 // Version identifies the protocol revision.
@@ -74,14 +103,22 @@ func WriteFrame(w *bufio.Writer, payload []byte) error {
 	return w.Flush()
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame, bounded by MaxFrame.
 func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit reads one length-prefixed frame, rejecting any frame
+// whose declared payload exceeds limit — the receive-path mirror of the
+// WAL's frame bound, so a hostile peer cannot force a huge allocation
+// by declaring an absurd length.
+func ReadFrameLimit(r *bufio.Reader, limit uint64) ([]byte, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
 	}
-	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	if n > limit {
+		return nil, fmt.Errorf("%w: frame of %d bytes (limit %d)", ErrProtocol, n, limit)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -312,9 +349,33 @@ func DecodeStats(body []byte) (obs.Snapshot, error) {
 	return snap, nil
 }
 
-// EncodeError builds a MsgError payload.
+// EncodeError builds a MsgError payload with no code byte
+// (ErrCodeGeneric).
 func EncodeError(msg string) []byte {
 	return AppendString([]byte{MsgError}, msg)
+}
+
+// EncodeErrorCode builds a MsgError payload carrying an error code.
+func EncodeErrorCode(code byte, msg string) []byte {
+	return append(AppendString([]byte{MsgError}, msg), code)
+}
+
+// DecodeError parses a MsgError body (after the kind byte): the
+// message, plus the error code when the frame carries one
+// (ErrCodeGeneric otherwise).
+func DecodeError(body []byte) (msg string, code byte, err error) {
+	msg, rest, err := ReadString(body)
+	if err != nil {
+		return "", 0, err
+	}
+	switch len(rest) {
+	case 0:
+		return msg, ErrCodeGeneric, nil
+	case 1:
+		return msg, rest[0], nil
+	default:
+		return "", 0, fmt.Errorf("%w: trailing error bytes", ErrProtocol)
+	}
 }
 
 // DecodeString parses a single-string body (hello, welcome, error).

@@ -2,6 +2,22 @@
 // wire protocol — the DBMS process of the paper's Figure 1. Each
 // connection gets its own engine session, so transactions and SET NOW
 // what-if overrides stay per-client.
+//
+// The server is hardened against slow, hostile and overloading peers:
+//
+//   - Every connection runs a dedicated reader goroutine, so a
+//     MsgCancel frame interrupts the session's in-flight statement even
+//     while the executor is busy. Other frames flow to the executor
+//     through an unbuffered channel, which also bounds per-connection
+//     in-flight work to one executing statement plus one buffered frame.
+//   - A connection may idle forever, but once the first byte of a frame
+//     arrives the rest must follow within the read timeout (slowloris
+//     defense), and the frame must fit the receive bound.
+//   - Admission control: connections beyond the connection limit and
+//     queries beyond the in-flight watermark are answered with a typed
+//     "busy" error instead of queueing without bound.
+//   - Shutdown stops accepting, lets in-flight statements finish within
+//     a drain deadline, then interrupts whatever is left.
 package server
 
 import (
@@ -10,30 +26,49 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tip/internal/engine"
 	"tip/internal/obs"
 	"tip/internal/protocol"
 )
 
+// DefaultReadTimeout bounds how long a started frame may take to arrive.
+const DefaultReadTimeout = 10 * time.Second
+
 // Server serves one database over a listener.
 type Server struct {
-	db     *engine.Database
-	ln     net.Listener
-	logf   func(format string, args ...any)
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	db   *engine.Database
+	ln   net.Listener
+	logf func(format string, args ...any)
+
+	stmtTimeout time.Duration // per-statement cap for every session (0 = none)
+	maxConns    int           // connection limit (0 = unlimited)
+	maxInflight int64         // executing-statement watermark (0 = unlimited)
+	readTimeout time.Duration // per-frame read deadline
+	maxFrame    uint64        // receive-path frame bound
+
+	mu       sync.Mutex
+	conns    map[net.Conn]*engine.Session
+	closed   bool
+	drainCh  chan struct{} // closed by Shutdown: finish the current frame, then exit
+	wg       sync.WaitGroup
+	nConns   atomic.Int64 // live connections (admission control)
+	inflight atomic.Int64 // executing statements across all connections
 
 	// Connection-layer counters, registered in the engine's metrics
 	// registry so MsgStats and the HTTP endpoint report them alongside
 	// the engine's own.
-	cConns    *obs.Counter // accepted connections that completed handshake
-	cRejected *obs.Counter // rejected handshakes
-	cQueries  *obs.Counter // MsgQuery frames served
-	cErrors   *obs.Counter // queries answered with MsgError
+	cConns     *obs.Counter // accepted connections that completed handshake
+	cRejected  *obs.Counter // rejected handshakes
+	cQueries   *obs.Counter // MsgQuery frames served
+	cErrors    *obs.Counter // queries answered with MsgError
+	cShed      *obs.Counter // work rejected by admission control
+	cCancels   *obs.Counter // MsgCancel frames handled
+	cSlowReads *obs.Counter // frames that missed the read deadline
 }
 
 // Option configures a Server.
@@ -44,6 +79,35 @@ func WithLogger(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithStmtTimeout caps every statement's execution time. Sessions can
+// lower or raise their own cap with SET STATEMENT_TIMEOUT; DEFAULT
+// reverts to this value. Zero (the default) means no cap.
+func WithStmtTimeout(d time.Duration) Option {
+	return func(s *Server) { s.stmtTimeout = d }
+}
+
+// WithMaxConns limits concurrent connections; connections beyond the
+// limit are answered with a "server busy" error and closed. Zero (the
+// default) means unlimited.
+func WithMaxConns(n int) Option {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithMaxInflight sets the load-shedding watermark: when this many
+// statements are already executing, further queries are answered with a
+// "server busy" error instead of queueing. The connection stays open.
+// Zero (the default) means unlimited.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = int64(n) }
+}
+
+// WithReadTimeout bounds how long a frame may take to arrive once its
+// first byte has been read (a connection may idle indefinitely between
+// frames). Zero disables the bound; the default is DefaultReadTimeout.
+func WithReadTimeout(d time.Duration) Option {
+	return func(s *Server) { s.readTimeout = d }
+}
+
 // Listen starts a server on addr (e.g. "127.0.0.1:5432" or ":0").
 func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -52,18 +116,25 @@ func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 	}
 	m := db.Metrics()
 	s := &Server{
-		db:        db,
-		ln:        ln,
-		logf:      func(string, ...any) {},
-		conns:     make(map[net.Conn]struct{}),
-		cConns:    m.Counter("server.connections"),
-		cRejected: m.Counter("server.handshake.rejected"),
-		cQueries:  m.Counter("server.queries"),
-		cErrors:   m.Counter("server.errors"),
+		db:          db,
+		ln:          ln,
+		logf:        func(string, ...any) {},
+		readTimeout: DefaultReadTimeout,
+		maxFrame:    protocol.MaxFrame,
+		conns:       make(map[net.Conn]*engine.Session),
+		drainCh:     make(chan struct{}),
+		cConns:      m.Counter("server.connections"),
+		cRejected:   m.Counter("server.handshake.rejected"),
+		cQueries:    m.Counter("server.queries"),
+		cErrors:     m.Counter("server.errors"),
+		cShed:       m.Counter("server.shed"),
+		cCancels:    m.Counter("server.cancels"),
+		cSlowReads:  m.Counter("conn.slow_reads"),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	m.RegisterFunc("server.inflight", func() float64 { return float64(s.inflight.Load()) })
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -72,8 +143,18 @@ func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 // Addr returns the listener's address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and closes every live connection.
-func (s *Server) Close() error {
+// Close stops the server immediately: in-flight statements are
+// interrupted and every connection is closed. Equivalent to
+// Shutdown(0).
+func (s *Server) Close() error { return s.Shutdown(0) }
+
+// Shutdown stops the server gracefully: the listener closes at once (no
+// new connections), idle connections are released, and in-flight
+// statements get up to drain to finish and deliver their results. Past
+// the deadline, remaining statements are interrupted and their
+// connections closed. Queries arriving on live connections during the
+// drain are answered with a "shutting down" error.
+func (s *Server) Shutdown(drain time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -81,11 +162,32 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	err := s.ln.Close()
-	for c := range s.conns {
+	close(s.drainCh)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if drain > 0 {
+		timer := time.NewTimer(drain)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return err
+		case <-timer.C:
+		}
+	}
+	// Past the drain deadline (or an immediate Close): interrupt every
+	// in-flight statement and tear the connections down.
+	s.mu.Lock()
+	for c, sess := range s.conns {
+		sess.Interrupt()
 		_ = c.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	<-done
 	return err
 }
 
@@ -96,21 +198,60 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return
+		if n := s.nConns.Add(1); s.maxConns > 0 && n > int64(s.maxConns) {
+			s.nConns.Add(-1)
+			s.cShed.Inc()
+			s.wg.Add(1)
+			go s.rejectConn(conn)
+			continue
 		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// rejectConn answers an over-limit connection with a typed busy error so
+// the client can back off, rather than silently dropping it.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	w := bufio.NewWriter(conn)
+	if err := protocol.WriteFrame(w, protocol.EncodeErrorCode(protocol.ErrCodeBusy, "server busy: connection limit reached")); err == nil {
+		_ = w.Flush()
+	}
+}
+
+// readFrame reads one frame, letting the connection idle indefinitely
+// but bounding the time from first byte to complete frame.
+func (s *Server) readFrame(conn net.Conn, r *bufio.Reader) ([]byte, error) {
+	_ = conn.SetReadDeadline(time.Time{})
+	if _, err := r.Peek(1); err != nil {
+		return nil, err
+	}
+	if s.readTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+	}
+	frame, err := protocol.ReadFrameLimit(r, s.maxFrame)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		s.cSlowReads.Inc()
+	}
+	return frame, err
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.nConns.Add(-1)
+	sess := s.db.NewSession()
+	sess.SetDefaultStmtTimeout(s.stmtTimeout)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = sess
+	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -119,10 +260,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	sess := s.db.NewSession()
 
-	// Handshake.
-	frame, err := protocol.ReadFrame(r)
+	// Handshake (subject to the frame read deadline, so a peer cannot
+	// hold a connection slot by trickling the hello).
+	frame, err := s.readFrame(conn, r)
 	if err != nil || len(frame) == 0 || frame[0] != protocol.MsgHello {
 		s.cRejected.Inc()
 		s.logf("server: bad handshake from %s", conn.RemoteAddr())
@@ -145,13 +286,49 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
-	for {
-		frame, err := protocol.ReadFrame(r)
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				s.logf("server: read: %v", err)
+	// Dedicated reader: MsgCancel is handled here, inline, so it can
+	// interrupt a statement the executor loop below is still running.
+	// Everything else flows through the unbuffered frames channel. The
+	// reader exits when the connection dies or when serveConn returns
+	// (closing the conn unblocks the pending read; readerDone unblocks a
+	// pending send).
+	frames := make(chan []byte)
+	readerDone := make(chan struct{})
+	defer close(readerDone)
+	go func() {
+		defer close(frames)
+		for {
+			frame, err := s.readFrame(conn, r)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					s.logf("server: read: %v", err)
+				}
+				return
 			}
+			if len(frame) > 0 && frame[0] == protocol.MsgCancel {
+				s.cCancels.Inc()
+				sess.Interrupt()
+				continue
+			}
+			select {
+			case frames <- frame:
+			case <-readerDone:
+				return
+			}
+		}
+	}()
+
+	for {
+		var frame []byte
+		var ok bool
+		select {
+		case <-s.drainCh:
+			// Draining and between statements: release the connection.
 			return
+		case frame, ok = <-frames:
+			if !ok {
+				return
+			}
 		}
 		if len(frame) == 0 {
 			return
@@ -166,25 +343,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		case protocol.MsgQuery:
 			s.cQueries.Inc()
 			connQueries++
-			q, err := protocol.DecodeQuery(s.db.Registry(), frame[1:])
-			if err != nil {
-				s.cErrors.Inc()
-				connErrors++
-				if werr := protocol.WriteFrame(w, protocol.EncodeError(err.Error())); werr != nil {
-					return
-				}
-				continue
-			}
-			res, err := sess.Exec(q.SQL, q.Params)
-			var payload []byte
-			if err != nil {
-				s.cErrors.Inc()
-				connErrors++
-				payload = protocol.EncodeError(err.Error())
-			} else {
-				payload = protocol.EncodeResult(res)
-			}
+			payload, fatal := s.runQuery(sess, frame[1:], &connErrors)
 			if err := protocol.WriteFrame(w, payload); err != nil {
+				return
+			}
+			if fatal {
 				return
 			}
 		default:
@@ -193,4 +356,51 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// runQuery executes one MsgQuery body and builds the reply payload.
+// fatal reports that the connection should close after the reply is
+// delivered (the server is draining).
+func (s *Server) runQuery(sess *engine.Session, body []byte, connErrors *uint64) (payload []byte, fatal bool) {
+	select {
+	case <-s.drainCh:
+		return protocol.EncodeErrorCode(protocol.ErrCodeShutdown, "server shutting down"), true
+	default:
+	}
+	if max := s.maxInflight; max > 0 {
+		if n := s.inflight.Add(1); n > max {
+			s.inflight.Add(-1)
+			s.cShed.Inc()
+			return protocol.EncodeErrorCode(protocol.ErrCodeBusy, "server busy: too many statements in flight"), false
+		}
+		defer s.inflight.Add(-1)
+	} else {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+	}
+	q, err := protocol.DecodeQuery(s.db.Registry(), body)
+	if err != nil {
+		s.cErrors.Inc()
+		*connErrors++
+		return protocol.EncodeError(err.Error()), false
+	}
+	res, err := sess.Exec(q.SQL, q.Params)
+	if err != nil {
+		s.cErrors.Inc()
+		*connErrors++
+		return encodeExecError(err), false
+	}
+	return protocol.EncodeResult(res), false
+}
+
+// encodeExecError maps an engine error to a MsgError payload, attaching
+// the wire code for the failure classes clients react to.
+func encodeExecError(err error) []byte {
+	switch {
+	case errors.Is(err, engine.ErrCancelled):
+		return protocol.EncodeErrorCode(protocol.ErrCodeCancelled, err.Error())
+	case errors.Is(err, engine.ErrTimeout):
+		return protocol.EncodeErrorCode(protocol.ErrCodeTimeout, err.Error())
+	}
+	return protocol.EncodeError(err.Error())
 }

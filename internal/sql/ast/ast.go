@@ -159,6 +159,16 @@ type SetNow struct {
 	Value Expr
 }
 
+// SetTimeout is SET STATEMENT_TIMEOUT = <expr> or = DEFAULT. It caps
+// how long each subsequent statement of the session may run before it
+// is cancelled with a timeout error. The value is an integer
+// (milliseconds) or a duration string ('250ms', '2s'); 0 disables the
+// cap, DEFAULT reverts to the server-configured default.
+type SetTimeout struct {
+	// Value is nil for SET STATEMENT_TIMEOUT = DEFAULT.
+	Value Expr
+}
+
 // ShowTables is SHOW TABLES.
 type ShowTables struct{}
 
@@ -184,6 +194,7 @@ func (*Begin) stmt()       {}
 func (*Commit) stmt()      {}
 func (*Rollback) stmt()    {}
 func (*SetNow) stmt()      {}
+func (*SetTimeout) stmt()  {}
 func (*ShowTables) stmt()  {}
 func (*Describe) stmt()    {}
 func (*Explain) stmt()     {}

@@ -492,18 +492,29 @@ func (p *parser) delete() (ast.Statement, error) {
 
 func (p *parser) set() (ast.Statement, error) {
 	p.advance() // SET
-	if !p.accept("NOW") {
-		return nil, p.errf("only SET NOW is supported")
+	timeout := false
+	switch {
+	case p.accept("NOW"):
+	case p.accept("STATEMENT_TIMEOUT"):
+		timeout = true
+	default:
+		return nil, p.errf("only SET NOW and SET STATEMENT_TIMEOUT are supported")
 	}
 	if err := p.expectSymbol("="); err != nil {
 		return nil, err
 	}
 	if p.accept("DEFAULT") {
+		if timeout {
+			return &ast.SetTimeout{}, nil
+		}
 		return &ast.SetNow{}, nil
 	}
 	e, err := p.expr()
 	if err != nil {
 		return nil, err
+	}
+	if timeout {
+		return &ast.SetTimeout{Value: e}, nil
 	}
 	return &ast.SetNow{Value: e}, nil
 }

@@ -218,9 +218,10 @@ func (db *DB) SetClock(now Chronon) {
 }
 
 // Serve exposes the database over TCP with the TIP wire protocol; see
-// internal/client for the matching client library.
-func (db *DB) Serve(addr string) (*server.Server, error) {
-	return server.Listen(db.eng, addr)
+// internal/client for the matching client library. Options configure
+// statement timeouts, admission control and read deadlines.
+func (db *DB) Serve(addr string, opts ...server.Option) (*server.Server, error) {
+	return server.Listen(db.eng, addr, opts...)
 }
 
 // Session opens a new session (its own transactions and NOW override).
