@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
 # disjoint tables, so plain `go test` is not enough), the crash-recovery
-# torture subset, the wire-fault torture subset, and the
-# metrics-overhead smoke.
-check: vet build race crash-smoke netfault-smoke obs-smoke
+# torture subset, the wire-fault torture subset, the MVCC snapshot
+# smoke, and the metrics-overhead smoke.
+check: vet build race crash-smoke netfault-smoke mvcc-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,17 @@ netfault-smoke:
 # a short randomized burst beyond the checked-in corpus.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzWALFrame -fuzztime 10s ./internal/engine
+
+# mvcc-smoke exercises the MVCC snapshot layer under the race detector:
+# snapshot atomicity beside concurrent writers (plain, hash-index and
+# period-index scans), rollback targeting, horizon-gated slot reuse,
+# zero goroutine leaks and GC of superseded versions — then runs the
+# disjoint-writer benchmark with and without the scanning analyst so the
+# analyst's cost to writers stays visible (scans never take locks, so
+# any gap is pure CPU competition).
+mvcc-smoke:
+	$(GO) test -race -run 'TestMVCC' -count=1 ./internal/engine
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDisjointWriters(PerTable|NoAnalyst)$$' -benchtime 200ms .
 
 # obs-smoke compares writer throughput with the metrics subsystem on
 # (BenchmarkDisjointWritersPerTable) and off (...PerTableNoObs). The

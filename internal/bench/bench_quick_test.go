@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -98,6 +99,15 @@ func TestE8Agrees(t *testing.T) {
 }
 
 func TestE9WritersFaster(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The experiment measures parallel disjoint writers against a
+		// global-lock ablation. On a single CPU there is no parallelism
+		// to win: fine-grained locking only stops the analyst from
+		// being starved by the coarse lock, so the analyst's scans eat
+		// the one core and writers measure "slower" no matter the
+		// locking discipline.
+		t.Skip("needs >= 2 CPUs to measure a parallel-writer speedup")
+	}
 	tab := E9([]int{2}, 200, 80*time.Millisecond)
 	if len(tab.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tab.Rows))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tip/internal/engine"
+	"tip/internal/temporal"
 	"tip/internal/types"
 	"tip/internal/workload"
 )
@@ -86,6 +87,12 @@ func JSONResults(rows int) []Result {
 		durabilityOpsPerSec(data, engine.SyncGrouped, 0)
 	insert.Metrics["durability.sync_every.ops_per_sec"] =
 		durabilityOpsPerSec(data, engine.SyncEveryAppend, 0)
+	// The MVCC dimension: insert throughput with and without a
+	// snapshot-scanning analyst on a disjoint table. Scans take no
+	// locks, so the gap between the two is the CPU the scans burn, not
+	// lock waits (it therefore widens on single-core machines).
+	insert.Metrics["mvcc.no_analyst.ops_per_sec"] = mvccOpsPerSec(false, 300*time.Millisecond)
+	insert.Metrics["mvcc.analyst.ops_per_sec"] = mvccOpsPerSec(true, 300*time.Millisecond)
 
 	coalesce := jsonScenario("coalesce", "select",
 		[]string{"plancache.hit_rate", "rows.read"},
@@ -125,6 +132,66 @@ func JSONResults(rows int) []Result {
 		})
 
 	return []Result{insert, coalesce, join}
+}
+
+// mvccOpsPerSec measures single-writer insert throughput, optionally
+// beside an analyst looping temporal full scans over a disjoint table —
+// the BenchmarkDisjointWriters pair as one machine-readable number.
+func mvccOpsPerSec(analyst bool, runFor time.Duration) float64 {
+	sess, _ := NewTIPDB()
+	db := sess.Database()
+	if _, err := sess.Exec(`CREATE TABLE rx (a INT, valid Element)`, nil); err != nil {
+		panic(err)
+	}
+	elementT, _ := db.Registry().LookupType("Element")
+	base := temporal.MustDate(1998, 1, 1)
+	p := map[string]types.Value{}
+	for i := 0; i < 200; i++ {
+		lo := base + temporal.Chronon(int64(i%1000)*86400)
+		p["a"] = types.NewInt(int64(i))
+		p["v"] = types.NewUDT(elementT, temporal.MustPeriod(lo, lo+10*86400).Element())
+		if _, err := sess.Exec(`INSERT INTO rx VALUES (:a, :v)`, p); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := sess.Exec(`CREATE TABLE w (a INT)`, nil); err != nil {
+		panic(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !analyst {
+			return
+		}
+		a := db.NewSession()
+		q := `SELECT COUNT(*) FROM rx WHERE overlaps(valid, '[1998-03-01, 1998-03-10]')`
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := a.Exec(q, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+	writer := db.NewSession()
+	wp := map[string]types.Value{"a": types.NewInt(1)}
+	n := int64(0)
+	start := time.Now()
+	deadline := start.Add(runFor)
+	for time.Now().Before(deadline) {
+		if _, err := writer.Exec(`INSERT INTO w VALUES (:a)`, wp); err != nil {
+			panic(err)
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	return float64(n) / elapsed.Seconds()
 }
 
 // durabilityOpsPerSec measures insert throughput on a fresh WAL-backed

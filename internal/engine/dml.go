@@ -5,15 +5,23 @@ import (
 	"strings"
 
 	"tip/internal/exec"
-	"tip/internal/index"
 	"tip/internal/sql/ast"
-	"tip/internal/temporal"
 	"tip/internal/txn"
 	"tip/internal/types"
 )
 
 // DML execution: INSERT, UPDATE, DELETE with NOT NULL enforcement,
 // implicit assignment casts, index maintenance and undo logging.
+//
+// Each statement opens a TableWriter over the table's latest version
+// (the pinned snapshot of a written table is the latest version, since
+// the snapshot is captured after the write lock is held), applies every
+// row change to the writer, and publishes atomically with Commit. Any
+// error discards the writer, so readers never observe a partial
+// statement and failed statements leave no trace. Undo entries are
+// buffered and flushed to the open transaction only after Commit — a
+// discarded writer must not leave undo entries addressing rows that
+// were never published.
 
 func (s *Session) insert(st *ast.Insert, params map[string]types.Value) (*exec.Result, error) {
 	tbl, ok := s.db.tables[strings.ToLower(st.Table)]
@@ -59,14 +67,18 @@ func (s *Session) insert(st *ast.Insert, params map[string]types.Value) (*exec.R
 		}
 	}
 
-	// Last cancel point: once the first row applies, the statement runs
-	// to completion so cancellation can never leave a partial insert.
+	// Last cancel point: once the writer opens, the statement runs to
+	// completion (or discards wholesale), so cancellation can never
+	// leave a partial insert.
 	if err := env.CancelErr(); err != nil {
 		return nil, err
 	}
-	affected := 0
+	now := s.Now()
+	w := s.beginWrite(tbl)
+	var undo []txn.Entry
 	for _, in := range incoming {
 		if len(in) != len(cols) {
+			w.Discard()
 			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(in), len(cols))
 		}
 		row := make(exec.Row, len(tbl.Meta.Columns))
@@ -76,26 +88,27 @@ func (s *Session) insert(st *ast.Insert, params map[string]types.Value) (*exec.R
 		for i, pos := range cols {
 			cv, err := s.coerce(in[i], tbl.Meta.Columns[pos].Type)
 			if err != nil {
+				w.Discard()
 				return nil, fmt.Errorf("engine: column %s: %w", tbl.Meta.Columns[pos].Name, err)
 			}
 			row[pos] = cv
 		}
 		for i, col := range tbl.Meta.Columns {
 			if col.NotNull && row[i].Null {
+				w.Discard()
 				return nil, fmt.Errorf("engine: column %s is NOT NULL", col.Name)
 			}
 		}
-		id := tbl.Heap.Insert(row)
-		if err := s.indexRow(tbl, id, row); err != nil {
-			_, _ = tbl.Heap.Delete(id)
+		id := w.Insert(row)
+		if err := w.IndexRow(id, row, now); err != nil {
+			w.Discard()
 			return nil, err
 		}
-		if s.tx != nil {
-			s.tx.Log(txn.Entry{Op: txn.OpInsert, Table: tbl.Meta.Name, RowID: id})
-		}
-		affected++
+		undo = append(undo, txn.Entry{Op: txn.OpInsert, Table: tbl.Meta.Name, RowID: id})
 	}
-	return &exec.Result{Affected: affected}, nil
+	w.Commit()
+	s.logUndo(undo)
+	return &exec.Result{Affected: len(incoming)}, nil
 }
 
 func (s *Session) update(st *ast.Update, params map[string]types.Value) (*exec.Result, error) {
@@ -134,39 +147,50 @@ func (s *Session) update(st *ast.Update, params map[string]types.Value) (*exec.R
 		return nil, err
 	}
 	// Last cancel point: the WHERE scan above polls the token per row;
-	// once the first row mutates, the update runs to completion.
+	// once the writer opens, the update commits or discards wholesale.
 	if err := env.CancelErr(); err != nil {
 		return nil, err
 	}
+	now := s.Now()
+	w := s.beginWrite(tbl)
+	var undo []txn.Entry
 	for _, id := range ids {
-		old, _ := tbl.Heap.Get(id)
+		old, ok := w.Get(id)
+		if !ok {
+			continue
+		}
 		row := make(exec.Row, len(old))
 		copy(row, old)
 		for _, set := range setters {
 			v, err := set.e(env, old)
 			if err != nil {
+				w.Discard()
 				return nil, err
 			}
 			cv, err := s.coerce(v, tbl.Meta.Columns[set.pos].Type)
 			if err != nil {
+				w.Discard()
 				return nil, fmt.Errorf("engine: column %s: %w", tbl.Meta.Columns[set.pos].Name, err)
 			}
 			if tbl.Meta.Columns[set.pos].NotNull && cv.Null {
+				w.Discard()
 				return nil, fmt.Errorf("engine: column %s is NOT NULL", tbl.Meta.Columns[set.pos].Name)
 			}
 			row[set.pos] = cv
 		}
-		s.unindexRow(tbl, id, old)
-		if _, err := tbl.Heap.Update(id, row); err != nil {
+		w.UnindexRow(id, old, now)
+		if _, err := w.Update(id, row); err != nil {
+			w.Discard()
 			return nil, err
 		}
-		if err := s.indexRow(tbl, id, row); err != nil {
+		if err := w.IndexRow(id, row, now); err != nil {
+			w.Discard()
 			return nil, err
 		}
-		if s.tx != nil {
-			s.tx.Log(txn.Entry{Op: txn.OpUpdate, Table: tbl.Meta.Name, RowID: id, Old: old})
-		}
+		undo = append(undo, txn.Entry{Op: txn.OpUpdate, Table: tbl.Meta.Name, RowID: id, Old: old})
 	}
+	w.Commit()
+	s.logUndo(undo)
 	return &exec.Result{Affected: len(ids)}, nil
 }
 
@@ -187,30 +211,48 @@ func (s *Session) deleteRows(st *ast.Delete, params map[string]types.Value) (*ex
 	if err != nil {
 		return nil, err
 	}
-	// Last cancel point before the first row is deleted (see update).
+	// Last cancel point before the writer opens (see update).
 	if err := env.CancelErr(); err != nil {
 		return nil, err
 	}
+	now := s.Now()
+	w := s.beginWrite(tbl)
+	var undo []txn.Entry
 	for _, id := range ids {
-		old, err := tbl.Heap.Delete(id)
+		old, err := w.Delete(id)
 		if err != nil {
+			w.Discard()
 			return nil, err
 		}
-		s.unindexRow(tbl, id, old)
-		if s.tx != nil {
-			s.tx.Log(txn.Entry{Op: txn.OpDelete, Table: tbl.Meta.Name, RowID: id, Old: old})
-		}
+		w.UnindexRow(id, old, now)
+		undo = append(undo, txn.Entry{Op: txn.OpDelete, Table: tbl.Meta.Name, RowID: id, Old: old})
 	}
+	w.Commit()
+	s.logUndo(undo)
 	return &exec.Result{Affected: len(ids)}, nil
 }
 
+// logUndo flushes a committed statement's buffered undo entries to the
+// open transaction, if any.
+func (s *Session) logUndo(undo []txn.Entry) {
+	if s.tx == nil {
+		return
+	}
+	for _, e := range undo {
+		s.tx.Log(e)
+	}
+}
+
 // matchingRows collects the ids of rows satisfying the (optional) WHERE
-// predicate, before any mutation begins.
+// predicate against the statement's pinned snapshot, before any
+// mutation begins. For a written table the pinned snapshot is the
+// latest version (captured under the write lock), so the id set is
+// exact.
 func (s *Session) matchingRows(tbl *exec.Table, env *exec.Env, where exec.RowExpr) ([]int, error) {
 	var ids []int
 	var scanErr error
 	var ticks uint32
-	tbl.Heap.Scan(func(id int, r exec.Row) bool {
+	s.snap(tbl).Rows.Scan(func(id int, r exec.Row) bool {
 		if ticks++; ticks&63 == 0 {
 			if scanErr = env.CancelErr(); scanErr != nil {
 				return false
@@ -240,53 +282,4 @@ func (s *Session) matchingRows(tbl *exec.Table, env *exec.Env, where exec.RowExp
 // coerce applies assignment coercion to a column type.
 func (s *Session) coerce(v types.Value, to *types.Type) (types.Value, error) {
 	return s.db.reg.ImplicitConvert(s.env(nil).Ctx(), v, to)
-}
-
-// indexRow adds a row to every index of its table.
-func (s *Session) indexRow(tbl *exec.Table, id int, row exec.Row) error {
-	now := s.Now()
-	for pos, ix := range tbl.Hash {
-		if !row[pos].Null {
-			ix.Add(row[pos].Key(now), id)
-		}
-	}
-	for pos, ix := range tbl.Periods {
-		if err := addPeriodEntries(ix, row[pos], id); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// unindexRow removes a row from every index of its table.
-func (s *Session) unindexRow(tbl *exec.Table, id int, row exec.Row) {
-	now := s.Now()
-	for pos, ix := range tbl.Hash {
-		if !row[pos].Null {
-			ix.Remove(row[pos].Key(now), id)
-		}
-	}
-	for _, ix := range tbl.Periods {
-		ix.Remove(id)
-	}
-}
-
-// addPeriodEntries indexes a temporal value's periods.
-func addPeriodEntries(ix *index.Period, v types.Value, id int) error {
-	if v.Null {
-		return nil
-	}
-	switch obj := v.Obj().(type) {
-	case temporal.Element:
-		ix.AddElement(obj, id)
-	case temporal.Period:
-		ix.AddPeriod(obj, id)
-	case temporal.Chronon:
-		ix.AddPeriod(obj.Period(), id)
-	case temporal.Instant:
-		ix.AddPeriod(temporal.Period{Start: obj, End: obj}, id)
-	default:
-		return fmt.Errorf("engine: PERIOD index cannot index %s values", v.T)
-	}
-	return nil
 }

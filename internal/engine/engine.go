@@ -60,6 +60,13 @@ type Database struct {
 	wal    *wal      // nil unless EnableWAL was called
 	obs    *obsState // metrics registry + statement instrumentation
 
+	// MVCC state: vclock is the version clock stamping every writer
+	// statement (the in-memory extension of the WAL epoch/seq pair —
+	// see DESIGN.md), hz tracks which old sequences open transactions
+	// and in-flight statement snapshots still reach.
+	vclock atomic.Uint64
+	hz     *horizonTracker
+
 	// Durability state. epoch is the current durability epoch (stamped
 	// on snapshots and WAL frames; bumped by Checkpoint) and walSeq the
 	// last WAL frame sequence number; both are guarded by mu and fed by
@@ -85,6 +92,7 @@ func New(reg *blade.Registry) *Database {
 		locks:  make(map[string]*sync.RWMutex),
 		tm:     txn.NewManager(),
 		obs:    newObsState(),
+		hz:     newHorizonTracker(),
 	}
 	db.syncInterval.Store(int64(2 * time.Millisecond))
 	return db
@@ -130,6 +138,10 @@ type Session struct {
 	cancel         exec.Token
 	stmtTimeout    time.Duration
 	defaultTimeout time.Duration
+
+	// snaps holds the table versions the current statement pinned at
+	// start (lower-cased table name → version); see captureSnaps.
+	snaps map[string]*exec.TableVersion
 }
 
 // NewSession opens a session.
@@ -331,11 +343,16 @@ func (s *Session) execLocked(stmt ast.Statement, params map[string]types.Value) 
 			return nil, fmt.Errorf("engine: transaction already open")
 		}
 		s.tx = s.db.tm.Begin()
+		// Pin the reclamation horizon at the version clock: row slots
+		// this transaction's undo log will reference must not be
+		// reused until it ends.
+		s.db.hz.beginTxn(s.tx.ID, s.db.vclock.Load())
 		return &exec.Result{}, nil
 	case *ast.Commit:
 		if s.tx == nil {
 			return nil, fmt.Errorf("engine: no open transaction")
 		}
+		s.db.hz.endTxn(s.tx.ID)
 		s.tx = nil // undo log discarded; changes are already applied
 		return &exec.Result{}, nil
 	case *ast.Rollback:
@@ -372,6 +389,10 @@ func (s *Session) env(params map[string]types.Value) *exec.Env {
 		Lookup: func(name string) (*exec.Table, bool) {
 			t, ok := s.db.tables[strings.ToLower(name)]
 			return t, ok
+		},
+		Snap: func(name string) (*exec.TableVersion, bool) {
+			v, ok := s.snaps[strings.ToLower(name)]
+			return v, ok
 		},
 		Cancel: &s.cancel,
 	}
@@ -433,20 +454,21 @@ func (s *Session) createIndex(st *ast.CreateIndex) (*exec.Result, error) {
 		return nil, fmt.Errorf("engine: no column %s in table %s", st.Column, st.Table)
 	}
 	colType := tbl.Meta.Columns[pos].Type
+	snap := tbl.Snapshot()
 	kind := catalog.HashIndex
 	if st.Period {
 		kind = catalog.PeriodIndex
 		if colType.Kind != types.KindUDT {
 			return nil, fmt.Errorf("engine: PERIOD index requires a temporal column, not %s", colType)
 		}
-		if tbl.Periods[pos] != nil {
+		if snap.Periods[pos] != nil {
 			return nil, fmt.Errorf("engine: column %s already has a period index", st.Column)
 		}
 	} else {
 		if colType.Kind == types.KindUDT && !colType.UDT.StableKey {
 			return nil, fmt.Errorf("engine: type %s has NOW-dependent values; use a PERIOD index", colType)
 		}
-		if tbl.Hash[pos] != nil {
+		if snap.Hash[pos] != nil {
 			return nil, fmt.Errorf("engine: column %s already has a hash index", st.Column)
 		}
 	}
@@ -455,30 +477,50 @@ func (s *Session) createIndex(st *ast.CreateIndex) (*exec.Result, error) {
 	}); err != nil {
 		return nil, err
 	}
-	// Build over existing rows.
+	// Build over the existing rows and install as a new table version.
+	// The catalog lock is held exclusively, so no statement is in
+	// flight and the version chain stays linear.
 	now := s.Now()
+	nv := &exec.TableVersion{
+		Seq:     s.db.vclock.Add(1),
+		Rows:    snap.Rows,
+		Hash:    snap.Hash,
+		Periods: snap.Periods,
+	}
 	if st.Period {
-		ix := index.NewPeriod()
+		pb := index.NewPeriodBuilder(nil)
 		var buildErr error
-		tbl.Heap.Scan(func(id int, r exec.Row) bool {
-			buildErr = addPeriodEntries(ix, r[pos], id)
+		snap.Rows.Scan(func(id int, r exec.Row) bool {
+			buildErr = exec.AddPeriodEntries(pb, r[pos], id)
 			return buildErr == nil
 		})
 		if buildErr != nil {
 			_ = s.db.cat.DropIndex(st.Name)
 			return nil, buildErr
 		}
-		tbl.Periods[pos] = ix
+		nv.Periods = make(map[int]*index.Period, len(snap.Periods)+1)
+		for p, ix := range snap.Periods {
+			nv.Periods[p] = ix
+		}
+		nv.Periods[pos] = pb.Commit()
 	} else {
 		ix := index.NewHash()
-		tbl.Heap.Scan(func(id int, r exec.Row) bool {
+		snap.Rows.Scan(func(id int, r exec.Row) bool {
 			if !r[pos].Null {
-				ix.Add(r[pos].Key(now), id)
+				// Born at sequence zero: the index only becomes
+				// reachable through nv, so every snapshot that can see
+				// it sees all existing rows.
+				ix.Add(r[pos].Key(now), id, 0, 0)
 			}
 			return true
 		})
-		tbl.Hash[pos] = ix
+		nv.Hash = make(map[int]*index.Hash, len(snap.Hash)+1)
+		for p, h := range snap.Hash {
+			nv.Hash[p] = h
+		}
+		nv.Hash[pos] = ix
 	}
+	tbl.Install(nv)
 	return &exec.Result{}, nil
 }
 
@@ -489,11 +531,29 @@ func (s *Session) dropIndex(st *ast.DropIndex) (*exec.Result, error) {
 	}
 	tbl := s.db.tables[strings.ToLower(im.Table)]
 	pos, _ := tbl.Meta.ColumnIndex(im.Column)
-	if im.Kind == catalog.PeriodIndex {
-		delete(tbl.Periods, pos)
-	} else {
-		delete(tbl.Hash, pos)
+	snap := tbl.Snapshot()
+	nv := &exec.TableVersion{
+		Seq:     s.db.vclock.Add(1),
+		Rows:    snap.Rows,
+		Hash:    snap.Hash,
+		Periods: snap.Periods,
 	}
+	if im.Kind == catalog.PeriodIndex {
+		nv.Periods = make(map[int]*index.Period, len(snap.Periods))
+		for p, ix := range snap.Periods {
+			if p != pos {
+				nv.Periods[p] = ix
+			}
+		}
+	} else {
+		nv.Hash = make(map[int]*index.Hash, len(snap.Hash))
+		for p, h := range snap.Hash {
+			if p != pos {
+				nv.Hash[p] = h
+			}
+		}
+	}
+	tbl.Install(nv)
 	return &exec.Result{}, s.db.cat.DropIndex(st.Name)
 }
 
@@ -534,34 +594,55 @@ func (s *Session) rollback() (*exec.Result, error) {
 	}
 	tx := s.tx
 	s.tx = nil
+	// One writer per touched table; undo entries apply newest-first
+	// across tables, then every writer publishes. The transaction's
+	// horizon registration stays until the end so the slots its undo
+	// log references were never reused.
+	writers := make(map[string]*exec.TableWriter)
+	discardAll := func() {
+		for _, w := range writers {
+			w.Discard()
+		}
+		s.db.hz.endTxn(tx.ID)
+	}
+	now := s.Now()
 	for _, e := range tx.UndoEntries() {
-		tbl, ok := s.db.tables[strings.ToLower(e.Table)]
+		key := strings.ToLower(e.Table)
+		tbl, ok := s.db.tables[key]
 		if !ok {
+			discardAll()
 			return nil, fmt.Errorf("engine: rollback references dropped table %s", e.Table)
 		}
-		// Maintain indexes around the heap change.
+		w, ok := writers[key]
+		if !ok {
+			w = s.beginWrite(tbl)
+			writers[key] = w
+		}
+		// Maintain indexes around the row change.
 		switch e.Op {
-		case txn.OpInsert:
-			if row, ok := tbl.Heap.Get(e.RowID); ok {
-				s.unindexRow(tbl, e.RowID, row)
-			}
-		case txn.OpUpdate:
-			if row, ok := tbl.Heap.Get(e.RowID); ok {
-				s.unindexRow(tbl, e.RowID, row)
+		case txn.OpInsert, txn.OpUpdate:
+			if row, ok := w.Get(e.RowID); ok {
+				w.UnindexRow(e.RowID, row, now)
 			}
 		}
-		if err := txn.Apply(tbl.Heap, e); err != nil {
+		if err := txn.Apply(w, e); err != nil {
+			discardAll()
 			return nil, err
 		}
 		switch e.Op {
 		case txn.OpDelete, txn.OpUpdate:
-			if row, ok := tbl.Heap.Get(e.RowID); ok {
-				if err := s.indexRow(tbl, e.RowID, row); err != nil {
+			if row, ok := w.Get(e.RowID); ok {
+				if err := w.IndexRow(e.RowID, row, now); err != nil {
+					discardAll()
 					return nil, err
 				}
 			}
 		}
 	}
+	for _, w := range writers {
+		w.Commit()
+	}
+	s.db.hz.endTxn(tx.ID)
 	return &exec.Result{}, nil
 }
 

@@ -9,30 +9,36 @@ import (
 	"tip/internal/sql/ast"
 )
 
-// Two-level locking. The catalog lock (Database.mu) guards the schema,
-// the tables/locks maps and the WAL handle; per-table RWMutexes guard
-// row data and indexes. A statement's lock footprint is decided up
-// front from its AST (exec.StatementTables), before any shared state is
-// touched:
+// Locking and snapshot acquisition. The catalog lock (Database.mu)
+// guards the schema, the tables/locks maps and the WAL handle;
+// per-table RWMutexes serialise writers. A statement's footprint is
+// decided up front from its AST (exec.StatementTables), before any
+// shared state is touched:
 //
-//   - DDL and ROLLBACK-less statements that reshape the schema take the
-//     catalog lock exclusively and need nothing else.
+//   - DDL takes the catalog lock exclusively and needs nothing else
+//     (exclusive catalog hold implies no statement is in flight, so DDL
+//     may install new table versions directly).
 //   - Everything that binds rows takes the catalog lock shared, then
-//     the locks of exactly the tables it binds — written tables
-//     exclusively, read tables shared — in sorted name order, so two
-//     statements can never acquire the same pair of locks in opposite
-//     orders.
+//     the write locks of exactly the tables it writes, in sorted name
+//     order. Read tables take no lock at all: the statement pins an
+//     immutable version snapshot of every footprint table instead
+//     (captureSnaps), so one long scan never blocks a writer and
+//     vice versa.
 //   - ROLLBACK writes the tables named in the transaction's undo log.
 //   - BEGIN, COMMIT and SET NOW = DEFAULT touch only session-local
 //     state and lock nothing.
+//
+// SET NOW = <value> in particular now takes no table locks: its value
+// subquery reads through pinned snapshots like any other read, so it
+// cannot block behind an unrelated table's writer.
 //
 // Table locks are only ever acquired while the catalog lock is held
 // shared, and only ever created/deleted while it is held exclusively,
 // so the locks map is stable during acquisition and a dropped table's
 // lock can never be mid-acquisition.
 
-// lockFor acquires every lock stmt needs and returns the matching
-// release function.
+// lockFor acquires every lock stmt needs, pins the statement's table
+// snapshots, and returns the matching release function.
 func (s *Session) lockFor(stmt ast.Statement) func() {
 	db := s.db
 	if db.coarse.Load() {
@@ -50,7 +56,7 @@ func (s *Session) lockFor(stmt ast.Statement) func() {
 			return func() {}
 		}
 		reads, writes := exec.StatementTables(stmt)
-		return db.lockTables(reads, writes)
+		return s.lockTables(reads, writes)
 	case *ast.Rollback:
 		var writes []string
 		if s.tx != nil {
@@ -63,20 +69,22 @@ func (s *Session) lockFor(stmt ast.Statement) func() {
 				}
 			}
 		}
-		return db.lockTables(nil, writes)
+		return s.lockTables(nil, writes)
 	default:
 		reads, writes := exec.StatementTables(stmt)
-		return db.lockTables(reads, writes)
+		return s.lockTables(reads, writes)
 	}
 }
 
-// lockTables takes the catalog lock shared plus the named table locks
-// (reads shared, writes exclusive) in sorted name order, and returns
-// the release function. Names must be lower-cased; names without a
-// registered table are skipped — the statement will fail resolution
-// under the catalog lock anyway. A name in both sets is locked
-// exclusively.
-func (db *Database) lockTables(reads, writes []string) func() {
+// lockTables takes the catalog lock shared plus the write locks of the
+// written tables in sorted name order, then pins version snapshots of
+// the whole footprint (written tables after their lock is held, so the
+// pinned version is the latest), and returns the release function.
+// Names must be lower-cased; names without a registered table are
+// skipped — the statement will fail resolution under the catalog lock
+// anyway.
+func (s *Session) lockTables(reads, writes []string) func() {
+	db := s.db
 	db.mu.RLock()
 	write := make(map[string]bool, len(reads)+len(writes))
 	for _, t := range writes {
@@ -95,12 +103,12 @@ func (db *Database) lockTables(reads, writes []string) func() {
 	}
 	sort.Strings(names)
 	obsOn := db.obs.enabled()
-	held := make([]*sync.RWMutex, len(names))
-	for i, t := range names {
-		held[i] = db.locks[t]
+	var held []*sync.RWMutex
+	for _, t := range names {
 		if obsOn {
 			// Per-table op counters, counted on the same filtered name
-			// list the locks use (nonexistent tables never reach here).
+			// list the snapshots use (nonexistent tables never reach
+			// here).
 			to := db.obs.tableOf(t)
 			if write[t] {
 				to.writes.Inc()
@@ -109,18 +117,16 @@ func (db *Database) lockTables(reads, writes []string) func() {
 			}
 		}
 		if write[t] {
-			held[i].Lock()
-		} else {
-			held[i].RLock()
+			l := db.locks[t]
+			l.Lock()
+			held = append(held, l)
 		}
 	}
+	s.captureSnaps(names)
 	return func() {
-		for i := len(names) - 1; i >= 0; i-- {
-			if write[names[i]] {
-				held[i].Unlock()
-			} else {
-				held[i].RUnlock()
-			}
+		s.releaseSnaps()
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].Unlock()
 		}
 		db.mu.RUnlock()
 	}

@@ -6,13 +6,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 
 	"tip/internal/catalog"
 	"tip/internal/exec"
 	"tip/internal/sql/ast"
+	"tip/internal/storage"
 	"tip/internal/types"
 )
 
@@ -64,22 +64,13 @@ func (db *Database) Save(path string) error {
 
 // save snapshots the database under the given epoch stamp.
 func (db *Database) save(path string, epoch uint64) error {
-	// Writers run under a shared catalog lock, so a consistent snapshot
-	// needs every table's read lock too (sorted order, like any
-	// multi-table statement).
+	// Each table's latest published version is immutable, so encoding
+	// needs no table locks: one atomic load per table yields a
+	// per-table-consistent snapshot even while writers run. (Checkpoint
+	// additionally quiesces writers via db.ckpt for WAL-epoch
+	// coordination; a plain Save does not need to.)
 	db.mu.RLock()
-	names := make([]string, 0, len(db.tables))
-	for k := range db.tables {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		db.locks[n].RLock()
-	}
 	buf := db.encodeSnapshot(epoch)
-	for i := len(names) - 1; i >= 0; i-- {
-		db.locks[names[i]].RUnlock()
-	}
 	db.mu.RUnlock()
 	if err := writeFileAtomic(path, buf); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
@@ -150,8 +141,9 @@ func (db *Database) encodeSnapshot(epoch uint64) []byte {
 				buf = append(buf, 0)
 			}
 		}
-		buf = binary.AppendUvarint(buf, uint64(tbl.Heap.Len()))
-		tbl.Heap.Scan(func(_ int, r exec.Row) bool {
+		rows := tbl.Snapshot().Rows
+		buf = binary.AppendUvarint(buf, uint64(rows.Len()))
+		rows.Scan(func(_ int, r exec.Row) bool {
 			for _, v := range r {
 				buf = v.AppendBinary(buf)
 			}
@@ -206,6 +198,9 @@ func (db *Database) Load(path string) error {
 	db.tables = stage.tables
 	db.locks = stage.locks
 	db.epoch = epoch
+	// Index rebuilds bumped the staging version clock; carry it over so
+	// post-load writer sequences stay above every installed version.
+	db.vclock.Store(stage.vclock.Load())
 	return nil
 }
 
@@ -274,6 +269,7 @@ func (db *Database) decodeSnapshot(data []byte) (uint64, error) {
 			return 0, err
 		}
 		data = rest
+		b := storage.NewVersion().NewBuilder(0, 0)
 		for range rowCount {
 			row := make(exec.Row, len(cols))
 			for i, c := range cols {
@@ -284,8 +280,9 @@ func (db *Database) decodeSnapshot(data []byte) (uint64, error) {
 				row[i] = v
 				data = rest
 			}
-			tbl.Heap.Insert(row)
+			b.Insert(row)
 		}
+		tbl.Install(&exec.TableVersion{Rows: b.Commit()})
 	}
 	indexCount, data, err := readUvarint(data)
 	if err != nil {

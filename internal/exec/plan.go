@@ -33,6 +33,9 @@ type source struct {
 	schema   Schema
 	off      int    // slot offset within the full-width from row
 	tbl      *Table // nil for derived tables
+	// snap is the table version this statement reads (set with tbl);
+	// every row and index access of the source goes through it.
+	snap     *TableVersion
 	leftJoin bool
 	on       []cexpr // LEFT JOIN condition conjuncts (bound to fromScope)
 	// pushed holds the compiled single-source filters (set by bindScan);

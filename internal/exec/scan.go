@@ -42,7 +42,7 @@ func (b *binder) bindSource(ref ast.TableRef, parent *bindScope) (*source, error
 	for i, c := range tbl.Meta.Columns {
 		schema[i] = ColMeta{Table: binding, Name: c.Name, Type: c.Type}
 	}
-	return &source{binding: binding, schema: schema, tbl: tbl}, nil
+	return &source{binding: binding, schema: schema, tbl: tbl, snap: b.env.Snapshot(ref.Table, tbl)}, nil
 }
 
 // bindScan compiles a table scan with its pushed-down filters, choosing a
@@ -50,7 +50,7 @@ func (b *binder) bindSource(ref ast.TableRef, parent *bindScope) (*source, error
 // re-checked against every filter, so conservative index results stay
 // sound.
 func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (func(rt *runtime) ([]Row, error), error) {
-	tbl := src.tbl
+	tbl, snap := src.tbl, src.snap
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: internal: bindScan on derived table %s", src.binding)
 	}
@@ -83,7 +83,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 				if err != nil {
 					continue
 				}
-				if tbl.Hash[pos] == nil || b.refsSource(try[1], src.schema) {
+				if snap.Hash[pos] == nil || b.refsSource(try[1], src.schema) {
 					continue
 				}
 				pc, err := b.bind(try[1], parent)
@@ -115,7 +115,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 				if err != nil {
 					continue
 				}
-				if tbl.Periods[pos] == nil || b.refsSource(try[1], src.schema) {
+				if snap.Periods[pos] == nil || b.refsSource(try[1], src.schema) {
 					continue
 				}
 				pc, err := b.bind(try[1], parent)
@@ -162,7 +162,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 		}
 		if candidates != nil {
 			for _, id := range candidates {
-				if r, ok := tbl.Heap.Get(id); ok {
+				if r, ok := snap.Rows.Get(id); ok {
 					if err := consider(r); err != nil {
 						return nil, err
 					}
@@ -171,7 +171,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 			return out, nil
 		}
 		var scanErr error
-		tbl.Heap.Scan(func(_ int, r Row) bool {
+		snap.Rows.Scan(func(_ int, r Row) bool {
 			scanErr = consider(r)
 			return scanErr == nil
 		})
@@ -199,10 +199,10 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 				// converted to the column type.
 				return scan(rt, nil)
 			}
-			ids := tbl.Hash[probe.col].Lookup(cv.Key(rt.env.Now))
+			ids := snap.Hash[probe.col].Lookup(cv.Key(rt.env.Now), snap.Seq)
 			return scan(rt, ids)
 		case "period":
-			ids, ok, err := periodCandidates(rt, tbl, probe.col, colType, pv)
+			ids, ok, err := periodCandidates(rt, snap, probe.col, colType, pv)
 			if err != nil {
 				return nil, err
 			}
@@ -218,7 +218,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 // periodCandidates probes a period index with a value convertible to the
 // indexed column's type; ok is false when the probe cannot be mapped to
 // intervals.
-func periodCandidates(rt *runtime, tbl *Table, col int, colType *types.Type, pv types.Value) ([]int, bool, error) {
+func periodCandidates(rt *runtime, snap *TableVersion, col int, colType *types.Type, pv types.Value) ([]int, bool, error) {
 	cv, err := rt.env.Reg.ImplicitConvert(rt.env.Ctx(), pv, colType)
 	if err != nil {
 		// The probe might be a narrower temporal value (e.g. a Period
@@ -226,7 +226,7 @@ func periodCandidates(rt *runtime, tbl *Table, col int, colType *types.Type, pv 
 		cv = pv
 	}
 	now := rt.env.Now
-	ix := tbl.Periods[col]
+	ix := snap.Periods[col]
 	switch obj := cv.Obj().(type) {
 	case temporal.Element:
 		return ix.SearchElement(obj, now), true, nil
@@ -340,7 +340,7 @@ func (b *binder) tryPeriodJoin(c ast.Expr, level int, set uint64, sources []*sou
 		if err != nil {
 			continue
 		}
-		if src.tbl.Periods[pos] == nil {
+		if src.snap.Periods[pos] == nil {
 			continue
 		}
 		other := call.Args[1-i]
@@ -428,7 +428,7 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 		if pv.Null {
 			continue
 		}
-		ids, ok, err := periodCandidates(rt, src.tbl, pc.col, colType, pv)
+		ids, ok, err := periodCandidates(rt, src.snap, pc.col, colType, pv)
 		if err != nil {
 			return nil, err
 		}
@@ -457,7 +457,7 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 			if err := rt.checkCancel(); err != nil {
 				return nil, err
 			}
-			sr, live := src.tbl.Heap.Get(id)
+			sr, live := src.snap.Rows.Get(id)
 			if !live {
 				continue
 			}

@@ -13,6 +13,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"tip/internal/blade"
 	"tip/internal/catalog"
@@ -85,24 +86,45 @@ type Result struct {
 	Affected int
 }
 
-// Table is the runtime state of one table: catalog metadata, the row
-// heap, and any secondary indexes keyed by column position.
-type Table struct {
-	Meta    *catalog.TableMeta
-	Heap    *storage.Heap
+// TableVersion is one immutable snapshot of a table's contents: a row
+// slab version plus the matching index versions, stamped with the
+// version-clock sequence of the writer that published it. Readers pin
+// one TableVersion per table at statement start and read it without
+// any locking. The Hash cores are shared across versions (their
+// postings are sequence-filtered against Seq); the Periods values are
+// per-version immutable.
+type TableVersion struct {
+	Seq     uint64
+	Rows    *storage.Version
 	Hash    map[int]*index.Hash
 	Periods map[int]*index.Period
 }
 
+// Table is the runtime state of one table: catalog metadata plus the
+// atomically published latest version. Writers install successors
+// under the table's write lock; readers only ever load the pointer.
+type Table struct {
+	Meta *catalog.TableMeta
+	cur  atomic.Pointer[TableVersion]
+}
+
 // NewTable returns an empty runtime table for the given metadata.
 func NewTable(meta *catalog.TableMeta) *Table {
-	return &Table{
-		Meta:    meta,
-		Heap:    storage.NewHeap(),
+	t := &Table{Meta: meta}
+	t.cur.Store(&TableVersion{
+		Rows:    storage.NewVersion(),
 		Hash:    make(map[int]*index.Hash),
 		Periods: make(map[int]*index.Period),
-	}
+	})
+	return t
 }
+
+// Snapshot returns the latest published version.
+func (t *Table) Snapshot() *TableVersion { return t.cur.Load() }
+
+// Install publishes v as the latest version. The caller must hold the
+// table's write lock (or the catalog lock exclusively, for DDL).
+func (t *Table) Install(v *TableVersion) { t.cur.Store(v) }
 
 // Env is everything a query needs at bind and run time.
 type Env struct {
@@ -115,10 +137,26 @@ type Env struct {
 	Params map[string]types.Value
 	// Lookup resolves a table name to its runtime state.
 	Lookup func(name string) (*Table, bool)
+	// Snap resolves a table name to the version snapshot the current
+	// statement pinned at start. nil (or a miss) falls back to the
+	// table's latest published version.
+	Snap func(name string) (*TableVersion, bool)
 	// Cancel, when non-nil, is polled by every executor row loop; a
 	// cancelled token aborts the statement with its typed error (see
 	// cancel.go). nil means the statement cannot be cancelled.
 	Cancel *Token
+}
+
+// Snapshot returns the version of tbl the current statement reads:
+// the pinned statement snapshot when one exists, the latest published
+// version otherwise.
+func (e *Env) Snapshot(name string, tbl *Table) *TableVersion {
+	if e.Snap != nil {
+		if v, ok := e.Snap(name); ok {
+			return v
+		}
+	}
+	return tbl.Snapshot()
 }
 
 // Ctx returns the blade evaluation context for this environment.

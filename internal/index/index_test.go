@@ -3,6 +3,7 @@ package index
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"tip/internal/temporal"
@@ -10,25 +11,119 @@ import (
 
 func TestHashIndex(t *testing.T) {
 	h := NewHash()
-	h.Add("a", 1)
-	h.Add("a", 2)
-	h.Add("b", 3)
-	if got := h.Lookup("a"); len(got) != 2 {
+	h.Add("a", 1, 1, 1)
+	h.Add("a", 2, 1, 1)
+	h.Add("b", 3, 1, 1)
+	if got := h.Lookup("a", 1); len(got) != 2 {
 		t.Errorf("lookup a = %v", got)
 	}
-	if got := h.Lookup("missing"); got != nil {
+	if got := h.Lookup("missing", 1); got != nil {
 		t.Errorf("lookup missing = %v", got)
 	}
-	h.Remove("a", 1)
-	if got := h.Lookup("a"); len(got) != 1 || got[0] != 2 {
+	h.Remove("a", 1, 2)
+	if got := h.Lookup("a", 2); len(got) != 1 || got[0] != 2 {
 		t.Errorf("after remove = %v", got)
 	}
-	h.Remove("a", 2)
-	if h.Len() != 1 {
+	// A snapshot from before the remove still sees both postings.
+	if got := h.Lookup("a", 1); len(got) != 2 {
+		t.Errorf("old snapshot after remove = %v", got)
+	}
+	// A snapshot from before an add does not see it.
+	h.Add("c", 4, 5, 5)
+	if got := h.Lookup("c", 4); len(got) != 0 {
+		t.Errorf("pre-add snapshot = %v", got)
+	}
+	h.Remove("a", 2, 3)
+	if h.Len() != 2 { // "b" and "c" still have live postings
 		t.Errorf("len = %d", h.Len())
 	}
 	// Removing a non-existent entry is a no-op.
-	h.Remove("zzz", 9)
+	h.Remove("zzz", 9, 4)
+}
+
+func TestHashUndo(t *testing.T) {
+	h := NewHash()
+	h.Add("a", 1, 1, 1)
+	// A discarded statement's add is physically removed.
+	h.Add("a", 2, 5, 1)
+	h.UndoAdd("a", 2, 5)
+	if got := h.Lookup("a", 9); len(got) != 1 || got[0] != 1 {
+		t.Errorf("after UndoAdd = %v", got)
+	}
+	// A discarded statement's remove is revived.
+	h.Remove("a", 1, 6)
+	h.UndoRemove("a", 1, 6)
+	if got := h.Lookup("a", 9); len(got) != 1 || got[0] != 1 {
+		t.Errorf("after UndoRemove = %v", got)
+	}
+	// UndoAdd of the only posting drops the key.
+	h.Add("solo", 3, 7, 1)
+	h.UndoAdd("solo", 3, 7)
+	if got := h.Lookup("solo", 9); got != nil {
+		t.Errorf("key survived UndoAdd = %v", got)
+	}
+}
+
+func TestHashDeadPostingGC(t *testing.T) {
+	h := NewHash()
+	for seq := uint64(1); seq <= 100; seq++ {
+		h.Add("k", int(seq), seq, seq)
+		h.Remove("k", int(seq), seq)
+	}
+	// Every posting died behind the horizon; one more add reclaims them.
+	h.Add("k", 999, 101, 101)
+	h.mu.RLock()
+	n := len(h.m["k"])
+	h.mu.RUnlock()
+	if n > 2 {
+		t.Errorf("dead postings not reclaimed: %d postings remain", n)
+	}
+}
+
+// TestHashConcurrentLookupRemove is the regression test for the old
+// Lookup slice-aliasing bug: Lookup used to return the live internal
+// slice while Remove swap-mutated it. Under -race this test fails on
+// that implementation; with versioned postings behind a latch the
+// scans are stable and race-free.
+func TestHashConcurrentLookupRemove(t *testing.T) {
+	h := NewHash()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Add("k", i, 1, 1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := uint64(2); seq < 2+n; seq++ {
+			h.Remove("k", int(seq-2), seq)
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// A snapshot pinned before every remove sees all ids.
+				got := h.Lookup("k", 1)
+				if len(got) != n {
+					t.Errorf("snapshot scan saw %d ids, want %d", len(got), n)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Lookup("k", 2+n); len(got) != 0 {
+		t.Errorf("after all removes = %v", got)
+	}
 }
 
 func day(d int) temporal.Chronon { return temporal.MustDate(1999, 1, 1) + temporal.Chronon(d*86400) }
@@ -38,10 +133,11 @@ func pd(lo, hi int) temporal.Period {
 }
 
 func TestPeriodIndexBasics(t *testing.T) {
-	ix := NewPeriod()
-	ix.AddPeriod(pd(0, 10), 1)
-	ix.AddPeriod(pd(20, 30), 2)
-	ix.AddPeriod(pd(5, 25), 3)
+	b := NewPeriodBuilder(nil)
+	b.AddPeriod(pd(0, 10), 1)
+	b.AddPeriod(pd(20, 30), 2)
+	b.AddPeriod(pd(5, 25), 3)
+	ix := b.Commit()
 	if ix.Len() != 3 {
 		t.Fatalf("len = %d", ix.Len())
 	}
@@ -53,17 +149,25 @@ func TestPeriodIndexBasics(t *testing.T) {
 	if got := ix.Search(day(50), day(60)); len(got) != 0 {
 		t.Errorf("out of range = %v", got)
 	}
-	ix.Remove(3)
-	got = ix.Search(day(8), day(9))
+	b = NewPeriodBuilder(ix)
+	b.Remove(3)
+	ix2 := b.Commit()
+	got = ix2.Search(day(8), day(9))
 	if len(got) != 1 || got[0] != 1 {
 		t.Errorf("after remove = %v", got)
+	}
+	// The prior version is an immutable snapshot: it still has row 3.
+	got = ix.Search(day(8), day(9))
+	if len(got) != 2 {
+		t.Errorf("old version after remove = %v", got)
 	}
 }
 
 func TestPeriodIndexElementDedup(t *testing.T) {
-	ix := NewPeriod()
+	b := NewPeriodBuilder(nil)
 	e := temporal.MustElement(pd(0, 5), pd(10, 15))
-	ix.AddElement(e, 7)
+	b.AddElement(e, 7)
+	ix := b.Commit()
 	// A query spanning both periods must report the row once.
 	got := ix.Search(day(0), day(20))
 	if len(got) != 1 || got[0] != 7 {
@@ -78,12 +182,13 @@ func TestPeriodIndexElementDedup(t *testing.T) {
 }
 
 func TestPeriodIndexNowRelativeConservative(t *testing.T) {
-	ix := NewPeriod()
+	b := NewPeriodBuilder(nil)
 	since, err := temporal.ParsePeriod("[1999-10-01, NOW]")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.AddPeriod(since, 1)
+	b.AddPeriod(since, 1)
+	ix := b.Commit()
 	// The open end is indexed to MaxChronon, so any future query window
 	// still finds it (the executor re-checks the real predicate).
 	got := ix.Search(temporal.MustDate(2010, 1, 1), temporal.MustDate(2010, 12, 31))
@@ -97,13 +202,10 @@ func TestPeriodIndexNowRelativeConservative(t *testing.T) {
 }
 
 func TestPeriodIndexEmptyBindingSkipped(t *testing.T) {
-	ix := NewPeriod()
-	// [2000-01-01, NOW] has a determinate start and relative end; it is
-	// indexed conservatively. But a determinate empty period — which
-	// MakePeriod refuses — can arrive via bounds clamping; simulate with
-	// the internal sentinel by adding an empty-binding period directly.
+	b := NewPeriodBuilder(nil)
 	p := temporal.Period{Start: temporal.AbsInstant(day(10)), End: temporal.AbsInstant(day(10))}
-	ix.AddPeriod(p, 1)
+	b.AddPeriod(p, 1)
+	ix := b.Commit()
 	if got := ix.Search(day(10), day(10)); len(got) != 1 {
 		t.Errorf("degenerate period = %v", got)
 	}
@@ -113,15 +215,16 @@ func TestPeriodIndexEmptyBindingSkipped(t *testing.T) {
 // scan over random intervals.
 func TestPeriodIndexAgainstScan(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
-	ix := NewPeriod()
+	b := NewPeriodBuilder(nil)
 	type iv struct{ lo, hi int }
 	var data []iv
 	for id := 0; id < 300; id++ {
 		lo := r.Intn(1000)
 		hi := lo + r.Intn(50)
 		data = append(data, iv{lo, hi})
-		ix.AddPeriod(pd(lo, hi), id)
+		b.AddPeriod(pd(lo, hi), id)
 	}
+	ix := b.Commit()
 	for trial := 0; trial < 100; trial++ {
 		qlo := r.Intn(1000)
 		qhi := qlo + r.Intn(100)
@@ -144,14 +247,25 @@ func TestPeriodIndexAgainstScan(t *testing.T) {
 	}
 }
 
-func TestPeriodIndexMutationInterleaved(t *testing.T) {
-	ix := NewPeriod()
-	ix.AddPeriod(pd(0, 10), 1)
-	_ = ix.Search(day(0), day(5)) // force build
-	ix.AddPeriod(pd(3, 7), 2)     // dirty again
-	got := ix.Search(day(4), day(4))
+// TestPeriodIndexVersionChain interleaves searches (which force the
+// lazy sorted build) with successor versions extending the shared log
+// in place, checking each version sees exactly its own prefix.
+func TestPeriodIndexVersionChain(t *testing.T) {
+	v1 := func() *Period {
+		b := NewPeriodBuilder(nil)
+		b.AddPeriod(pd(0, 10), 1)
+		return b.Commit()
+	}()
+	_ = v1.Search(day(0), day(5)) // force v1's build
+	b := NewPeriodBuilder(v1)
+	b.AddPeriod(pd(3, 7), 2) // in-place tail append past v1's length
+	v2 := b.Commit()
+	got := v2.Search(day(4), day(4))
 	sort.Ints(got)
 	if len(got) != 2 {
-		t.Errorf("after interleaved mutation = %v", got)
+		t.Errorf("successor search = %v", got)
+	}
+	if got := v1.Search(day(4), day(4)); len(got) != 1 {
+		t.Errorf("pinned version sees successor's append: %v", got)
 	}
 }

@@ -243,6 +243,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.nConns.Add(-1)
 	sess := s.db.NewSession()
+	// Drop the session's MVCC registrations (an abandoned open
+	// transaction would otherwise pin the reclamation horizon forever).
+	defer sess.Close()
 	sess.SetDefaultStmtTimeout(s.stmtTimeout)
 	s.mu.Lock()
 	if s.closed {

@@ -92,23 +92,32 @@ func (m *Manager) Begin() *Txn {
 	return &Txn{ID: m.nextID.Add(1), Time: m.Now()}
 }
 
-// Apply undoes one entry against the heap of its table. The caller
+// Store is the row mutation surface rollback applies undo entries
+// against — in the engine, a table writer building the next slab
+// version of the table the entry names.
+type Store interface {
+	Delete(id int) (storage.Row, error)
+	InsertAt(id int, r storage.Row) error
+	Update(id int, r storage.Row) (storage.Row, error)
+}
+
+// Apply undoes one entry against the store of its table. The caller
 // resolves the table and is responsible for index maintenance.
-func Apply(h *storage.Heap, e Entry) error {
+func Apply(st Store, e Entry) error {
 	switch e.Op {
 	case OpInsert:
 		// Undo an insert by deleting the row.
-		if _, err := h.Delete(e.RowID); err != nil {
+		if _, err := st.Delete(e.RowID); err != nil {
 			return fmt.Errorf("txn: undo insert: %w", err)
 		}
 	case OpDelete:
 		// Undo a delete by reviving the row.
-		if err := h.InsertAt(e.RowID, e.Old); err != nil {
+		if err := st.InsertAt(e.RowID, e.Old); err != nil {
 			return fmt.Errorf("txn: undo delete: %w", err)
 		}
 	case OpUpdate:
 		// Undo an update by restoring the old content.
-		if _, err := h.Update(e.RowID, e.Old); err != nil {
+		if _, err := st.Update(e.RowID, e.Old); err != nil {
 			return fmt.Errorf("txn: undo update: %w", err)
 		}
 	default:

@@ -97,7 +97,9 @@ func TestUndoOrderNewestFirst(t *testing.T) {
 }
 
 func TestApplyUndo(t *testing.T) {
-	h := storage.NewHeap()
+	// Apply runs against a slab builder in production (rollback opens a
+	// writer per table); exercise the real thing.
+	h := storage.NewVersion().NewBuilder(1, 1)
 	id0 := h.Insert(row(10))
 
 	// A "transaction": insert a row, update row 0, delete row 0... then
@@ -128,7 +130,7 @@ func TestApplyUndo(t *testing.T) {
 }
 
 func TestApplyErrors(t *testing.T) {
-	h := storage.NewHeap()
+	h := storage.NewVersion().NewBuilder(1, 1)
 	if err := Apply(h, Entry{Op: OpInsert, RowID: 5}); err == nil {
 		t.Error("undo insert of missing row should fail")
 	}
