@@ -593,6 +593,10 @@ func (s *Session) rollback() (*exec.Result, error) {
 		return nil, fmt.Errorf("engine: no open transaction")
 	}
 	tx := s.tx
+	// Bind NOW for the undo-side index maintenance before clearing the
+	// transaction: the original statements indexed under the
+	// transaction time, and undo must format the same keys.
+	now := s.Now()
 	s.tx = nil
 	// One writer per touched table; undo entries apply newest-first
 	// across tables, then every writer publishes. The transaction's
@@ -605,7 +609,6 @@ func (s *Session) rollback() (*exec.Result, error) {
 		}
 		s.db.hz.endTxn(tx.ID)
 	}
-	now := s.Now()
 	for _, e := range tx.UndoEntries() {
 		key := strings.ToLower(e.Table)
 		tbl, ok := s.db.tables[key]

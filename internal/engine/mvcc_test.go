@@ -143,6 +143,67 @@ func TestMVCCInsertAtRollbackTargetsSlot(t *testing.T) {
 	}
 }
 
+// TestMVCCStaleFreeEntryRollback is the regression test for the stale
+// free-list entry bug: a slot deleted, revived by rollback, and deleted
+// again by a second (still open) transaction leaves the first death's
+// free entry queued with a stamp already behind the horizon. A
+// concurrent insert must not reuse the slot off that stale entry — the
+// open transaction's rollback has to find its slot still dead, or the
+// whole rollback aborts with its changes left applied.
+func TestMVCCStaleFreeEntryRollback(t *testing.T) {
+	db, s1 := newMVCCDB(t)
+	mvccExec(t, s1, `CREATE TABLE t (a INT)`)
+	mvccExec(t, s1, `INSERT INTO t VALUES (0), (1), (2)`)
+
+	mvccExec(t, s1, `BEGIN`)
+	mvccExec(t, s1, `DELETE FROM t WHERE a = 1`) // frees slot 1, stamp d
+	mvccExec(t, s1, `ROLLBACK`)                  // revives slot 1; {1, d} goes stale
+
+	mvccExec(t, s1, `BEGIN`)
+	mvccExec(t, s1, `DELETE FROM t WHERE a = 1`) // frees slot 1 again, stamp n > d
+
+	s2 := db.NewSession()
+	mvccExec(t, s2, `INSERT INTO t VALUES (7)`) // d is behind the horizon; n is not
+
+	snap := db.tables["t"].Snapshot()
+	if _, ok := snap.Rows.Get(1); ok {
+		t.Fatal("stale free entry handed slot 1 out under the open transaction")
+	}
+	mvccExec(t, s1, `ROLLBACK`) // InsertAt must find slot 1 still dead
+	res := mvccExec(t, s1, `SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].Int() != 4 {
+		t.Fatalf("rows after rollback = %d, want 4", res.Rows[0][0].Int())
+	}
+	if r, ok := db.tables["t"].Snapshot().Rows.Get(1); !ok || r[0].Int() != 1 {
+		t.Fatalf("slot 1 after rollback = %v, %v; want the restored row (1)", r, ok)
+	}
+}
+
+// TestMVCCCoarseDiscardKeepsPostings runs a failing multi-row UPDATE in
+// coarse-locking mode, where nothing is registered with the horizon
+// tracker. The statement kills and re-adds hash postings row by row
+// before erroring; an uncapped reclamation horizon used to let the
+// re-add physically drop the posting the statement itself just killed,
+// so the discard could not revive it and the surviving row silently
+// vanished from equality lookups.
+func TestMVCCCoarseDiscardKeepsPostings(t *testing.T) {
+	db, s := newMVCCDB(t)
+	db.SetCoarseLocking(true)
+	mvccExec(t, s, `CREATE TABLE t (k VARCHAR(8), v INT)`)
+	mvccExec(t, s, `INSERT INTO t VALUES ('a', 1), ('a', 0)`)
+	mvccExec(t, s, `CREATE INDEX t_k ON t (k)`)
+
+	// Row 0 updates cleanly (unindex + reindex under 'a'); row 1 then
+	// divides by zero, discarding the statement.
+	if _, err := s.Exec(`UPDATE t SET v = 10 / v`, nil); err == nil {
+		t.Fatal("UPDATE with a zero divisor should fail")
+	}
+	res := mvccExec(t, s, `SELECT COUNT(*) FROM t WHERE k = 'a'`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("equality lookup after discarded UPDATE = %d rows, want 2", res.Rows[0][0].Int())
+	}
+}
+
 // TestMVCCReadersOffLockTable holds a table's write lock the way an
 // in-flight writer statement does and checks that reads of that same
 // table — and SET NOW with a value, which used to take table locks —

@@ -109,7 +109,7 @@ func (w *TableWriter) UnindexRow(id int, row Row, now temporal.Chronon) {
 	for pos, ix := range w.base.Hash {
 		if !row[pos].Null {
 			key := row[pos].Key(now)
-			ix.Remove(key, id, w.seq)
+			ix.Remove(key, id, w.seq, w.horizon)
 			w.hashOps = append(w.hashOps, hashOp{add: false, col: pos, key: key, id: id})
 		}
 	}

@@ -15,7 +15,9 @@
 //     removed them. Lookup filters postings against the reader's snapshot
 //     sequence and copies the result, so nothing mutable escapes; a short
 //     internal latch covers the map itself. Dead postings are reclaimed
-//     opportunistically on Add once they fall behind the snapshot horizon.
+//     opportunistically on Add and Remove once they fall behind the
+//     snapshot horizon, so both insert-heavy and delete-heavy keys stay
+//     bounded.
 //
 //   - Period is an immutable per-version value built by a PeriodBuilder
 //     under the table's write lock. Appends extend the shared entry log in
@@ -69,16 +71,35 @@ func (h *Hash) Add(key string, id int, seq, horizon uint64) {
 }
 
 // Remove marks the live posting of a row id under key as dead from seq
-// on. Snapshots older than seq still see it.
-func (h *Hash) Remove(key string, id int, seq uint64) {
+// on. Snapshots older than seq still see it. Like Add, it reclaims
+// postings under the key that died behind horizon on the way —
+// Add-side reclamation never visits keys that only shrink, so
+// delete-heavy keys would otherwise accumulate dead postings without
+// bound. The posting killed by this call is kept regardless of the
+// horizon: a Discard (UndoRemove) must still find it.
+func (h *Hash) Remove(key string, id int, seq, horizon uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	ps := h.m[key]
+	killed := -1
 	for i := len(ps) - 1; i >= 0; i-- {
 		if ps[i].id == id && ps[i].died == 0 {
 			ps[i].died = seq
-			return
+			killed = i
+			break
 		}
+	}
+	out := ps[:0]
+	for i, p := range ps {
+		if i != killed && p.died != 0 && p.died <= horizon {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		delete(h.m, key)
+	} else {
+		h.m[key] = out
 	}
 }
 

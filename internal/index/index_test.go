@@ -20,7 +20,7 @@ func TestHashIndex(t *testing.T) {
 	if got := h.Lookup("missing", 1); got != nil {
 		t.Errorf("lookup missing = %v", got)
 	}
-	h.Remove("a", 1, 2)
+	h.Remove("a", 1, 2, 0)
 	if got := h.Lookup("a", 2); len(got) != 1 || got[0] != 2 {
 		t.Errorf("after remove = %v", got)
 	}
@@ -33,12 +33,12 @@ func TestHashIndex(t *testing.T) {
 	if got := h.Lookup("c", 4); len(got) != 0 {
 		t.Errorf("pre-add snapshot = %v", got)
 	}
-	h.Remove("a", 2, 3)
+	h.Remove("a", 2, 3, 0)
 	if h.Len() != 2 { // "b" and "c" still have live postings
 		t.Errorf("len = %d", h.Len())
 	}
 	// Removing a non-existent entry is a no-op.
-	h.Remove("zzz", 9, 4)
+	h.Remove("zzz", 9, 4, 0)
 }
 
 func TestHashUndo(t *testing.T) {
@@ -51,7 +51,7 @@ func TestHashUndo(t *testing.T) {
 		t.Errorf("after UndoAdd = %v", got)
 	}
 	// A discarded statement's remove is revived.
-	h.Remove("a", 1, 6)
+	h.Remove("a", 1, 6, 0)
 	h.UndoRemove("a", 1, 6)
 	if got := h.Lookup("a", 9); len(got) != 1 || got[0] != 1 {
 		t.Errorf("after UndoRemove = %v", got)
@@ -68,7 +68,7 @@ func TestHashDeadPostingGC(t *testing.T) {
 	h := NewHash()
 	for seq := uint64(1); seq <= 100; seq++ {
 		h.Add("k", int(seq), seq, seq)
-		h.Remove("k", int(seq), seq)
+		h.Remove("k", int(seq), seq, 0)
 	}
 	// Every posting died behind the horizon; one more add reclaims them.
 	h.Add("k", 999, 101, 101)
@@ -77,6 +77,38 @@ func TestHashDeadPostingGC(t *testing.T) {
 	h.mu.RUnlock()
 	if n > 2 {
 		t.Errorf("dead postings not reclaimed: %d postings remain", n)
+	}
+}
+
+// TestHashRemoveSideGC is the regression test for delete-heavy keys:
+// a key that sees removals but no further adds must not accumulate
+// dead postings, since Add-side reclamation never visits it.
+func TestHashRemoveSideGC(t *testing.T) {
+	h := NewHash()
+	for i := 0; i < 100; i++ {
+		h.Add("k", i, 1, 0)
+	}
+	for i := 0; i < 100; i++ {
+		seq := uint64(2 + i)
+		h.Remove("k", i, seq, seq-1)
+	}
+	h.mu.RLock()
+	n := len(h.m["k"])
+	h.mu.RUnlock()
+	// Each removal reclaims the previous removals' dead postings along
+	// with the still-live tail; only the most recent kill (kept for its
+	// Discard path) may linger.
+	if n > 1 {
+		t.Errorf("delete-heavy key kept %d postings, want <= 1", n)
+	}
+	// The kill of the final Remove must survive its own call so a
+	// discarded statement can revive it.
+	h.Remove("solo", 0, 5, 9) // no-op: key never existed
+	h.Add("solo", 1, 5, 0)
+	h.Remove("solo", 1, 6, 9) // horizon ahead of seq: posting still kept
+	h.UndoRemove("solo", 1, 6)
+	if got := h.Lookup("solo", 7); len(got) != 1 || got[0] != 1 {
+		t.Errorf("killed posting was reclaimed by its own Remove: %v", got)
 	}
 }
 
@@ -97,7 +129,7 @@ func TestHashConcurrentLookupRemove(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for seq := uint64(2); seq < 2+n; seq++ {
-			h.Remove("k", int(seq-2), seq)
+			h.Remove("k", int(seq-2), seq, 1)
 		}
 		close(stop)
 	}()

@@ -42,6 +42,13 @@ const chunkSize = 256
 type chunk struct {
 	rows [chunkSize]Row
 	live [chunkSize]bool
+	// freed stamps each slot with the sequence of its most recent
+	// death. A free-list entry is only honored when its stamp still
+	// matches: a slot revived by rollback and later deleted again gets
+	// a fresh entry under the new stamp, and the stale old entry —
+	// whose stamp may already be behind the horizon — must not hand
+	// the slot out while the newer death's transaction is still open.
+	freed [chunkSize]uint64
 }
 
 // freeSlot records a tombstoned slot and the sequence of the version
@@ -211,9 +218,11 @@ func (b *Builder) Insert(r Row) int {
 		}
 		b.popped++
 		ci, off := fs.id/chunkSize, fs.id%chunkSize
-		if b.chunks[ci].live[off] {
-			// The slot was revived by a rollback after it was freed;
-			// drop the stale free entry and keep looking.
+		if b.chunks[ci].live[off] || b.chunks[ci].freed[off] != fs.seq {
+			// Stale entry: a rollback revived the slot after it was
+			// freed (and, if it died again, the newer death queued its
+			// own entry under its own stamp, which gates reuse against
+			// the horizon correctly). Drop it and keep looking.
 			continue
 		}
 		c := b.mutable(ci)
@@ -241,8 +250,9 @@ func (b *Builder) Insert(r Row) int {
 
 // InsertAt revives a specific row id with the given content — used
 // only by transaction rollback to undo a delete. The slot must be a
-// tombstone. The slot's free-list entry is left in place; Insert skips
-// entries whose slot turns out to be live.
+// tombstone. The slot's free-list entry is left in place but becomes
+// permanently stale: Insert skips entries whose slot is live or whose
+// stamp no longer matches the slot's most recent death.
 func (b *Builder) InsertAt(id int, r Row) error {
 	if id < 0 || id >= b.slots {
 		return fmt.Errorf("storage: row id %d out of range", id)
@@ -272,6 +282,7 @@ func (b *Builder) Delete(id int) (Row, error) {
 	old := c.rows[off]
 	c.rows[off] = nil
 	c.live[off] = false
+	c.freed[off] = b.seq
 	b.n--
 	b.pushes = append(b.pushes, freeSlot{id: id, seq: b.seq})
 	return old, nil

@@ -202,6 +202,61 @@ func TestSlabHorizonBlocksReuse(t *testing.T) {
 	}
 }
 
+// TestSlabStaleFreeEntry is the regression test for the stale
+// free-list entry bug: a slot freed at seq d, revived by rollback, and
+// freed again at seq n leaves the old {id, d} entry queued. An insert
+// whose horizon has passed d but not n must not honor the stale entry —
+// the newer death's transaction is still open, and its rollback will
+// InsertAt the slot, which has to find it still dead.
+func TestSlabStaleFreeEntry(t *testing.T) {
+	var id int
+	v := commit1(NewVersion(), func(b *Builder) {
+		id = b.Insert(row(1))
+	})
+	v = commit1(v, func(b *Builder) { // seq 2: first death, queues {id, 2}
+		if _, err := b.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	v = commit1(v, func(b *Builder) { // seq 3: rollback revives the slot
+		if err := b.InsertAt(id, row(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	v = commit1(v, func(b *Builder) { // seq 4: second death, queues {id, 4}
+		if _, err := b.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A transaction open since seq 4 pins horizon=4: the stale {id, 2}
+	// entry is poppable but must be recognised as stale, not reused.
+	b := v.NewBuilder(5, 4)
+	if got := b.Insert(row(9)); got == id {
+		t.Fatal("stale free entry handed out a slot whose latest death is inside the horizon")
+	}
+	v = b.Commit()
+	// The open transaction's rollback still finds its slot dead.
+	b = v.NewBuilder(6, 4)
+	if err := b.InsertAt(id, row(1)); err != nil {
+		t.Fatalf("rollback InsertAt after stale-entry insert: %v", err)
+	}
+	v = b.Commit()
+	if r, ok := v.Get(id); !ok || r[0].Int() != 1 {
+		t.Fatalf("revived slot = %v, %v", r, ok)
+	}
+	// Once the second death's stamp falls behind the horizon, its own
+	// entry (not the stale one) hands the slot out again.
+	v = commit1(v, func(b *Builder) { // seq 7: third death, queues {id, 7}
+		if _, err := b.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	b = v.NewBuilder(8, 8)
+	if got := b.Insert(row(2)); got != id {
+		t.Fatalf("slot not reused after horizon passed its latest death: got %d want %d", got, id)
+	}
+}
+
 // TestSlabSnapshotImmutable checks a pinned version is untouched by
 // every kind of successor mutation, including slot reuse and tail
 // appends into the shared chunk.
