@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke repl-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
 # disjoint tables, so plain `go test` is not enough), the crash-recovery
 # torture subset, the wire-fault torture subset, the MVCC snapshot
-# smoke, and the metrics-overhead smoke.
-check: vet build race crash-smoke netfault-smoke mvcc-smoke obs-smoke
+# smoke, the replication smoke, and the metrics-overhead smoke.
+check: vet build race crash-smoke netfault-smoke mvcc-smoke repl-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,17 @@ fuzz-smoke:
 mvcc-smoke:
 	$(GO) test -race -run 'TestMVCC' -count=1 ./internal/engine
 	$(GO) test -race -run '^$$' -bench 'BenchmarkDisjointWriters(PerTable|NoAnalyst)$$' -benchtime 200ms .
+
+# repl-smoke runs the replication torture battery under the race
+# detector: a 3-node in-process cluster (durable primary + 2 snapshot-
+# bootstrapped read replicas over real TCP) converging under load,
+# killed replicas rejoining via snapshot + WAL catch-up, severed and
+# stalled links resubscribing with exact-count (no-gap, no-double-apply)
+# convergence, checkpoint truncation forcing snapshot re-bootstrap, and
+# the staleness-bounded read router failing over around dead and lagging
+# replicas.
+repl-smoke:
+	$(GO) test -race -count=1 ./internal/repl
 
 # obs-smoke compares writer throughput with the metrics subsystem on
 # (BenchmarkDisjointWritersPerTable) and off (...PerTableNoObs). The

@@ -15,6 +15,14 @@
 //	tipserver -stmt-timeout 30s                # cap every statement's runtime
 //	tipserver -max-conns 512 -max-inflight 64  # admission control
 //	tipserver -drain-timeout 10s               # graceful-shutdown drain budget
+//
+// Replication (see DESIGN.md "Replication"): a durable server is
+// automatically a replication primary; read replicas bootstrap from it
+// and serve read-only queries:
+//
+//	tipserver -addr :4711 -durable ./dbdir                  # primary
+//	tipserver -addr :4712 -replicate-from 127.0.0.1:4711    # read replica
+//	tipserver -addr :4713 -replicate-from 127.0.0.1:4711 -advertise r2
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"tip"
+	"tip/internal/repl"
 	"tip/internal/server"
 	"tip/internal/workload"
 )
@@ -47,7 +56,15 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "shed queries beyond this many executing statements (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long graceful shutdown waits for in-flight statements before interrupting them")
+	replicateFrom := flag.String("replicate-from", "",
+		"run as a read-only replica of the primary at this address")
+	advertise := flag.String("advertise", "",
+		"name this replica reports to the primary (default: the listen address)")
 	flag.Parse()
+
+	if *replicateFrom != "" && (*durable != "" || *dbPath != "" || *demo > 0) {
+		log.Fatal("-replicate-from is exclusive with -durable, -db and -demo: a replica's state comes from its primary")
+	}
 
 	var db *tip.DB
 	if *durable != "" {
@@ -103,12 +120,34 @@ func main() {
 		log.Printf("metrics on http://%s/stats", *metrics)
 	}
 
-	srv, err := db.Serve(*addr,
+	srvOpts := []server.Option{
 		server.WithStmtTimeout(*stmtTimeout),
 		server.WithMaxConns(*maxConns),
 		server.WithMaxInflight(*maxInflight),
 		server.WithLogger(log.Printf),
-	)
+	}
+
+	var replica *repl.Replica
+	switch {
+	case *replicateFrom != "":
+		name := *advertise
+		if name == "" {
+			name = *addr
+		}
+		replica = repl.StartReplica(db.Engine(), *replicateFrom,
+			repl.WithReplicaName(name),
+			repl.WithReplicaLogger(log.Printf),
+		)
+		srvOpts = append(srvOpts, server.WithReplStatus(replica.Status))
+		log.Printf("read replica %q of %s", name, *replicateFrom)
+	case *durable != "":
+		primary := repl.NewPrimary(db.Engine(), db.WALPath(),
+			repl.WithPrimaryLogger(log.Printf))
+		srvOpts = append(srvOpts, server.WithReplication(primary))
+		log.Printf("replication primary (lineage %s)", primary.RunID())
+	}
+
+	srv, err := db.Serve(*addr, srvOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,6 +158,9 @@ func main() {
 	<-sig
 	log.Printf("shutting down (draining up to %s)", *drainTimeout)
 	_ = srv.Shutdown(*drainTimeout)
+	if replica != nil {
+		replica.Close()
+	}
 	switch {
 	case *durable != "":
 		if err := db.Checkpoint(); err != nil {

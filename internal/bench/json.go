@@ -131,7 +131,7 @@ func JSONResults(rows int) []Result {
 			return reps
 		})
 
-	return []Result{insert, coalesce, join}
+	return []Result{insert, coalesce, join, ReplReadResult()}
 }
 
 // mvccOpsPerSec measures single-writer insert throughput, optionally

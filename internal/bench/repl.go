@@ -1,0 +1,147 @@
+package bench
+
+// Replicated-read throughput: an in-process cluster (durable primary +
+// N snapshot-bootstrapped read replicas, real TCP, real wire protocol)
+// serving the same temporal scan from concurrent clients. The aggregate
+// ops/s at 0, 1 and 2 replicas shows what read offload buys: each
+// replica is another engine with its own MVCC snapshots, so on a
+// multi-core machine the aggregate scales with the serving nodes. The
+// result records cpus/gomaxprocs because on a single core every node
+// shares the same clock tick and the speedup honestly collapses to ~1x.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/repl"
+	"tip/internal/server"
+	"tip/internal/temporal"
+)
+
+// ReplReadResult measures aggregate read ops/s against the cluster at
+// 0, 1 and 2 read replicas.
+func ReplReadResult() Result {
+	const clients = 4
+	const runFor = 400 * time.Millisecond
+	res := Result{Name: "repl_read", Metrics: map[string]float64{}}
+	for _, n := range []int{0, 1, 2} {
+		ops, reads := replReadOps(n, clients, runFor)
+		res.Metrics[fmt.Sprintf("replicas.%d.ops_per_sec", n)] = ops
+		if n == 2 {
+			res.OpsPerSec = ops
+			res.Statements = reads
+		}
+	}
+	if base := res.Metrics["replicas.0.ops_per_sec"]; base > 0 {
+		res.Metrics["speedup.2_vs_0"] = res.Metrics["replicas.2.ops_per_sec"] / base
+	}
+	res.Metrics["cpus"] = float64(runtime.NumCPU())
+	res.Metrics["gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+	return res
+}
+
+func replBenchEngine() *engine.Database {
+	reg := blade.NewRegistry()
+	core.MustRegister(reg)
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return PinnedNow })
+	return db
+}
+
+// replReadOps stands up one cluster configuration and drives it with
+// concurrent wire clients spread round-robin over every serving node
+// (primary plus replicas), returning aggregate reads/s and the read
+// count.
+func replReadOps(nReplicas, clients int, runFor time.Duration) (float64, int64) {
+	dir, err := os.MkdirTemp("", "tipbench-repl-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	pdb := replBenchEngine()
+	walPath := filepath.Join(dir, "wal.log")
+	if err := pdb.EnableWAL(walPath); err != nil {
+		panic(err)
+	}
+	defer func() { _ = pdb.DisableWAL() }()
+	prim := repl.NewPrimary(pdb, walPath)
+	psrv, err := server.Listen(pdb, "127.0.0.1:0", server.WithReplication(prim))
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = psrv.Close() }()
+
+	sess := pdb.NewSession()
+	must := func(sql string) {
+		if _, err := sess.Exec(sql, nil); err != nil {
+			panic(err)
+		}
+	}
+	must(`CREATE TABLE rx (id INT, valid Element)`)
+	for i := 0; i < 500; i++ {
+		must(fmt.Sprintf(`INSERT INTO rx VALUES (%d, '{[1998-01-01, 1998-06-01]}')`, i))
+	}
+
+	targets := []string{psrv.Addr()}
+	for i := 0; i < nReplicas; i++ {
+		rdb := replBenchEngine()
+		rep := repl.StartReplica(rdb, psrv.Addr(),
+			repl.WithReplicaName(fmt.Sprintf("bench-r%d", i)))
+		defer rep.Close()
+		rsrv, err := server.Listen(rdb, "127.0.0.1:0", server.WithReplStatus(rep.Status))
+		if err != nil {
+			panic(err)
+		}
+		defer func() { _ = rsrv.Close() }()
+		if !rep.WaitForSeq(pdb.WALSeq(), 10*time.Second) {
+			panic("bench replica failed to converge")
+		}
+		targets = append(targets, rsrv.Addr())
+	}
+
+	const q = `SELECT COUNT(*) FROM rx WHERE overlaps(valid, '[1998-02-01, 1998-03-01]')`
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		reg := blade.NewRegistry()
+		core.MustRegister(reg)
+		conn, err := client.Connect(targets[c%len(targets)], reg)
+		if err != nil {
+			panic(err)
+		}
+		wg.Add(1)
+		go func(conn *client.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Exec(q, nil); err != nil {
+					panic(err)
+				}
+				total.Add(1)
+			}
+		}(conn)
+	}
+	start := time.Now()
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	n := total.Load()
+	return float64(n) / elapsed.Seconds(), n
+}

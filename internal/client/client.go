@@ -375,6 +375,38 @@ func (c *Conn) Cancel() error {
 	return nil
 }
 
+// ReplStatus asks the server for its replication position: role
+// (primary or replica), the WAL seq it has flushed (primary) or applied
+// (replica), and the primary runID that seq belongs to. Routers use it
+// to bound read staleness.
+func (c *Conn) ReplStatus() (protocol.ReplStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frame, err := c.exchange(protocol.EncodeReplStatusRequest())
+	if err != nil {
+		return protocol.ReplStatus{}, err
+	}
+	if len(frame) == 0 {
+		return protocol.ReplStatus{}, fmt.Errorf("client: empty frame")
+	}
+	switch frame[0] {
+	case protocol.MsgReplStatus:
+		st, err := protocol.DecodeReplStatus(frame[1:])
+		if err != nil {
+			return protocol.ReplStatus{}, fmt.Errorf("client: %w", err)
+		}
+		return st, nil
+	case protocol.MsgError:
+		msg, code, derr := protocol.DecodeError(frame[1:])
+		if derr != nil {
+			return protocol.ReplStatus{}, fmt.Errorf("client: %w", derr)
+		}
+		return protocol.ReplStatus{}, &ServerError{Message: msg, Code: code}
+	default:
+		return protocol.ReplStatus{}, fmt.Errorf("client: unexpected reply to status request")
+	}
+}
+
 // Stats requests the server's metrics snapshot (engine counters,
 // histograms and connection-layer totals).
 func (c *Conn) Stats() (obs.Snapshot, error) {
@@ -450,6 +482,9 @@ var (
 	// ErrShutdown matches statements rejected because the server is
 	// draining.
 	ErrShutdown = errors.New("client: server shutting down")
+	// ErrReadOnly matches writes rejected by a read-only replica; send
+	// them to the primary instead (a Router does this automatically).
+	ErrReadOnly = errors.New("client: server is a read-only replica")
 )
 
 // Is classifies the error code against the sentinel targets.
@@ -463,6 +498,8 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == protocol.ErrCodeBusy
 	case ErrShutdown:
 		return e.Code == protocol.ErrCodeShutdown
+	case ErrReadOnly:
+		return e.Code == protocol.ErrCodeReadOnly
 	}
 	return false
 }

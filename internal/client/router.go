@@ -1,0 +1,350 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"tip/internal/blade"
+	"tip/internal/exec"
+	"tip/internal/obs"
+	"tip/internal/types"
+)
+
+// Router fans reads out across a primary and its read replicas while
+// keeping every write — and anything the leading keyword cannot prove
+// read-only — on the primary. Routing is staleness-bounded: each
+// replica advertises the WAL seq it has applied (cached, refreshed
+// every StatusInterval), and with ReadYourWrites the router remembers
+// the primary's seq after each write and only routes reads to replicas
+// that have caught up to it.
+//
+// Failover is transport-level only: if a replica's connection breaks or
+// the replica rejects the statement before running it, the read retries
+// on the next healthy replica and finally on the primary. SQL errors
+// are the statement's own fault and are returned as-is. Transactions
+// (BEGIN..COMMIT) and session settings (SET ...) pin the session to the
+// primary, since replicas can't see the session's uncommitted state.
+type Router struct {
+	primary  *Conn
+	replicas []*routedReplica
+	opts     RouterOptions
+
+	mu       sync.Mutex
+	next     int    // round-robin cursor
+	pinSeq   uint64 // read-your-writes floor (primary seq after last write)
+	inTxn    bool   // BEGIN seen: everything goes primary until COMMIT/ROLLBACK
+	sessions int    // SET statements executed (session pinned to primary)
+
+	primaryReads *obs.Counter
+	replicaReads *obs.Counter
+	failovers    *obs.Counter
+	writes       *obs.Counter
+}
+
+// routedReplica is one replica connection plus its cached position.
+type routedReplica struct {
+	addr string
+	conn *Conn
+
+	mu         sync.Mutex
+	appliedSeq uint64
+	checkedAt  time.Time
+	downUntil  time.Time
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Conn configures every underlying connection (timeouts, retry).
+	Conn Options
+	// ReadYourWrites makes reads wait out replica lag: after a write,
+	// reads only go to replicas whose applied seq has reached the
+	// primary's seq at write time. Reads fall back to the primary when
+	// no replica qualifies, so consistency never costs availability.
+	ReadYourWrites bool
+	// StatusInterval is how long a replica's cached applied seq is
+	// trusted before re-probing; 0 means 100ms.
+	StatusInterval time.Duration
+	// RetryDown is how long a replica sits out after a transport
+	// failure before the router tries it again; 0 means 1s.
+	RetryDown time.Duration
+	// Metrics receives the router's counters; nil uses a private
+	// registry, readable via Router.Metrics.
+	Metrics *obs.Registry
+}
+
+func (o *RouterOptions) statusInterval() time.Duration {
+	if o.StatusInterval > 0 {
+		return o.StatusInterval
+	}
+	return 100 * time.Millisecond
+}
+
+func (o *RouterOptions) retryDown() time.Duration {
+	if o.RetryDown > 0 {
+		return o.RetryDown
+	}
+	return time.Second
+}
+
+// NewRouter connects to the primary and each replica. Replicas that
+// fail to connect are kept and retried lazily; only a primary dial
+// failure is fatal.
+func NewRouter(primaryAddr string, replicaAddrs []string, reg *blade.Registry, opts RouterOptions) (*Router, error) {
+	p, err := ConnectOpts(primaryAddr, reg, opts.Conn)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{primary: p, opts: opts}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	r.primaryReads = metrics.Counter("router.reads.primary")
+	r.replicaReads = metrics.Counter("router.reads.replica")
+	r.failovers = metrics.Counter("router.failovers")
+	r.writes = metrics.Counter("router.writes")
+	r.opts.Metrics = metrics
+	for _, addr := range replicaAddrs {
+		rr := &routedReplica{addr: addr}
+		if c, err := ConnectOpts(addr, reg, opts.Conn); err == nil {
+			rr.conn = c
+		} else {
+			rr.downUntil = time.Now().Add(opts.retryDown())
+		}
+		r.replicas = append(r.replicas, rr)
+	}
+	return r, nil
+}
+
+// Metrics exposes the router's metrics registry.
+func (r *Router) Metrics() *obs.Registry { return r.opts.Metrics }
+
+// Primary exposes the primary connection for out-of-band use (Stats,
+// ReplStatus, explicit primary reads).
+func (r *Router) Primary() *Conn { return r.primary }
+
+// Exec routes one statement; see ExecContext.
+func (r *Router) Exec(sql string, params map[string]types.Value) (*exec.Result, error) {
+	return r.ExecContext(context.Background(), sql, params)
+}
+
+// ExecContext routes one statement: replica-eligible reads round-robin
+// over caught-up healthy replicas with failover, everything else runs
+// on the primary.
+func (r *Router) ExecContext(ctx context.Context, sql string, params map[string]types.Value) (*exec.Result, error) {
+	if r.routeToPrimary(sql) {
+		res, err := r.primary.ExecContext(ctx, sql, params)
+		r.afterPrimary(sql, err)
+		return res, err
+	}
+	return r.execRead(ctx, sql, params)
+}
+
+// routeToPrimary decides, under the router lock, whether sql must run
+// on the primary, updating transaction/session pinning state.
+func (r *Router) routeToPrimary(sql string) bool {
+	kw := leadingKeyword(sql)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch kw {
+	case "BEGIN":
+		r.inTxn = true
+		return true
+	case "COMMIT", "ROLLBACK":
+		r.inTxn = false
+		return true
+	case "SET":
+		r.sessions++
+		return true
+	}
+	if r.inTxn || r.sessions > 0 {
+		// Session state (SET NOW, open transactions) lives on the
+		// primary connection only; replicas would answer differently.
+		return true
+	}
+	if !replicaEligible(kw) {
+		return true
+	}
+	return len(r.replicas) == 0
+}
+
+// afterPrimary records write positions for read-your-writes routing.
+func (r *Router) afterPrimary(sql string, execErr error) {
+	kw := leadingKeyword(sql)
+	if replicaEligible(kw) {
+		r.primaryReads.Inc()
+		return
+	}
+	r.writes.Inc()
+	if execErr != nil || !r.opts.ReadYourWrites {
+		return
+	}
+	// The primary's flushed seq is ≥ the seq this write logged, so it's
+	// a safe (if slightly conservative) read-your-writes floor.
+	st, err := r.primary.ReplStatus()
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if st.AppliedSeq > r.pinSeq {
+		r.pinSeq = st.AppliedSeq
+	}
+	r.mu.Unlock()
+}
+
+// execRead tries each candidate replica in round-robin order, failing
+// over on transport errors, and finishes on the primary.
+func (r *Router) execRead(ctx context.Context, sql string, params map[string]types.Value) (*exec.Result, error) {
+	r.mu.Lock()
+	pin := r.pinSeq
+	start := r.next
+	r.next = (r.next + 1) % len(r.replicas)
+	r.mu.Unlock()
+
+	tried := false
+	for i := 0; i < len(r.replicas); i++ {
+		rr := r.replicas[(start+i)%len(r.replicas)]
+		if !r.usable(rr, pin) {
+			continue
+		}
+		if tried {
+			r.failovers.Inc()
+		}
+		tried = true
+		res, err := rr.conn.ExecContext(ctx, sql, params)
+		if err == nil {
+			r.replicaReads.Inc()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if transportOrBusy(err) {
+			r.markDown(rr)
+			continue // failover to the next replica / primary
+		}
+		return nil, err // the statement's own error; replicas agree
+	}
+	if tried {
+		r.failovers.Inc()
+	}
+	res, err := r.primary.ExecContext(ctx, sql, params)
+	if err == nil {
+		r.primaryReads.Inc()
+	}
+	return res, err
+}
+
+// usable reports whether rr is connected, not cooling down, and caught
+// up to pin, refreshing its cached position when stale.
+func (r *Router) usable(rr *routedReplica, pin uint64) bool {
+	rr.mu.Lock()
+	if time.Now().Before(rr.downUntil) {
+		rr.mu.Unlock()
+		return false
+	}
+	if rr.conn == nil {
+		rr.mu.Unlock()
+		if !r.redial(rr) {
+			return false
+		}
+		rr.mu.Lock()
+	}
+	conn := rr.conn
+	applied, checkedAt := rr.appliedSeq, rr.checkedAt
+	rr.mu.Unlock()
+
+	if pin == 0 {
+		return true // no staleness bound: any live replica will do
+	}
+	if applied >= pin && time.Since(checkedAt) < r.opts.statusInterval() {
+		return true
+	}
+	st, err := conn.ReplStatus()
+	if err != nil {
+		r.markDown(rr)
+		return false
+	}
+	rr.mu.Lock()
+	rr.appliedSeq, rr.checkedAt = st.AppliedSeq, time.Now()
+	rr.mu.Unlock()
+	return st.AppliedSeq >= pin
+}
+
+// redial tries to (re)connect a replica slot, respecting the cooldown.
+func (r *Router) redial(rr *routedReplica) bool {
+	c, err := ConnectOpts(rr.addr, r.primary.reg, r.opts.Conn)
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if err != nil {
+		rr.downUntil = time.Now().Add(r.opts.retryDown())
+		return false
+	}
+	if rr.conn != nil {
+		_ = c.Close() // raced with another redial; keep the winner
+		return true
+	}
+	rr.conn = c
+	rr.appliedSeq, rr.checkedAt = 0, time.Time{}
+	return true
+}
+
+// markDown benches a replica for the cooldown period after a transport
+// failure, dropping its dead connection.
+func (r *Router) markDown(rr *routedReplica) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.downUntil = time.Now().Add(r.opts.retryDown())
+	if rr.conn != nil {
+		_ = rr.conn.Close()
+		rr.conn = nil
+	}
+}
+
+// Close closes every connection. The first error wins.
+func (r *Router) Close() error {
+	err := r.primary.Close()
+	for _, rr := range r.replicas {
+		rr.mu.Lock()
+		if rr.conn != nil {
+			if cerr := rr.conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			rr.conn = nil
+		}
+		rr.mu.Unlock()
+	}
+	return err
+}
+
+// transportOrBusy reports whether a read failed for reasons unrelated
+// to the statement itself, making failover to another node safe. A
+// read-only rejection counts: it means this node is a replica that
+// cannot answer (e.g. the "read" turned out to write), and the primary
+// can.
+func transportOrBusy(err error) bool {
+	return errors.Is(err, ErrConnClosed) || errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrShutdown) || errors.Is(err, ErrReadOnly)
+}
+
+// leadingKeyword extracts sql's first word, uppercased.
+func leadingKeyword(sql string) string {
+	f := strings.Fields(sql)
+	if len(f) == 0 {
+		return ""
+	}
+	return strings.ToUpper(f[0])
+}
+
+// replicaEligible reports whether a statement with the given leading
+// keyword can be answered by a read-only replica.
+func replicaEligible(kw string) bool {
+	switch kw {
+	case "SELECT", "SHOW", "DESCRIBE", "EXPLAIN":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package client
+
+import "testing"
+
+// Routing decisions are pure state-machine logic over the leading
+// keyword; they must not depend on any live connection.
+
+func TestRouterRoutingDecisions(t *testing.T) {
+	r := &Router{replicas: []*routedReplica{{}}}
+
+	if r.routeToPrimary(`SELECT 1`) {
+		t.Fatal("plain SELECT routed to primary")
+	}
+	for _, sql := range []string{
+		`INSERT INTO t VALUES (1)`,
+		`UPDATE t SET a = 2`,
+		`DELETE FROM t`,
+		`CREATE TABLE t (a INT)`,
+		`DROP TABLE t`,
+	} {
+		if !r.routeToPrimary(sql) {
+			t.Fatalf("%q not routed to primary", sql)
+		}
+	}
+
+	// A transaction pins every statement — reads included — to the
+	// primary until it ends.
+	if !r.routeToPrimary(`BEGIN`) {
+		t.Fatal("BEGIN not routed to primary")
+	}
+	if !r.routeToPrimary(`SELECT 1`) {
+		t.Fatal("in-transaction SELECT left the primary")
+	}
+	if !r.routeToPrimary(`COMMIT`) {
+		t.Fatal("COMMIT not routed to primary")
+	}
+	if r.routeToPrimary(`SELECT 1`) {
+		t.Fatal("post-commit SELECT still pinned to primary")
+	}
+
+	// Session settings (SET NOW, SET STATEMENT_TIMEOUT) live on the
+	// primary connection only, so they pin the session permanently.
+	if !r.routeToPrimary(`SET NOW '1999-01-01'`) {
+		t.Fatal("SET not routed to primary")
+	}
+	if !r.routeToPrimary(`SELECT 1`) {
+		t.Fatal("SELECT after SET left the primary")
+	}
+}
+
+func TestRouterNoReplicasReadsGoPrimary(t *testing.T) {
+	r := &Router{}
+	if !r.routeToPrimary(`SELECT 1`) {
+		t.Fatal("read with no replicas must go to the primary")
+	}
+}
+
+func TestReplicaEligibleKeywords(t *testing.T) {
+	for kw, want := range map[string]bool{
+		"SELECT": true, "SHOW": true, "DESCRIBE": true, "EXPLAIN": true,
+		"INSERT": false, "UPDATE": false, "DELETE": false,
+		"CREATE": false, "DROP": false, "BEGIN": false, "SET": false, "": false,
+	} {
+		if got := replicaEligible(kw); got != want {
+			t.Errorf("replicaEligible(%q) = %v, want %v", kw, got, want)
+		}
+	}
+}

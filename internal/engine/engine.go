@@ -77,9 +77,14 @@ type Database struct {
 	// double-apply it at recovery).
 	epoch        uint64
 	walSeq       uint64
+	walBase      uint64 // seq preceding the oldest frame still in the log (guarded by mu)
 	ckpt         sync.RWMutex
 	syncPolicy   atomic.Int32 // SyncPolicy; see SetDurability
 	syncInterval atomic.Int64 // SyncGrouped fsync cadence, nanoseconds
+
+	// readOnly marks a replica: loggable statements from ordinary
+	// sessions fail with ErrReadOnly; see SetReadOnly.
+	readOnly atomic.Bool
 }
 
 // New creates an empty in-memory database using the given registry (which
@@ -95,6 +100,29 @@ func New(reg *blade.Registry) *Database {
 		hz:     newHorizonTracker(),
 	}
 	db.syncInterval.Store(int64(2 * time.Millisecond))
+	// Durability-position gauges: replication lag is judged against
+	// these (a replica applied through seq S is behind flushed_seq −
+	// S statements, of which everything ≤ synced_seq is fsync-durable).
+	db.obs.reg.RegisterFunc("wal.flushed_seq", func() float64 {
+		db.mu.RLock()
+		w := db.wal
+		seq := db.walSeq
+		db.mu.RUnlock()
+		if w != nil {
+			seq = w.flushedSeq.Load()
+		}
+		return float64(seq)
+	})
+	db.obs.reg.RegisterFunc("wal.synced_seq", func() float64 {
+		db.mu.RLock()
+		w := db.wal
+		seq := db.walSeq
+		db.mu.RUnlock()
+		if w != nil {
+			seq = w.syncedSeq.Load()
+		}
+		return float64(seq)
+	})
 	return db
 }
 
@@ -142,6 +170,10 @@ type Session struct {
 	// snaps holds the table versions the current statement pinned at
 	// start (lower-cased table name → version); see captureSnaps.
 	snaps map[string]*exec.TableVersion
+
+	// replApply marks the replication apply session, exempt from the
+	// read-only check (see NewReplicaSession).
+	replApply bool
 }
 
 // NewSession opens a session.
@@ -287,6 +319,12 @@ func (s *Session) CacheStats() (hits, misses uint64) {
 // ExecStmt executes one parsed statement, acquiring the locks it needs
 // (see the package comment for the locking discipline).
 func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*exec.Result, error) {
+	if !s.replApply && s.db.readOnly.Load() && loggable(stmt) {
+		if o := s.db.obs; o.enabled() {
+			o.errors.Inc()
+		}
+		return nil, ErrReadOnly
+	}
 	unlock := s.lockFor(stmt)
 	s.tr.Mark(&s.tr.Lock)
 	defer unlock()

@@ -174,10 +174,21 @@ func (db *Database) Load(path string) error {
 	if err != nil {
 		return fmt.Errorf("engine: load: %w", err)
 	}
+	return db.loadSnapshot(data, false)
+}
+
+// loadSnapshot decodes snapshot bytes into staging state and installs
+// it. With replace unset the database must be empty (recovery); with
+// replace set the current catalog and tables are swapped out wholesale
+// (replica re-bootstrap — see LoadReplicaSnapshot).
+func (db *Database) loadSnapshot(data []byte, replace bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if len(db.tables) != 0 {
+	if !replace && len(db.tables) != 0 {
 		return fmt.Errorf("engine: load into non-empty database")
+	}
+	if replace && db.wal != nil {
+		return fmt.Errorf("engine: cannot replace contents while the WAL is enabled")
 	}
 	// Decode into a staging shadow of this database: same registry and
 	// managers, fresh catalog/tables/locks. Nothing is installed until
@@ -200,7 +211,16 @@ func (db *Database) Load(path string) error {
 	db.epoch = epoch
 	// Index rebuilds bumped the staging version clock; carry it over so
 	// post-load writer sequences stay above every installed version.
-	db.vclock.Store(stage.vclock.Load())
+	// When replacing, the live clock may already be higher — never move
+	// it backwards, or new writes would stamp versions old snapshots
+	// consider reclaimed.
+	if sv := stage.vclock.Load(); sv > db.vclock.Load() {
+		db.vclock.Store(sv)
+	}
+	if replace {
+		// Schema changed out from under every cached plan.
+		db.gen.Add(1)
+	}
 	return nil
 }
 

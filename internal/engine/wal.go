@@ -15,7 +15,6 @@ import (
 
 	"tip/internal/blade"
 	"tip/internal/sql/ast"
-	"tip/internal/sql/parse"
 	"tip/internal/temporal"
 	"tip/internal/types"
 )
@@ -112,6 +111,13 @@ type wal struct {
 	syncedSeq  atomic.Uint64 // highest seq known durable (fsynced)
 	syncMu     sync.Mutex    // serializes fsyncs
 
+	// subs are live replication subscribers (see SubscribeWAL). Guarded
+	// by mu; frames are published in append order while the lock is held,
+	// so every subscriber sees a gap-free suffix of the stream until its
+	// buffer overruns (the sub is then closed and must re-catch-up from
+	// the file).
+	subs map[*WALSub]struct{}
+
 	stop chan struct{} // closed by DisableWAL to end the group syncer
 	done chan struct{} // closed when the syncer goroutine exits
 }
@@ -197,6 +203,10 @@ func (db *Database) DisableWAL() error {
 	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for sub := range w.subs {
+		delete(w.subs, sub)
+		close(sub.ch)
+	}
 	flushErr := w.failed
 	if flushErr == nil {
 		flushErr = w.w.Flush()
@@ -317,6 +327,11 @@ func (db *Database) Checkpoint(snapshotPath string) error {
 	// an fsync.
 	w.flushedSeq.Store(w.seq)
 	w.syncedSeq.Store(w.seq)
+	// The truncate discarded every frame up to w.seq: replication
+	// catch-up below that point must go through a snapshot (WALBase).
+	db.mu.Lock()
+	db.walBase = w.seq
+	db.mu.Unlock()
 	return nil
 }
 
@@ -359,15 +374,25 @@ func encodeWALPayload(now temporal.Chronon, sql string, params map[string]types.
 	return buf
 }
 
-// appendWALFrame wraps a payload into a checksummed frame under the
-// given epoch and seq.
+// encodeWALFrameBody builds a frame body — everything after the length
+// prefix: {CRC32C, epoch, seq, payload}. The body is the unit shipped
+// verbatim to replication subscribers (MsgWALFrame), so a replica
+// verifies the same checksum the local replay would.
+func encodeWALFrameBody(epoch, seq uint64, payload []byte) []byte {
+	var inner []byte
+	inner = binary.AppendUvarint(inner, epoch)
+	inner = binary.AppendUvarint(inner, seq)
+	inner = append(inner, payload...)
+	body := make([]byte, 0, len(inner)+4)
+	body = binary.LittleEndian.AppendUint32(body, crc32.Checksum(inner, walCRC))
+	return append(body, inner...)
+}
+
+// appendWALFrame wraps a payload into a length-prefixed checksummed
+// frame under the given epoch and seq.
 func appendWALFrame(dst []byte, epoch, seq uint64, payload []byte) []byte {
-	var body []byte
-	body = binary.AppendUvarint(body, epoch)
-	body = binary.AppendUvarint(body, seq)
-	body = append(body, payload...)
-	dst = binary.AppendUvarint(dst, uint64(len(body)+4))
-	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, walCRC))
+	body := encodeWALFrameBody(epoch, seq, payload)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
 	return append(dst, body...)
 }
 
@@ -418,8 +443,14 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 		if w.failed != nil {
 			return 0, 0, fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
 		}
-		frame := appendWALFrame(nil, w.epoch, w.seq+1, payload)
-		if _, err := w.w.Write(frame); err != nil {
+		body := encodeWALFrameBody(w.epoch, w.seq+1, payload)
+		var hdr [binary.MaxVarintLen64]byte
+		hn := binary.PutUvarint(hdr[:], uint64(len(body)))
+		if _, err := w.w.Write(hdr[:hn]); err != nil {
+			w.failed = err
+			return 0, 0, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		if _, err := w.w.Write(body); err != nil {
 			w.failed = err
 			return 0, 0, fmt.Errorf("%w: %v", ErrWALFailed, err)
 		}
@@ -429,7 +460,8 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 		}
 		w.seq++
 		w.flushedSeq.Store(w.seq)
-		return w.seq, len(frame), nil
+		w.publishLocked(ReplFrame{Epoch: w.epoch, Seq: w.seq, Body: body})
+		return w.seq, hn + len(body), nil
 	}()
 	if err != nil {
 		if obsOn {
@@ -468,6 +500,21 @@ func (db *Database) logStatement(now temporal.Chronon, sql string, params map[st
 // cleanly; a checksum mismatch or sequence gap stops replay at the last
 // valid frame and surfaces ErrWAL.
 func (db *Database) ReplayWAL(path string) error {
+	return db.ReplayWALRange(path, 0, ^uint64(0))
+}
+
+// ReplayWALRange replays only the frames with afterSeq < seq ≤ upToSeq.
+// Every frame up to upToSeq is still scanned, checksummed and
+// gap-checked — the bounds select which statements re-execute, not how
+// much of the log is validated — and epoch-skipping applies as in
+// ReplayWAL. The full range (0, ^uint64(0)) is crash recovery; a
+// tighter upToSeq reconstructs the database as of a specific frame for
+// point-in-time debugging, and a raised afterSeq resumes replay on a
+// state already caught up through afterSeq (the replication catch-up
+// path). After a bounded replay the database reflects a log prefix;
+// enabling the WAL on it and appending would fork history, so treat
+// point-in-time states as read-only.
+func (db *Database) ReplayWALRange(path string, afterSeq, upToSeq uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -491,6 +538,7 @@ func (db *Database) ReplayWAL(path string) error {
 	r := bufio.NewReaderSize(f, 64<<10)
 	var (
 		body     []byte // reused frame buffer
+		firstSeq uint64
 		lastSeq  uint64
 		haveSeq  bool
 		frameIdx int
@@ -500,7 +548,7 @@ func (db *Database) ReplayWAL(path string) error {
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
-				return db.finishReplay(maxEpoch, lastSeq, haveSeq)
+				return db.finishReplay(maxEpoch, firstSeq, lastSeq, haveSeq)
 			}
 			return fmt.Errorf("%w: frame %d length (after seq %d): %v", ErrWAL, frameIdx+1, lastSeq, err)
 		}
@@ -514,7 +562,7 @@ func (db *Database) ReplayWAL(path string) error {
 		if _, err := io.ReadFull(r, body); err != nil {
 			// Torn tail: the crash cut the last frame short. Everything
 			// before it replayed.
-			return db.finishReplay(maxEpoch, lastSeq, haveSeq)
+			return db.finishReplay(maxEpoch, firstSeq, lastSeq, haveSeq)
 		}
 		frameIdx++
 		fr, err := decodeWALFrame(body)
@@ -524,7 +572,14 @@ func (db *Database) ReplayWAL(path string) error {
 		if haveSeq && fr.seq != lastSeq+1 {
 			return fmt.Errorf("%w: frame %d seq %d, want %d", ErrWAL, frameIdx, fr.seq, lastSeq+1)
 		}
+		if !haveSeq {
+			firstSeq = fr.seq
+		}
 		lastSeq, haveSeq = fr.seq, true
+		if fr.seq > upToSeq {
+			prev := fr.seq - 1
+			return db.finishReplay(maxEpoch, firstSeq, prev, prev >= firstSeq)
+		}
 		if fr.epoch > maxEpoch {
 			maxEpoch = fr.epoch
 		}
@@ -533,15 +588,20 @@ func (db *Database) ReplayWAL(path string) error {
 			// (the checkpoint crashed before truncating the log).
 			continue
 		}
+		if fr.seq <= afterSeq {
+			// Already applied (replica catch-up resuming mid-log).
+			continue
+		}
 		if err := db.replayRecord(sess, fr.payload); err != nil {
 			return err
 		}
 	}
 }
 
-// finishReplay records where the log ended so EnableWAL continues the
-// epoch and sequence numbering from there.
-func (db *Database) finishReplay(maxEpoch, lastSeq uint64, haveSeq bool) error {
+// finishReplay records where the log started and ended so EnableWAL
+// continues the epoch and sequence numbering from there and replication
+// knows the oldest frame still on disk (WALBase).
+func (db *Database) finishReplay(maxEpoch, firstSeq, lastSeq uint64, haveSeq bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if maxEpoch > db.epoch {
@@ -549,6 +609,11 @@ func (db *Database) finishReplay(maxEpoch, lastSeq uint64, haveSeq bool) error {
 	}
 	if haveSeq && lastSeq > db.walSeq {
 		db.walSeq = lastSeq
+	}
+	if haveSeq {
+		db.walBase = firstSeq - 1
+	} else {
+		db.walBase = db.walSeq
 	}
 	return nil
 }
@@ -617,8 +682,10 @@ func (db *Database) replayRecord(sess *Session, rec []byte) error {
 		return err
 	}
 	// Replay under the original NOW so NOW-relative semantics match.
+	// Parsing goes through the session cache: a replica applying a
+	// stream of repeated statements pays the parser once per shape.
 	sess.nowOverride = &now
-	stmt, err := parse.Parse(sql)
+	stmt, err := sess.parseCached(sql)
 	if err != nil {
 		return fmt.Errorf("engine: wal replay of %q: %w", sql, err)
 	}

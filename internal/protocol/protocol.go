@@ -12,10 +12,26 @@
 //	MsgQuery    client→server: str sql, uvarint nParams, (str name, value)*
 //	MsgResult   server→client: uvarint affected, uvarint nCols,
 //	            (str name)*, uvarint nRows, rows of values
-//	MsgError    server→client: str message
+//	MsgError    server→client: str message, then optionally one error
+//	            code byte (ErrCode*; a frame without one is
+//	            ErrCodeGeneric)
 //	MsgQuit     client→server: no body
 //	MsgStats    client→server: no body (request);
 //	            server→client: uvarint n, (str name, float64 bits)*
+//	MsgCancel   client→server: no body
+//
+// Replication messages (see internal/repl):
+//
+//	MsgSubscribe  replica→primary: uvarint fromSeq, str replicaName,
+//	              str runID ("" on first contact)
+//	MsgWALFrame   primary→replica: a WAL frame body verbatim —
+//	              {CRC32C, epoch, seq, payload} as internal/engine
+//	              logged it
+//	MsgSnapshot   replica→primary: no body (request);
+//	              primary→replica: str runID, uvarint epoch,
+//	              uvarint seq, snapshot bytes (rest of frame)
+//	MsgReplStatus either direction: no body (request), or byte role,
+//	              uvarint appliedSeq, str runID (report)
 //
 // Value: str typeName ("" for untyped NULL), then the types codec bytes.
 package protocol
@@ -51,6 +67,30 @@ const (
 	// statement on the connection (at most one statement is ever
 	// cancelled per MsgCancel).
 	MsgCancel
+	// MsgSubscribe (replica→primary) turns the connection into a WAL
+	// stream: the primary answers with a MsgReplStatus report, then
+	// MsgWALFrame frames from fromSeq+1 onward until the connection
+	// closes. The replica may keep sending MsgReplStatus reports on the
+	// same connection to advertise its applied position.
+	MsgSubscribe
+	// MsgWALFrame (primary→replica) carries one WAL frame body
+	// verbatim; the replica checksums and applies it.
+	MsgWALFrame
+	// MsgSnapshot requests (empty body) or carries (response) a full
+	// database snapshot for replica bootstrap, stamped with the
+	// primary's runID and the WAL seq the snapshot reflects.
+	MsgSnapshot
+	// MsgReplStatus is the replication position probe: an empty body
+	// requests it, a non-empty body reports {role, appliedSeq, runID}.
+	// Served by every server (a primary reports its flushed seq, a
+	// replica its applied seq) so routers can bound staleness.
+	MsgReplStatus
+)
+
+// Roles reported in MsgReplStatus frames.
+const (
+	RolePrimary byte = 1
+	RoleReplica byte = 2
 )
 
 // Error codes carried by MsgError frames (after the message string), so
@@ -72,6 +112,15 @@ const (
 	// ErrCodeShutdown reports a server that is draining: the statement
 	// never ran and the connection is about to close.
 	ErrCodeShutdown
+	// ErrCodeReadOnly reports a state-changing statement sent to a
+	// read-only replica; the statement never ran and should be retried
+	// against the primary.
+	ErrCodeReadOnly
+	// ErrCodeWALGone answers a MsgSubscribe whose fromSeq the primary
+	// can no longer serve (the frames were checkpointed away, or the
+	// primary restarted into a new WAL lineage). The replica must
+	// re-bootstrap via MsgSnapshot.
+	ErrCodeWALGone
 )
 
 // Version identifies the protocol revision.

@@ -1,0 +1,393 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tip/internal/engine"
+	"tip/internal/obs"
+	"tip/internal/protocol"
+)
+
+// Replica-side state machine. The replica owns a read-only
+// engine.Database and drives it to convergence with the primary:
+//
+//	connect → (bootstrap via MsgSnapshot if fresh, or if the primary
+//	said WALGone / changed runID) → MsgSubscribe from applied seq →
+//	apply MsgWALFrame stream, reporting applied position → on any
+//	error, back off and reconnect from the last applied seq.
+//
+// Apply is exactly-once by construction: the snapshot states the seq it
+// reflects, every frame carries its seq, duplicates (seq ≤ applied) are
+// skipped and gaps refuse to apply — a gap or a failed apply tears the
+// connection down and the resubscribe (or re-bootstrap) heals it.
+
+// Defaults for the replica's timing knobs; tests shrink them.
+const (
+	DefaultStatusInterval = 100 * time.Millisecond
+	// DefaultIdleTimeout bounds silence on the stream. The primary
+	// heartbeats every DefaultHeartbeat, so a stream quiet for this
+	// long is partitioned or stalled, not idle.
+	DefaultIdleTimeout = 4 * DefaultHeartbeat
+)
+
+// errReplicaClosed reports Close was called.
+var errReplicaClosed = errors.New("repl: replica closed")
+
+// Replica streams a primary's WAL into its own database.
+type Replica struct {
+	db          *engine.Database
+	addr        string
+	name        string
+	dial        func(addr string) (net.Conn, error)
+	logf        func(format string, args ...any)
+	statusEvery time.Duration
+	idleTimeout time.Duration
+
+	applied      atomic.Uint64
+	runID        atomic.Value // string: primary lineage we bootstrapped from
+	needSnapshot atomic.Bool
+
+	framesApplied   *obs.Counter
+	resubscribes    *obs.Counter
+	snapshotsLoaded *obs.Counter
+
+	mu     sync.Mutex
+	conn   net.Conn // current connection, closed by Close to unblock reads
+	sess   *engine.Session
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ReplicaOption configures a Replica.
+type ReplicaOption func(*Replica)
+
+// WithReplicaName sets the name the replica advertises to the primary
+// (logs and lag attribution). Default "replica".
+func WithReplicaName(name string) ReplicaOption {
+	return func(r *Replica) { r.name = name }
+}
+
+// WithReplicaLogger directs replica-side replication logs to logf.
+func WithReplicaLogger(logf func(format string, args ...any)) ReplicaOption {
+	return func(r *Replica) { r.logf = logf }
+}
+
+// WithDialer replaces the primary dialer (tests inject
+// iofault-wrapped connections through this).
+func WithDialer(dial func(addr string) (net.Conn, error)) ReplicaOption {
+	return func(r *Replica) { r.dial = dial }
+}
+
+// WithStatusInterval sets how often the replica reports its applied
+// position to the primary.
+func WithStatusInterval(d time.Duration) ReplicaOption {
+	return func(r *Replica) {
+		if d > 0 {
+			r.statusEvery = d
+		}
+	}
+}
+
+// WithIdleTimeout bounds silence on the stream before the replica
+// declares the link dead and resubscribes. Must exceed the primary's
+// heartbeat interval; zero disables the bound.
+func WithIdleTimeout(d time.Duration) ReplicaOption {
+	return func(r *Replica) { r.idleTimeout = d }
+}
+
+// StartReplica switches db read-only and starts replicating it from the
+// primary at addr. The returned Replica runs until Close. db must not
+// have a WAL enabled (a replica's durability is the primary's) and is
+// expected to be empty — its contents are replaced at bootstrap.
+func StartReplica(db *engine.Database, addr string, opts ...ReplicaOption) *Replica {
+	r := &Replica{
+		db:          db,
+		addr:        addr,
+		name:        "replica",
+		dial:        func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, 3*time.Second) },
+		logf:        func(string, ...any) {},
+		statusEvery: DefaultStatusInterval,
+		idleTimeout: DefaultIdleTimeout,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	db.SetReadOnly(true)
+	r.needSnapshot.Store(true)
+	r.sess = db.NewReplicaSession()
+	m := db.Metrics()
+	r.framesApplied = m.Counter("repl.frames_applied")
+	r.resubscribes = m.Counter("repl.resubscribes")
+	r.snapshotsLoaded = m.Counter("repl.snapshots_loaded")
+	m.RegisterFunc("repl.applied_seq", func() float64 { return float64(r.applied.Load()) })
+	go r.run()
+	return r
+}
+
+// AppliedSeq returns the last WAL seq applied locally.
+func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
+
+// Status reports the replica's position; wire it into its server with
+// server.WithReplStatus so routers can bound staleness.
+func (r *Replica) Status() protocol.ReplStatus {
+	runID, _ := r.runID.Load().(string)
+	return protocol.ReplStatus{Role: protocol.RoleReplica, AppliedSeq: r.applied.Load(), RunID: runID}
+}
+
+// WaitForSeq blocks until the replica has applied through seq or the
+// timeout passes, reporting whether it converged.
+func (r *Replica) WaitForSeq(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.applied.Load() >= seq {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return r.applied.Load() >= seq
+}
+
+// Close stops replication and waits for the apply loop to exit. The
+// database stays read-only with whatever it has applied.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	conn := r.conn
+	r.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	<-r.done
+}
+
+// setConn tracks the live connection so Close can unblock a pending
+// read; refuses new connections once closed.
+func (r *Replica) setConn(c net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed && c != nil {
+		return false
+	}
+	r.conn = c
+	return true
+}
+
+// run is the reconnect loop: each runOnce is one connection's life, and
+// every exit reconnects with backoff from the last applied position.
+func (r *Replica) run() {
+	defer close(r.done)
+	const backoffMin, backoffMax = 10 * time.Millisecond, time.Second
+	backoff := backoffMin
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		started := time.Now()
+		err := r.runOnce()
+		if errors.Is(err, errReplicaClosed) {
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.resubscribes.Inc()
+		if time.Since(started) > 2*time.Second {
+			backoff = backoffMin // the link worked for a while; retry promptly
+		}
+		r.logf("repl: replica %s: %v (reconnecting in %v)", r.name, err, backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case <-r.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// runOnce is one connection: handshake, optional bootstrap, subscribe,
+// then the apply loop until the link dies or the primary refuses.
+func (r *Replica) runOnce() error {
+	conn, err := r.dial(r.addr)
+	if err != nil {
+		return err
+	}
+	if !r.setConn(conn) {
+		_ = conn.Close()
+		return errReplicaClosed
+	}
+	defer func() {
+		r.setConn(nil)
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var wmu sync.Mutex // status sender and main loop share bw
+
+	writeFrame := func(payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return protocol.WriteFrame(bw, payload)
+	}
+
+	// Handshake.
+	if err := writeFrame(protocol.EncodeHello("repl:" + r.name)); err != nil {
+		return err
+	}
+	frame, err := protocol.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if len(frame) == 0 || frame[0] != protocol.MsgWelcome {
+		return fmt.Errorf("repl: unexpected handshake reply")
+	}
+
+	if r.needSnapshot.Load() {
+		if err := r.bootstrap(br, writeFrame); err != nil {
+			return err
+		}
+	}
+
+	runID, _ := r.runID.Load().(string)
+	if err := writeFrame(protocol.EncodeSubscribe(r.applied.Load(), r.name, runID)); err != nil {
+		return err
+	}
+	// Report the applied position right away (the subscription carries
+	// fromSeq, but this hands the primary a full status report) and
+	// then periodically from a side goroutine, so lag stays observable
+	// even when the apply loop is busy or the stream idle.
+	if err := writeFrame(protocol.EncodeReplStatus(r.Status())); err != nil {
+		return err
+	}
+	statusDone := make(chan struct{})
+	defer close(statusDone)
+	go func() {
+		tick := time.NewTicker(r.statusEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-statusDone:
+				return
+			case <-r.stop:
+				return
+			case <-tick.C:
+				if writeFrame(protocol.EncodeReplStatus(r.Status())) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		if r.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(r.idleTimeout))
+		}
+		frame, err := protocol.ReadFrame(br)
+		if err != nil {
+			return err // includes idle timeout: resubscribe through a fresh link
+		}
+		if len(frame) == 0 {
+			return fmt.Errorf("repl: empty frame")
+		}
+		switch frame[0] {
+		case protocol.MsgWALFrame:
+			fr, payload, err := engine.DecodeWALFrameBody(frame[1:])
+			if err != nil {
+				return err // corrupt in flight: drop the link, refetch
+			}
+			a := r.applied.Load()
+			if fr.Seq <= a {
+				continue // duplicate straddling a catch-up boundary
+			}
+			if fr.Seq != a+1 {
+				return fmt.Errorf("repl: frame gap: got seq %d, want %d", fr.Seq, a+1)
+			}
+			if err := r.sess.ApplyWALPayload(payload); err != nil {
+				// Divergence — e.g. a ROLLBACK for a transaction opened
+				// before our bootstrap. A fresh snapshot heals it.
+				r.needSnapshot.Store(true)
+				return fmt.Errorf("repl: apply seq %d: %w", fr.Seq, err)
+			}
+			r.applied.Store(fr.Seq)
+			r.framesApplied.Inc()
+		case protocol.MsgReplStatus:
+			// Subscription ack or heartbeat: traffic, nothing to apply.
+		case protocol.MsgError:
+			msg, code, derr := protocol.DecodeError(frame[1:])
+			if derr != nil {
+				return derr
+			}
+			if code == protocol.ErrCodeWALGone {
+				r.needSnapshot.Store(true)
+			}
+			return fmt.Errorf("repl: primary: %s", msg)
+		default:
+			return fmt.Errorf("repl: unexpected frame kind %d", frame[0])
+		}
+	}
+}
+
+// bootstrap loads a full snapshot from the primary, replacing the
+// database's contents and adopting the snapshot's position and lineage.
+func (r *Replica) bootstrap(br *bufio.Reader, writeFrame func([]byte) error) error {
+	if err := writeFrame(protocol.EncodeSnapshotRequest()); err != nil {
+		return err
+	}
+	frame, err := protocol.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if len(frame) == 0 {
+		return errors.New("repl: empty snapshot reply")
+	}
+	if frame[0] == protocol.MsgError {
+		msg, _, derr := protocol.DecodeError(frame[1:])
+		if derr != nil {
+			return derr
+		}
+		return fmt.Errorf("repl: snapshot refused: %s", msg)
+	}
+	if frame[0] != protocol.MsgSnapshot {
+		return fmt.Errorf("repl: unexpected snapshot reply kind %d", frame[0])
+	}
+	runID, _, seq, data, err := protocol.DecodeSnapshot(frame[1:])
+	if err != nil {
+		return err
+	}
+	// Drop any half-applied transaction state from the old lineage,
+	// then swap the contents wholesale.
+	r.sess.Close()
+	if err := r.db.LoadReplicaSnapshot(data); err != nil {
+		return err
+	}
+	r.sess = r.db.NewReplicaSession()
+	r.applied.Store(seq)
+	r.runID.Store(runID)
+	r.needSnapshot.Store(false)
+	r.snapshotsLoaded.Inc()
+	r.logf("repl: replica %s: bootstrapped at seq %d (lineage %s)", r.name, seq, runID)
+	return nil
+}

@@ -1,0 +1,164 @@
+package repl_test
+
+// The read router against a live cluster: read-your-writes bounding,
+// failover when a replica dies mid-workload, and stale replicas being
+// skipped rather than serving old data.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tip/internal/blade"
+	"tip/internal/client"
+	"tip/internal/core"
+	"tip/internal/repl"
+)
+
+func newClientReg(t *testing.T) *blade.Registry {
+	t.Helper()
+	reg := blade.NewRegistry()
+	if _, err := core.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func routerOpts() client.RouterOptions {
+	return client.RouterOptions{
+		ReadYourWrites: true,
+		StatusInterval: 10 * time.Millisecond,
+		RetryDown:      100 * time.Millisecond,
+	}
+}
+
+func routerCount(t *testing.T, r *client.Router) int {
+	t.Helper()
+	res, err := r.Exec(`SELECT COUNT(*) FROM t`, nil)
+	if err != nil {
+		t.Fatalf("router count: %v", err)
+	}
+	return int(res.Rows[0][0].Int())
+}
+
+func TestRouterReadYourWrites(t *testing.T) {
+	p := startPrimary(t)
+	r1 := startReplica(t, p.srv.Addr(), repl.WithReplicaName("r1"))
+	r2 := startReplica(t, p.srv.Addr(), repl.WithReplicaName("r2"))
+
+	router, err := client.NewRouter(p.srv.Addr(),
+		[]string{r1.srv.Addr(), r2.srv.Addr()}, newClientReg(t), routerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	if _, err := router.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Every read immediately after a write must observe that write,
+	// whether it lands on a caught-up replica or falls back to the
+	// primary — never a stale count.
+	for i := 0; i < 20; i++ {
+		if _, err := router.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i), nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := routerCount(t, router); got != i+1 {
+			t.Fatalf("read-your-writes violated: count = %d, want %d", got, i+1)
+		}
+	}
+
+	snap := router.Metrics().Snapshot()
+	if got, _ := snap.Get("router.writes"); got != 21 { // CREATE + 20 INSERTs
+		t.Fatalf("router.writes = %v, want 21", got)
+	}
+	pr, _ := snap.Get("router.reads.primary")
+	rr, _ := snap.Get("router.reads.replica")
+	if pr+rr != 20 {
+		t.Fatalf("routed reads = %v primary + %v replica, want 20 total", pr, rr)
+	}
+}
+
+func TestRouterFailsOverWhenReplicaDies(t *testing.T) {
+	p := startPrimary(t)
+	r1 := startReplica(t, p.srv.Addr())
+
+	opts := routerOpts()
+	opts.ReadYourWrites = false
+	router, err := client.NewRouter(p.srv.Addr(), []string{r1.srv.Addr()},
+		newClientReg(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	if _, err := router.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.Exec(`INSERT INTO t VALUES (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	r1.converge(t, p)
+	if got := routerCount(t, router); got != 1 {
+		t.Fatalf("pre-failover count = %d", got)
+	}
+
+	// Kill the replica's server: in-flight connections break, and reads
+	// must fail over to the primary without surfacing an error.
+	r1.rep.Close()
+	_ = r1.srv.Close()
+	for i := 0; i < 5; i++ {
+		if got := routerCount(t, router); got != 1 {
+			t.Fatalf("post-failover count = %d", got)
+		}
+	}
+
+	snap := router.Metrics().Snapshot()
+	if got, _ := snap.Get("router.failovers"); got == 0 {
+		t.Fatal("router.failovers = 0 after replica death")
+	}
+	if got, _ := snap.Get("router.reads.primary"); got == 0 {
+		t.Fatal("router.reads.primary = 0 after replica death")
+	}
+}
+
+func TestRouterSkipsStaleReplica(t *testing.T) {
+	p := startPrimary(t)
+	d := &blockableDialer{}
+	r1 := startReplica(t, p.srv.Addr(), repl.WithDialer(d.dial))
+
+	router, err := client.NewRouter(p.srv.Addr(), []string{r1.srv.Addr()},
+		newClientReg(t), routerOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	if _, err := router.Exec(`CREATE TABLE t (a INT)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	r1.converge(t, p)
+
+	// Freeze the replica's replication; its server stays up and keeps
+	// reporting the old applied seq.
+	d.partition(true)
+	for i := 0; i < 5; i++ {
+		if _, err := router.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-your-writes must route around the stale replica.
+	for i := 0; i < 3; i++ {
+		if got := routerCount(t, router); got != 5 {
+			t.Fatalf("stale read: count = %d, want 5 (replica applied %d)",
+				got, r1.rep.AppliedSeq())
+		}
+	}
+	snap := router.Metrics().Snapshot()
+	if got, _ := snap.Get("router.reads.replica"); got != 0 {
+		t.Fatalf("stale replica served %v reads", got)
+	}
+	if got, _ := snap.Get("router.reads.primary"); got != 3 {
+		t.Fatalf("router.reads.primary = %v, want 3", got)
+	}
+}

@@ -39,6 +39,31 @@ import (
 // DefaultReadTimeout bounds how long a started frame may take to arrive.
 const DefaultReadTimeout = 10 * time.Second
 
+// ReplSource is what a replication primary plugs into the server (see
+// WithReplication); internal/repl.Primary implements it. The server
+// keeps the interface structural so it never imports the repl package.
+type ReplSource interface {
+	// Status reports the primary's current stream position.
+	Status() protocol.ReplStatus
+	// Snapshot encodes a bootstrap snapshot with the runID and
+	// epoch/seq position it reflects.
+	Snapshot() (runID string, epoch, seq uint64, data []byte, err error)
+	// Stream serves one subscriber until the connection dies or stop
+	// closes: it sends protocol payloads through send (WAL frames,
+	// status reports, or a terminal typed error), and consumes the
+	// subscriber's own frames (position reports) from incoming, which
+	// closes when the peer disconnects.
+	Stream(req ReplStreamRequest, send func(payload []byte) error,
+		incoming <-chan []byte, stop <-chan struct{}) error
+}
+
+// ReplStreamRequest is a decoded MsgSubscribe.
+type ReplStreamRequest struct {
+	Name    string // subscriber's advertised name (logs, lag attribution)
+	FromSeq uint64 // stream frames with seq > FromSeq
+	RunID   string // primary runID the subscriber last applied under ("" = fresh)
+}
+
 // Server serves one database over a listener.
 type Server struct {
 	db   *engine.Database
@@ -50,6 +75,9 @@ type Server struct {
 	maxInflight int64         // executing-statement watermark (0 = unlimited)
 	readTimeout time.Duration // per-frame read deadline
 	maxFrame    uint64        // receive-path frame bound
+
+	repl     ReplSource                 // non-nil on a replication primary
+	statusFn func() protocol.ReplStatus // MsgReplStatus answer (replicas override)
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*engine.Session
@@ -106,6 +134,20 @@ func WithMaxInflight(n int) Option {
 // frames). Zero disables the bound; the default is DefaultReadTimeout.
 func WithReadTimeout(d time.Duration) Option {
 	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithReplication makes this server a replication primary: MsgSubscribe
+// turns a connection into a WAL stream and MsgSnapshot serves bootstrap
+// snapshots, both through src.
+func WithReplication(src ReplSource) Option {
+	return func(s *Server) { s.repl = src }
+}
+
+// WithReplStatus overrides the MsgReplStatus answer. A replica server
+// passes its applied-position reporter here so routers can bound read
+// staleness; without it a server reports RolePrimary at its WAL seq.
+func WithReplStatus(fn func() protocol.ReplStatus) Option {
+	return func(s *Server) { s.statusFn = fn }
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:5432" or ":0").
@@ -353,6 +395,40 @@ func (s *Server) serveConn(conn net.Conn) {
 			if fatal {
 				return
 			}
+		case protocol.MsgReplStatus:
+			// Empty body = request; a report from a peer outside a
+			// subscribed stream carries nothing we track — answer both
+			// with our own status.
+			if err := protocol.WriteFrame(w, protocol.EncodeReplStatus(s.replStatus())); err != nil {
+				return
+			}
+		case protocol.MsgSnapshot:
+			if err := protocol.WriteFrame(w, s.replSnapshot()); err != nil {
+				return
+			}
+		case protocol.MsgSubscribe:
+			if s.repl == nil {
+				if err := protocol.WriteFrame(w, protocol.EncodeError("server: not a replication primary")); err != nil {
+					return
+				}
+				continue
+			}
+			fromSeq, name, runID, err := protocol.DecodeSubscribe(frame[1:])
+			if err != nil {
+				_ = protocol.WriteFrame(w, protocol.EncodeError(err.Error()))
+				return
+			}
+			s.logf("server: %s subscribed as %q from seq %d", conn.RemoteAddr(), name, fromSeq)
+			// The connection is a WAL stream from here on: the repl
+			// source owns it until the peer disconnects or we drain.
+			err = s.repl.Stream(
+				ReplStreamRequest{Name: name, FromSeq: fromSeq, RunID: runID},
+				func(payload []byte) error { return protocol.WriteFrame(w, payload) },
+				frames, s.drainCh)
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: stream to %q: %v", name, err)
+			}
+			return
 		default:
 			if err := protocol.WriteFrame(w, protocol.EncodeError("unexpected message")); err != nil {
 				return
@@ -404,6 +480,33 @@ func encodeExecError(err error) []byte {
 		return protocol.EncodeErrorCode(protocol.ErrCodeCancelled, err.Error())
 	case errors.Is(err, engine.ErrTimeout):
 		return protocol.EncodeErrorCode(protocol.ErrCodeTimeout, err.Error())
+	case errors.Is(err, engine.ErrReadOnly):
+		return protocol.EncodeErrorCode(protocol.ErrCodeReadOnly, err.Error())
 	}
 	return protocol.EncodeError(err.Error())
+}
+
+// replStatus answers MsgReplStatus: the repl source's position on a
+// primary, the configured reporter on a replica, the bare WAL position
+// otherwise.
+func (s *Server) replStatus() protocol.ReplStatus {
+	if s.repl != nil {
+		return s.repl.Status()
+	}
+	if s.statusFn != nil {
+		return s.statusFn()
+	}
+	return protocol.ReplStatus{Role: protocol.RolePrimary, AppliedSeq: s.db.WALSeq()}
+}
+
+// replSnapshot builds the MsgSnapshot response payload.
+func (s *Server) replSnapshot() []byte {
+	if s.repl == nil {
+		return protocol.EncodeError("server: not a replication primary")
+	}
+	runID, epoch, seq, data, err := s.repl.Snapshot()
+	if err != nil {
+		return protocol.EncodeError("server: snapshot: " + err.Error())
+	}
+	return protocol.EncodeSnapshot(runID, epoch, seq, data)
 }

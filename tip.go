@@ -192,6 +192,15 @@ func ParseDurability(spec string) (SyncPolicy, time.Duration, error) {
 	}
 }
 
+// WALPath returns the WAL file of a durable database, or "" for an
+// in-memory one. Replication (internal/repl) streams this file.
+func (db *DB) WALPath() string {
+	if db.durableDir == "" {
+		return ""
+	}
+	return filepath.Join(db.durableDir, "wal.log")
+}
+
 // Checkpoint snapshots a durable database and truncates its WAL.
 func (db *DB) Checkpoint() error {
 	if db.durableDir == "" {
