@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke repl-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
 # disjoint tables, so plain `go test` is not enough), the crash-recovery
 # torture subset, the wire-fault torture subset, the MVCC snapshot
-# smoke, the replication smoke, and the metrics-overhead smoke.
-check: vet build race crash-smoke netfault-smoke mvcc-smoke repl-smoke obs-smoke
+# smoke, the planner smoke, the replication smoke, and the
+# metrics-overhead smoke.
+check: vet build race crash-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +57,17 @@ fuzz-smoke:
 mvcc-smoke:
 	$(GO) test -race -run 'TestMVCC' -count=1 ./internal/engine
 	$(GO) test -race -run '^$$' -bench 'BenchmarkDisjointWriters(PerTable|NoAnalyst)$$' -benchtime 200ms .
+
+# plan-smoke exercises the cost-based planner and the batched executor
+# under the race detector: the EXPLAIN/EXPLAIN ANALYZE planner-choice
+# goldens (period-index probe kept and rejected by cost, sort-merge and
+# hash coalesce, statistics flipping both decisions), the batched-vs-
+# scalar parity property battery (GROUP BY/group_union/DISTINCT/ORDER
+# BY/set ops over NULLs and period boundaries), and the layered-stratum
+# agreement across every TIP coalesce plan variant (E2).
+plan-smoke:
+	$(GO) test -race -run 'TestPlanner|TestExplain|TestBatchedScalarParity' -count=1 ./internal/exec
+	$(GO) test -race -run 'TestE2AgreesAndRuns|TestCoalescePlanVariants' -count=1 ./internal/bench ./internal/layered
 
 # repl-smoke runs the replication torture battery under the race
 # detector: a 3-node in-process cluster (durable primary + 2 snapshot-

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"tip/internal/engine"
@@ -22,38 +23,54 @@ import (
 // Result is one scenario's machine-readable measurement. Latencies come
 // from the engine's stmt.<kind>.latency histogram, not from wall-clock
 // division, so p50/p99 reflect the true per-statement distribution.
+// AllocsPerOp and RowsReadPerOp cover only the measured window (setup —
+// schema creation, loads, index builds — is excluded): heap allocations
+// from runtime.MemStats.Mallocs deltas, rows read from the engine's
+// rows.read counter delta.
 type Result struct {
-	Name       string             `json:"name"`
-	Statements int64              `json:"statements"`
-	OpsPerSec  float64            `json:"ops_per_sec"`
-	P50Nanos   float64            `json:"p50_ns"`
-	P99Nanos   float64            `json:"p99_ns"`
-	MeanNanos  float64            `json:"mean_ns"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name          string             `json:"name"`
+	Statements    int64              `json:"statements"`
+	OpsPerSec     float64            `json:"ops_per_sec"`
+	P50Nanos      float64            `json:"p50_ns"`
+	P99Nanos      float64            `json:"p99_ns"`
+	MeanNanos     float64            `json:"mean_ns"`
+	AllocsPerOp   float64            `json:"allocs_per_op"`
+	RowsReadPerOp float64            `json:"rows_read_per_op"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
 }
 
-// jsonScenario runs fn (which must execute `n` statements of the given
-// kind) on a fresh fully-traced engine and assembles the Result from the
-// registry snapshot.
-func jsonScenario(name, kind string, extra []string, fn func(db *engine.Database) int64) Result {
+// jsonScenario builds a fresh fully-traced engine, lets setup prepare it
+// (load data, build indexes) and returns the measured closure, then
+// times only that closure: wall clock for ops/s, MemStats.Mallocs for
+// allocs/op, the rows.read counter for rows/op. The run closure must
+// execute `n` statements of the given kind.
+func jsonScenario(name, kind string, extra []string, setup func(db *engine.Database) (run func() int64)) Result {
 	sess, _ := NewTIPDB()
 	db := sess.Database()
 	db.SetTraceSampling(1) // every statement feeds the histograms
+	run := setup(db)
+	before := db.Metrics().Snapshot()
+	rowsBefore, _ := before.Get("rows.read")
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	n := fn(db)
+	n := run()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	snap := db.Metrics().Snapshot()
 	get := func(metric string) float64 {
 		v, _ := snap.Get(metric)
 		return v
 	}
 	res := Result{
-		Name:       name,
-		Statements: n,
-		OpsPerSec:  float64(n) / elapsed.Seconds(),
-		P50Nanos:   get("stmt." + kind + ".latency.p50"),
-		P99Nanos:   get("stmt." + kind + ".latency.p99"),
-		MeanNanos:  get("stmt." + kind + ".latency.mean"),
+		Name:          name,
+		Statements:    n,
+		OpsPerSec:     float64(n) / elapsed.Seconds(),
+		P50Nanos:      get("stmt." + kind + ".latency.p50"),
+		P99Nanos:      get("stmt." + kind + ".latency.p99"),
+		MeanNanos:     get("stmt." + kind + ".latency.mean"),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		RowsReadPerOp: (get("rows.read") - rowsBefore) / float64(n),
 	}
 	if len(extra) > 0 {
 		res.Metrics = make(map[string]float64, len(extra))
@@ -72,11 +89,13 @@ func JSONResults(rows int) []Result {
 
 	insert := jsonScenario("insert", "insert",
 		[]string{"wal.appends", "rows.written"},
-		func(db *engine.Database) int64 {
-			if err := loadPrescriptions(db.NewSession(), data); err != nil {
-				panic(err)
+		func(db *engine.Database) func() int64 {
+			return func() int64 {
+				if err := loadPrescriptions(db.NewSession(), data); err != nil {
+					panic(err)
+				}
+				return int64(len(data))
 			}
-			return int64(len(data))
 		})
 	// The durability dimension: the same insert workload on WAL-backed
 	// engines under each fsync policy. wal_nofsync (SyncOnCheckpoint) is
@@ -95,25 +114,27 @@ func JSONResults(rows int) []Result {
 	insert.Metrics["mvcc.analyst.ops_per_sec"] = mvccOpsPerSec(true, 300*time.Millisecond)
 
 	coalesce := jsonScenario("coalesce", "select",
-		[]string{"plancache.hit_rate", "rows.read"},
-		func(db *engine.Database) int64 {
+		[]string{"plancache.hit_rate", "rows.read", "planner.coalesce.sort_merge", "planner.coalesce.hash"},
+		func(db *engine.Database) func() int64 {
 			sess := db.NewSession()
 			if err := loadPrescriptions(sess, data); err != nil {
 				panic(err)
 			}
-			const reps = 50
-			q := `SELECT patient, length(group_union(valid)) FROM Prescription GROUP BY patient`
-			for i := 0; i < reps; i++ {
-				if _, err := sess.Exec(q, nil); err != nil {
-					panic(err)
+			return func() int64 {
+				const reps = 50
+				q := `SELECT patient, length(group_union(valid)) FROM Prescription GROUP BY patient`
+				for i := 0; i < reps; i++ {
+					if _, err := sess.Exec(q, nil); err != nil {
+						panic(err)
+					}
 				}
+				return reps
 			}
-			return reps
 		})
 
 	join := jsonScenario("period_index_join", "select",
-		[]string{"table.prescription.reads"},
-		func(db *engine.Database) int64 {
+		[]string{"table.prescription.reads", "planner.scan.period"},
+		func(db *engine.Database) func() int64 {
 			sess := db.NewSession()
 			if err := loadPrescriptions(sess, data); err != nil {
 				panic(err)
@@ -121,14 +142,16 @@ func JSONResults(rows int) []Result {
 			if _, err := sess.Exec(`CREATE INDEX rx_valid ON Prescription (valid) USING PERIOD`, nil); err != nil {
 				panic(err)
 			}
-			const reps = 20
-			q := `SELECT COUNT(*) FROM Prescription WHERE overlaps(valid, '[1998-03-01, 1998-03-31]')`
-			for i := 0; i < reps; i++ {
-				if _, err := sess.Exec(q, nil); err != nil {
-					panic(err)
+			return func() int64 {
+				const reps = 20
+				q := `SELECT COUNT(*) FROM Prescription WHERE overlaps(valid, '[1998-03-01, 1998-03-31]')`
+				for i := 0; i < reps; i++ {
+					if _, err := sess.Exec(q, nil); err != nil {
+						panic(err)
+					}
 				}
+				return reps
 			}
-			return reps
 		})
 
 	return []Result{insert, coalesce, join, ReplReadResult()}

@@ -382,7 +382,10 @@ func (r *Registry) Invoke(ctx *Ctx, name string, args []types.Value) (types.Valu
 // Call evaluates a previously resolved routine against concrete arguments.
 func (r *Registry) Call(ctx *Ctx, res *Resolution, args []types.Value) (types.Value, error) {
 	rt := res.Routine
-	callArgs := make([]types.Value, len(args))
+	// Strict-NULL and cast screening first: when no implicit cast fires
+	// the argument slice passes through unchanged (routines never retain
+	// it), keeping the per-call hot path allocation-free.
+	needCast := false
 	for i, a := range args {
 		if a.Null {
 			if rt.Strict {
@@ -392,17 +395,26 @@ func (r *Registry) Call(ctx *Ctx, res *Resolution, args []types.Value) (types.Va
 				}
 				return types.NewNull(result), nil
 			}
-			callArgs[i] = a
 			continue
 		}
-		if c := res.Casts[i]; c != nil {
+		if res.Casts[i] != nil {
+			needCast = true
+		}
+	}
+	callArgs := args
+	if needCast {
+		callArgs = make([]types.Value, len(args))
+		for i, a := range args {
+			c := res.Casts[i]
+			if a.Null || c == nil {
+				callArgs[i] = a
+				continue
+			}
 			cv, err := c.Fn(ctx, a)
 			if err != nil {
 				return types.Value{}, fmt.Errorf("implicit cast %s→%s: %w", c.From, c.To, err)
 			}
 			callArgs[i] = cv
-		} else {
-			callArgs[i] = a
 		}
 	}
 	out, err := rt.Fn(ctx, callArgs)

@@ -253,7 +253,7 @@ func (s *Session) matchingRows(tbl *exec.Table, env *exec.Env, where exec.RowExp
 	var scanErr error
 	var ticks uint32
 	s.snap(tbl).Rows.Scan(func(id int, r exec.Row) bool {
-		if ticks++; ticks&63 == 0 {
+		if ticks++; ticks&(exec.BatchRows-1) == 0 {
 			if scanErr = env.CancelErr(); scanErr != nil {
 				return false
 			}

@@ -432,7 +432,8 @@ func (s *Session) env(params map[string]types.Value) *exec.Env {
 			v, ok := s.snaps[strings.ToLower(name)]
 			return v, ok
 		},
-		Cancel: &s.cancel,
+		Cancel:     &s.cancel,
+		PlanChoice: s.db.obs.planChoice,
 	}
 }
 
@@ -558,6 +559,7 @@ func (s *Session) createIndex(st *ast.CreateIndex) (*exec.Result, error) {
 		}
 		nv.Hash[pos] = ix
 	}
+	nv.Stats = exec.ComputeStats(nv)
 	tbl.Install(nv)
 	return &exec.Result{}, nil
 }
@@ -591,6 +593,7 @@ func (s *Session) dropIndex(st *ast.DropIndex) (*exec.Result, error) {
 			}
 		}
 	}
+	nv.Stats = exec.ComputeStats(nv)
 	tbl.Install(nv)
 	return &exec.Result{}, s.db.cat.DropIndex(st.Name)
 }

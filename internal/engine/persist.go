@@ -302,7 +302,9 @@ func (db *Database) decodeSnapshot(data []byte) (uint64, error) {
 			}
 			b.Insert(row)
 		}
-		tbl.Install(&exec.TableVersion{Rows: b.Commit()})
+		nv := &exec.TableVersion{Rows: b.Commit()}
+		nv.Stats = exec.ComputeStats(nv)
+		tbl.Install(nv)
 	}
 	indexCount, data, err := readUvarint(data)
 	if err != nil {

@@ -101,7 +101,8 @@ type obsState struct {
 
 	lockWait *obs.Histogram
 
-	tables sync.Map // lower-cased table name -> *tableOps
+	tables  sync.Map // lower-cased table name -> *tableOps
+	planner sync.Map // planner choice label -> *obs.Counter
 }
 
 func newObsState() *obsState {
@@ -157,6 +158,23 @@ func (o *obsState) tableOf(name string) *tableOps {
 	}
 	actual, _ := o.tables.LoadOrStore(name, t)
 	return actual.(*tableOps)
+}
+
+// planChoice bumps the counter for one planner decision (e.g.
+// "scan.period" or "coalesce.sort_merge"), surfacing plan selection as
+// "planner.<choice>" metrics. It is handed to the executor as the
+// Env.PlanChoice hook.
+func (o *obsState) planChoice(choice string) {
+	if !o.enabled() {
+		return
+	}
+	if c, ok := o.planner.Load(choice); ok {
+		c.(*obs.Counter).Inc()
+		return
+	}
+	c := o.reg.Counter("planner." + choice)
+	actual, _ := o.planner.LoadOrStore(choice, c)
+	actual.(*obs.Counter).Inc()
 }
 
 // Metrics exposes the engine's metrics registry.

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"tip/internal/types"
+)
+
+// Batched execution support. The executor is materialised, so
+// "vectorized" here means the hot loops work at batch granularity
+// instead of row granularity: row storage comes from a per-statement
+// arena in BatchRows-sized chunks (one allocation per batch instead of
+// one per row), grouping keys build into a reused byte buffer instead
+// of per-row strings, single-source scans alias the immutable MVCC slab
+// rows instead of copying them, and the cancel token is polled once per
+// BatchRows rows. The specialised coalesce operator (coalesce.go) is
+// the columnar end of this: it extracts the period columns of a grouped
+// temporal aggregation into flat (group, lo, hi) arrays and sort-merges
+// them.
+
+// BatchRows is the executor's batch size: the arena chunk granularity
+// and the number of row-loop iterations between cancel-token polls.
+// Must be a power of two. It is exported so the engine's write paths
+// poll at the same granularity as the executor's batch loops (the
+// write-atomicity tests depend on one shared definition).
+const BatchRows = 256
+
+// vectorizedMode gates the batched fast paths (slab-row aliasing,
+// single-source pass-through, and the specialised coalesce operator).
+// It exists as the ablation knob for the batched-vs-scalar property
+// tests and the §5 plan comparison; production never turns it off.
+var vectorizedMode atomic.Bool
+
+func init() { vectorizedMode.Store(true) }
+
+// SetVectorized toggles batched execution. Off means the executor runs
+// the original row-at-a-time loops: per-row copies and the generic
+// grouped-aggregation path. Intended for tests and benchmarks only.
+func SetVectorized(on bool) { vectorizedMode.Store(on) }
+
+// Vectorized reports whether batched execution is enabled.
+func Vectorized() bool { return vectorizedMode.Load() }
+
+// rowArena hands out row backing storage in BatchRows-sized chunks so a
+// statement's row loops allocate once per batch instead of once per
+// row. Chunks are never recycled: rows handed out may escape into the
+// statement's Result, so the arena only amortises allocation — handed
+// out memory stays owned by whoever holds the row.
+type rowArena struct {
+	buf []types.Value
+}
+
+// alloc returns a zeroed row of the given width carved from the current
+// chunk (full capacity: appends to the row never bleed into its
+// neighbours).
+func (a *rowArena) alloc(w int) Row {
+	if w <= 0 {
+		return Row{}
+	}
+	if len(a.buf) < w {
+		n := BatchRows * w
+		if n < 1024 {
+			n = 1024
+		}
+		a.buf = make([]types.Value, n)
+	}
+	r := a.buf[:w:w]
+	a.buf = a.buf[w:]
+	return r
+}
+
+// appendKey appends the length-prefixed grouping/DISTINCT key of vals
+// to dst. The format matches what rowKey historically produced
+// (len:keylen:key... per value) but builds into a reusable buffer, so
+// map probes via m[string(buf)] stay allocation-free on hits.
+func (rt *runtime) appendKey(dst []byte, vals []types.Value) []byte {
+	now := rt.env.Now
+	for _, v := range vals {
+		k := v.Key(now)
+		dst = strconv.AppendInt(dst, int64(len(k)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// appendKeyCols is appendKey over selected columns of a row, skipping
+// the copy into an intermediate value slice.
+func (rt *runtime) appendKeyCols(dst []byte, fr Row, cols []int) []byte {
+	now := rt.env.Now
+	for _, c := range cols {
+		k := fr[c].Key(now)
+		dst = strconv.AppendInt(dst, int64(len(k)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, k...)
+	}
+	return dst
+}

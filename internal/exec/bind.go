@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tip/internal/blade"
 	"tip/internal/sql/ast"
 	"tip/internal/types"
 )
@@ -416,8 +417,24 @@ func (b *binder) bindCall(n *ast.Call, sc *bindScope) (cexpr, error) {
 		return nil, fmt.Errorf("exec: unknown function %s", n.Name)
 	}
 	fname := name
+	// Overload resolution depends only on the argument types, which are
+	// almost always the same on every row, so the closure memoizes the
+	// last resolution and its type signature. Bound programs run on a
+	// single goroutine per execution (the row arena is unsynchronized for
+	// the same reason), so the cache needs no locking.
+	var (
+		cachedRes *blade.Resolution
+		cachedSig []*types.Type
+		argBuf    []types.Value
+	)
 	return func(rt *runtime) (types.Value, error) {
-		vals := make([]types.Value, len(args))
+		// Routines receive the argument slice for the duration of the
+		// call only (see Registry.Call), so one buffer per bound call
+		// site serves every row.
+		if argBuf == nil {
+			argBuf = make([]types.Value, len(args))
+		}
+		vals := argBuf
 		for i, a := range args {
 			v, err := a(rt)
 			if err != nil {
@@ -425,7 +442,35 @@ func (b *binder) bindCall(n *ast.Call, sc *bindScope) (cexpr, error) {
 			}
 			vals[i] = v
 		}
-		return rt.env.Reg.Invoke(rt.env.Ctx(), fname, vals)
+		match := cachedRes != nil
+		if match {
+			for i, v := range vals {
+				at := v.T
+				if v.Null && at == nil {
+					at = types.TNull
+				}
+				if cachedSig[i] != at {
+					match = false
+					break
+				}
+			}
+		}
+		if !match {
+			sig := make([]*types.Type, len(vals))
+			for i, v := range vals {
+				if v.Null && v.T == nil {
+					sig[i] = types.TNull
+				} else {
+					sig[i] = v.T
+				}
+			}
+			res, err := rt.env.Reg.Resolve(fname, sig)
+			if err != nil {
+				return types.Value{}, err
+			}
+			cachedRes, cachedSig = res, sig
+		}
+		return rt.env.Reg.Call(rt.env.Ctx(), cachedRes, vals)
 	}, nil
 }
 

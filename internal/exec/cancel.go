@@ -14,8 +14,9 @@ import (
 // locking on the hot path.
 //
 // The polls are rationed: the runtime checks the token once every
-// cancelCheckRows loop iterations, so the steady-state cost is one
-// local counter increment per row and one atomic load per batch.
+// BatchRows loop iterations (the executor's batch size, see batch.go),
+// so the steady-state cost is one local counter increment per row and
+// one atomic load per batch.
 
 // CancelCause says why a statement was aborted.
 type CancelCause int32
@@ -68,11 +69,6 @@ func (t *Token) Err() error {
 	}
 }
 
-// cancelCheckRows is how many loop iterations pass between token polls;
-// must be a power of two. At typical scan speeds (millions of rows per
-// second) this bounds cancellation latency to well under a millisecond.
-const cancelCheckRows = 64
-
 // CancelErr polls the environment's cancel token (nil-safe).
 func (e *Env) CancelErr() error {
 	if e.Cancel == nil {
@@ -82,10 +78,12 @@ func (e *Env) CancelErr() error {
 }
 
 // checkCancel is the executor's rationed cancel point: call it once per
-// row-loop iteration; it polls the token every cancelCheckRows calls.
+// row-loop iteration; it polls the token every BatchRows calls (once
+// per batch). At typical scan speeds (millions of rows per second) this
+// bounds cancellation latency to well under a millisecond.
 func (rt *runtime) checkCancel() error {
 	rt.ticks++
-	if rt.ticks&(cancelCheckRows-1) != 0 {
+	if rt.ticks&(BatchRows-1) != 0 {
 		return nil
 	}
 	return rt.env.CancelErr()

@@ -1,0 +1,573 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"slices"
+	"sync"
+
+	"tip/internal/sql/ast"
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Specialised coalesce operator for grouped temporal aggregation — the
+// executor's columnar fast path for the paper's §5 centerpiece,
+//
+//	SELECT k..., group_union(valid) FROM ... GROUP BY k...
+//
+// Instead of running one accumulator per (group, aggregate) with
+// per-row interface dispatch, the operator works in three flat passes:
+//
+//  1. assign every input row a group ordinal, either by hashing the
+//     grouping key or by sorting a concatenated key buffer (sort-merge);
+//  2. extract the period columns of every group_union argument into one
+//     (group, lo, hi) array, sort it by (group, lo), and coalesce each
+//     group's run with a single linear normalize pass;
+//  3. emit one output row per group in first-encounter order, exactly
+//     like the generic operator.
+//
+// The operator binds only when every aggregate is COUNT(*), COUNT(col)
+// or non-DISTINCT group_union(col) over plain column references and at
+// least one group_union is present; anything else (and any runtime
+// surprise, such as a non-Element value reaching group_union through an
+// implicit cast) falls back to the generic accumulator path, which
+// remains the semantics reference.
+
+// Cost model constants for the coalesce strategy choice (see DESIGN.md,
+// "Batched execution & temporal planning"). Units are arbitrary "row
+// touch" multiples; only ratios matter.
+const (
+	coalesceCmpCost   = 0.5  // one key comparison during sort-merge
+	coalesceHashCost  = 1.5  // hashing one key into the group map
+	coalesceGroupCost = 16.0 // creating one group map entry
+)
+
+type coalesceAggKind int
+
+const (
+	caCountStar coalesceAggKind = iota
+	caCountCol
+	caUnion
+)
+
+// coalesceAggSpec mirrors one aggSpec the fast path can evaluate
+// columnarly; col is the fromSchema position of the argument.
+type coalesceAggSpec struct {
+	kind coalesceAggKind
+	col  int
+}
+
+// coalescePlan is the bound fast path: group columns, aggregate specs,
+// and the statistics-driven strategy choice.
+type coalescePlan struct {
+	groupCols []int
+	aggs      []coalesceAggSpec
+	strategy  string // "sort-merge" or "hash"
+	estN      int    // estimated input rows (0 = unknown)
+	estG      int    // estimated group count
+	costMerge float64
+	costHash  float64
+}
+
+// tryCoalesce checks whether the grouped query is eligible for the
+// specialised coalesce operator and, if so, chooses the grouping
+// strategy by estimated cost. nil means the generic path runs.
+func (b *binder) tryCoalesce(sel *ast.Select, aggSpecs []*aggSpec, sources []*source, fromSchema Schema) *coalescePlan {
+	if len(sel.GroupBy) == 0 || sel.Distinct {
+		return nil
+	}
+	cp := &coalescePlan{}
+	for _, ge := range sel.GroupBy {
+		cr, ok := ge.(*ast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		pos, err := fromSchema.Resolve(cr.Table, cr.Column)
+		if err != nil {
+			return nil
+		}
+		cp.groupCols = append(cp.groupCols, pos)
+	}
+	union := false
+	for _, spec := range aggSpecs {
+		if spec.name == "count" && spec.star {
+			cp.aggs = append(cp.aggs, coalesceAggSpec{kind: caCountStar})
+			continue
+		}
+		if spec.distinct || spec.star || len(spec.call.Args) != 1 {
+			return nil
+		}
+		cr, ok := spec.call.Args[0].(*ast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		pos, err := fromSchema.Resolve(cr.Table, cr.Column)
+		if err != nil {
+			return nil
+		}
+		switch spec.name {
+		case "count":
+			cp.aggs = append(cp.aggs, coalesceAggSpec{kind: caCountCol, col: pos})
+		case "group_union":
+			cp.aggs = append(cp.aggs, coalesceAggSpec{kind: caUnion, col: pos})
+			union = true
+		default:
+			return nil
+		}
+	}
+	if !union {
+		return nil
+	}
+
+	// Cardinality estimates: input rows from the single base table's
+	// statistics when the plan is a plain scan, group count from a hash
+	// index on the (single) grouping column when one exists.
+	if len(sources) == 1 && sources[0].tbl != nil && sources[0].snap.Stats != nil {
+		cp.estN = sources[0].snap.Stats.RowCount
+	}
+	cp.estG = cp.estN
+	if len(cp.groupCols) == 1 {
+		pos := cp.groupCols[0]
+		for _, src := range sources {
+			if src.tbl == nil || pos < src.off || pos >= src.off+len(src.schema) {
+				continue
+			}
+			if ix := src.snap.Hash[pos-src.off]; ix != nil {
+				if k := ix.KeyCount(); k > 0 {
+					cp.estG = k
+					if cp.estN > 0 && cp.estG > cp.estN {
+						cp.estG = cp.estN
+					}
+				}
+			}
+			break
+		}
+	}
+	n, g := float64(cp.estN), float64(cp.estG)
+	cp.costMerge = 2 * n * math.Log2(math.Max(n, 2)) * coalesceCmpCost
+	fan := math.Max(2, n/math.Max(g, 1))
+	cp.costHash = n*coalesceHashCost + g*coalesceGroupCost + n*math.Log2(fan)*coalesceCmpCost
+	cp.strategy = "sort-merge"
+	if cp.costHash < cp.costMerge {
+		cp.strategy = "hash"
+	}
+	return cp
+}
+
+// smEnt pairs a row's grouping-key hash with its row index; the
+// sort-merge pass orders these instead of the rows themselves.
+type smEnt struct {
+	h   uint64
+	idx int32
+}
+
+// coalesceScratch holds every working buffer of one coalesce execution.
+// The buffers are resized (and re-zeroed where required) on reuse and
+// nothing in them escapes into results — output rows live in the row
+// arena and output elements allocate their own period slices — so the
+// instances recycle through a pool to keep the hot path off the heap.
+type coalesceScratch struct {
+	ord     []int32
+	keys    []byte
+	offs    []int32
+	ents    []smEnt
+	tmp     []smEnt
+	first   []int32
+	perm    []int32
+	rank    []int32
+	ordered []int32
+	rowsPer []int64
+	cnt64   []int64
+	ivs     []temporal.Interval
+	ivg     []int32
+	grouped []temporal.Interval
+	cnt     []int32
+	fill    []int32
+	saw     []bool
+}
+
+var coalesceScratchPool = sync.Pool{New: func() any { return new(coalesceScratch) }}
+
+// i32buf returns buf resized to n (contents undefined), growing only
+// when the capacity is exhausted.
+func i32buf(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// radixSortByHash sorts ents by h with a stable byte-wise counting
+// sort, using tmp as the ping-pong buffer, and returns the slice that
+// holds the result. Stability matters: rows with equal keys (hence
+// equal hashes) come in ascending row order and must stay that way so
+// each run's head is its group's first-encounter row. bits is the
+// number of significant hash bits (the caller folds its hash down so
+// fewer counting passes suffice).
+func radixSortByHash(ents, tmp []smEnt, bits int) []smEnt {
+	var count [256]int32
+	a, b := ents, tmp
+	for shift := 0; shift < bits; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, e := range a {
+			count[byte(e.h>>shift)]++
+		}
+		if count[byte(a[0].h>>shift)] == int32(len(a)) {
+			continue // every entry shares this digit; pass is a no-op
+		}
+		sum := int32(0)
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, e := range a {
+			d := byte(e.h >> shift)
+			b[count[d]] = e
+			count[d]++
+		}
+		a, b = b, a
+	}
+	return a
+}
+
+// run executes the fast path over the materialised from rows, returning
+// one group row ([group values..., aggregate values...]) per group in
+// first-encounter order — the layout and order the generic operator
+// produces. ok=false means a runtime precondition failed (a non-Element
+// value under group_union); the caller must fall back to the generic
+// path, which this call has not affected.
+func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
+	n := len(fromRows)
+	if n == 0 {
+		return nil, true, nil
+	}
+	groupByN := len(cp.groupCols)
+	sc := coalesceScratchPool.Get().(*coalesceScratch)
+	defer coalesceScratchPool.Put(sc)
+
+	// Pass 1: group ordinals. first[g] is the group's first input row.
+	ord := i32buf(sc.ord, n)
+	sc.ord = ord
+	first := sc.first[:0]
+	if cp.strategy == "hash" {
+		m := make(map[string]int32, 64)
+		for i, fr := range fromRows {
+			if err := rt.checkCancel(); err != nil {
+				return nil, false, err
+			}
+			rt.keybuf = rt.appendKeyCols(rt.keybuf[:0], fr, cp.groupCols)
+			g, ok := m[string(rt.keybuf)]
+			if !ok {
+				g = int32(len(first))
+				m[string(rt.keybuf)] = g
+				first = append(first, int32(i))
+			}
+			ord[i] = g
+		}
+		sc.first = first
+	} else {
+		// Sort-merge: concatenate every row's key into one buffer, hash
+		// each key with 64-bit FNV-1a, and radix-sort (hash, row index)
+		// entries by the hash. Equal keys hash equally, so every run of
+		// equal keys is contiguous, and the stable radix passes keep
+		// duplicates in ascending row order — the head of each run is the
+		// group's first-encounter row. Distinct keys colliding on the full
+		// 64-bit hash are astronomically unlikely but handled for
+		// correctness: each multi-entry hash run is re-sorted by key bytes
+		// (insertion sort, stable), which for the overwhelmingly common
+		// all-duplicates run costs one equality check per adjacent pair.
+		keys := sc.keys[:0]
+		offs := i32buf(sc.offs, n+1)
+		sc.offs = offs
+		ents := sc.ents
+		if cap(ents) < n {
+			ents = make([]smEnt, n)
+		}
+		ents = ents[:n]
+		sc.ents = ents
+		tmp := sc.tmp
+		if cap(tmp) < n {
+			tmp = make([]smEnt, n)
+		}
+		tmp = tmp[:n]
+		sc.tmp = tmp
+		// The hash only has to keep distinct keys apart well enough that
+		// colliding runs stay short; folding the 64-bit FNV value down to
+		// 16 bits (24 for very wide inputs) halves-to-quarters the radix
+		// pass count, and the per-run byte sort absorbs the extra
+		// collisions.
+		bits := 16
+		if n > 1<<14 {
+			bits = 24
+		}
+		mask := uint64(1)<<bits - 1
+		offs[0] = 0
+		for i, fr := range fromRows {
+			if err := rt.checkCancel(); err != nil {
+				return nil, false, err
+			}
+			keys = rt.appendKeyCols(keys, fr, cp.groupCols)
+			offs[i+1] = int32(len(keys))
+			h := uint64(14695981039346656037) // FNV-1a offset basis
+			for _, b := range keys[offs[i]:] {
+				h = (h ^ uint64(b)) * 1099511628211
+			}
+			h ^= h >> 32
+			h ^= h >> 16
+			ents[i] = smEnt{h: h & mask, idx: int32(i)}
+		}
+		sc.keys = keys
+		ents = radixSortByHash(ents, tmp, bits)
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && ents[j].h == ents[i].h {
+				j++
+			}
+			if j-i > 1 {
+				run := ents[i:j]
+				for x := 1; x < len(run); x++ {
+					for y := x; y > 0; y-- {
+						a, b := run[y].idx, run[y-1].idx
+						if bytes.Compare(keys[offs[a]:offs[a+1]], keys[offs[b]:offs[b+1]]) >= 0 {
+							break
+						}
+						run[y], run[y-1] = run[y-1], run[y]
+					}
+				}
+			}
+			i = j
+		}
+		for k, e := range ents {
+			ri := e.idx
+			if k == 0 {
+				first = append(first, ri)
+			} else if prev := ents[k-1].idx; !bytes.Equal(keys[offs[ri]:offs[ri+1]], keys[offs[prev]:offs[prev+1]]) {
+				first = append(first, ri)
+			}
+			ord[ri] = int32(len(first) - 1)
+		}
+		// Remap ordinals from hash order to first-encounter order so the
+		// emission order matches the generic operator: walk the rows in
+		// input order and hand out new ordinals as groups first appear —
+		// linear, where sorting the groups by first row would be O(g log g).
+		rank := i32buf(sc.rank, len(first))
+		sc.rank = rank
+		for g := range rank {
+			rank[g] = -1
+		}
+		ordered := i32buf(sc.ordered, len(first))
+		sc.ordered = ordered
+		next := int32(0)
+		for i := range ord {
+			g := ord[i]
+			if rank[g] < 0 {
+				rank[g] = next
+				ordered[next] = int32(i)
+				next++
+			}
+			ord[i] = rank[g]
+		}
+		sc.first = first // keep the grown buffer; `first` now aliases sc.ordered
+		first = ordered
+	}
+	numGroups := len(first)
+
+	// Pass 2: aggregates, each over the flat (row -> group) mapping.
+	var rowsPer []int64
+	for _, a := range cp.aggs {
+		if a.kind == caCountStar {
+			if cap(sc.rowsPer) < numGroups {
+				sc.rowsPer = make([]int64, numGroups)
+			}
+			rowsPer = sc.rowsPer[:numGroups]
+			for g := range rowsPer {
+				rowsPer[g] = 0
+			}
+			for _, g := range ord {
+				rowsPer[g]++
+			}
+			break
+		}
+	}
+	aggVals := make([][]types.Value, len(cp.aggs))
+	for ai, a := range cp.aggs {
+		switch a.kind {
+		case caCountCol:
+			if cap(sc.cnt64) < numGroups {
+				sc.cnt64 = make([]int64, numGroups)
+			}
+			cnt := sc.cnt64[:numGroups]
+			for g := range cnt {
+				cnt[g] = 0
+			}
+			for i, fr := range fromRows {
+				if err := rt.checkCancel(); err != nil {
+					return nil, false, err
+				}
+				if !fr[a.col].Null {
+					cnt[ord[i]]++
+				}
+			}
+			vs := make([]types.Value, numGroups)
+			for g, c := range cnt {
+				vs[g] = types.NewInt(c)
+			}
+			aggVals[ai] = vs
+		case caUnion:
+			vs, ok, err := unionColumnar(rt, sc, fromRows, ord, numGroups, a.col)
+			if err != nil || !ok {
+				return nil, ok, err
+			}
+			aggVals[ai] = vs
+		}
+	}
+
+	// Pass 3: emission.
+	out := make([]Row, numGroups)
+	for g := 0; g < numGroups; g++ {
+		if err := rt.checkCancel(); err != nil {
+			return nil, false, err
+		}
+		row := rt.arena.alloc(groupByN + len(cp.aggs))
+		fr := fromRows[first[g]]
+		for j, c := range cp.groupCols {
+			row[j] = fr[c]
+		}
+		for ai, a := range cp.aggs {
+			if a.kind == caCountStar {
+				row[groupByN+ai] = types.NewInt(rowsPer[g])
+			} else {
+				row[groupByN+ai] = aggVals[ai][g]
+			}
+		}
+		out[g] = row
+	}
+	return out, true, nil
+}
+
+// unionColumnar evaluates one group_union aggregate columnarly: bind
+// every non-NULL element's intervals into one flat (group, lo, hi)
+// array, sort by (group, lo), and normalize each group's run in a
+// single linear pass. Semantics match the generic elementSetAgg
+// exactly: NULL inputs are skipped, a group with no non-NULL input
+// yields NULL, and a group whose inputs bind to no intervals yields the
+// empty element. ok=false bails to the generic path when a value is not
+// a plain Element (e.g. a Period column reaching group_union through
+// the implicit cast).
+func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32, numGroups, col int) ([]types.Value, bool, error) {
+	// Collect raw (unsorted, unmerged) interval bindings per row along
+	// with their group ordinals. Normalisation happens once per group
+	// below, so skipping each element's own canonicalisation
+	// (AppendBound vs Bind) changes nothing.
+	now := rt.env.Now
+	ivs := sc.ivs[:0]
+	ivg := sc.ivg[:0]
+	if cap(sc.saw) < numGroups {
+		sc.saw = make([]bool, numGroups)
+	}
+	saw := sc.saw[:numGroups]
+	for g := range saw {
+		saw[g] = false
+	}
+	cnt := i32buf(sc.cnt, numGroups+1)
+	sc.cnt = cnt
+	for g := range cnt {
+		cnt[g] = 0
+	}
+	var vT *types.Type
+	for i, fr := range fromRows {
+		if err := rt.checkCancel(); err != nil {
+			return nil, false, err
+		}
+		v := fr[col]
+		if v.Null {
+			continue
+		}
+		if v.T.Kind != types.KindUDT {
+			return nil, false, nil
+		}
+		el, ok := v.Obj().(temporal.Element)
+		if !ok {
+			return nil, false, nil
+		}
+		if vT == nil {
+			vT = v.T
+		} else if v.T != vT {
+			return nil, false, nil
+		}
+		g := ord[i]
+		saw[g] = true
+		at := len(ivs)
+		ivs = el.AppendBound(ivs, now)
+		for range ivs[at:] {
+			ivg = append(ivg, g)
+		}
+		cnt[g+1] += int32(len(ivs) - at)
+	}
+	sc.ivs, sc.ivg = ivs, ivg
+	// Counting sort by group: one linear placement pass instead of a
+	// comparison sort over every interval, then an ordinary sort of each
+	// group's (small) run by Lo.
+	for g := 0; g < numGroups; g++ {
+		cnt[g+1] += cnt[g]
+	}
+	grouped := sc.grouped
+	if cap(grouped) < len(ivs) {
+		grouped = make([]temporal.Interval, len(ivs))
+	}
+	grouped = grouped[:len(ivs)]
+	sc.grouped = grouped
+	fill := i32buf(sc.fill, numGroups)
+	sc.fill = fill
+	for g := range fill {
+		fill[g] = 0
+	}
+	for i, iv := range ivs {
+		g := ivg[i]
+		grouped[cnt[g]+fill[g]] = iv
+		fill[g]++
+	}
+	out := make([]types.Value, numGroups)
+	for g := 0; g < numGroups; g++ {
+		if err := rt.checkCancel(); err != nil {
+			return nil, false, err
+		}
+		if !saw[g] {
+			out[g] = types.NewNull(types.TNull)
+			continue
+		}
+		run := grouped[cnt[g]:cnt[g+1]]
+		// Typical runs are a handful of intervals (rows per group times
+		// periods per element), already nearly sorted because each
+		// element's own periods arrive in order — a direct insertion sort
+		// beats the generic sort's dispatch there, with a fallback for
+		// genuinely large groups.
+		if len(run) <= 48 {
+			for x := 1; x < len(run); x++ {
+				iv := run[x]
+				y := x
+				for y > 0 && run[y-1].Lo > iv.Lo {
+					run[y] = run[y-1]
+					y--
+				}
+				run[y] = iv
+			}
+		} else {
+			slices.SortFunc(run, func(a, b temporal.Interval) int {
+				switch {
+				case a.Lo < b.Lo:
+					return -1
+				case a.Lo > b.Lo:
+					return 1
+				default:
+					return 0
+				}
+			})
+		}
+		out[g] = types.NewUDT(vT, temporal.ElementOfIntervals(run))
+	}
+	return out, true, nil
+}

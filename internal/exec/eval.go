@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"strings"
 
 	"tip/internal/types"
 )
@@ -148,15 +147,4 @@ func likeRec(s, p string) bool {
 		}
 	}
 	return len(s) == 0
-}
-
-// rowKey builds a grouping/DISTINCT key from the listed columns.
-func (rt *runtime) rowKey(vals []types.Value) string {
-	var b strings.Builder
-	for _, v := range vals {
-		k := v.Key(rt.env.Now)
-		fmt.Fprintf(&b, "%d:", len(k))
-		b.WriteString(k)
-	}
-	return b.String()
 }

@@ -268,9 +268,27 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		return nil, err
 	}
 	grouped := len(aggSpecs) > 0 || len(sel.GroupBy) > 0
+	var cp *coalescePlan
+	if grouped && Vectorized() {
+		cp = b.tryCoalesce(sel, aggSpecs, sources, fromSchema)
+	}
+	if grouped && b.env.PlanChoice != nil {
+		switch {
+		case cp != nil && cp.strategy == "hash":
+			b.env.PlanChoice("coalesce.hash")
+		case cp != nil:
+			b.env.PlanChoice("coalesce.sort_merge")
+		default:
+			b.env.PlanChoice("agg.generic")
+		}
+	}
 	var stAgg, stDistinct, stSort, stLimit *OpStats
 	if b.explain != nil {
-		if grouped {
+		switch {
+		case cp != nil:
+			stAgg = b.note("aggregate: %d group expr(s), %d aggregate(s); coalesce: %s (est rows=%d groups=%d, cost merge=%.0f hash=%.0f)",
+				len(sel.GroupBy), len(aggSpecs), cp.strategy, cp.estN, cp.estG, cp.costMerge, cp.costHash)
+		case grouped:
 			stAgg = b.note("aggregate: %d group expr(s), %d aggregate(s)", len(sel.GroupBy), len(aggSpecs))
 		}
 		if sel.Distinct {
@@ -453,17 +471,17 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		}
 		var out []outEntry
 
-		projectRow := func(rt *runtime) (*outEntry, error) {
-			e := &outEntry{row: make(Row, len(proj))}
+		projectRow := func(rt *runtime) (outEntry, error) {
+			e := outEntry{row: rt.arena.alloc(len(proj))}
 			for i, p := range proj {
 				v, err := p.ce(rt)
 				if err != nil {
-					return nil, err
+					return outEntry{}, err
 				}
 				e.row[i] = v
 			}
 			if len(orders) > 0 {
-				e.keys = make([]types.Value, len(orders))
+				e.keys = rt.arena.alloc(len(orders))
 				for i, o := range orders {
 					if o.outIdx >= 0 {
 						e.keys[i] = e.row[o.outIdx]
@@ -471,7 +489,7 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 					}
 					v, err := o.ce(rt)
 					if err != nil {
-						return nil, err
+						return outEntry{}, err
 					}
 					e.keys[i] = v
 				}
@@ -484,62 +502,81 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			if stAgg != nil {
 				aggStart = time.Now()
 			}
-			type group struct {
-				vals []types.Value
-				accs []*aggAcc
-			}
-			groups := make(map[string]*group)
-			var order []*group
-			for _, fr := range fromRows {
-				if err := rt.checkCancel(); err != nil {
+			var groupRows []Row
+			handled := false
+			if cp != nil {
+				gr, ok, err := cp.run(rt, fromRows)
+				if err != nil {
 					return nil, err
 				}
-				rt.push(fr)
+				if ok {
+					groupRows, handled = gr, true
+				}
+			}
+			if !handled {
+				type group struct {
+					vals []types.Value
+					accs []*aggAcc
+				}
+				groups := make(map[string]*group)
+				var order []*group
 				vals := make([]types.Value, groupByN)
-				for i, ge := range groupKeyExprs {
-					v, err := ge(rt)
-					if err != nil {
-						rt.pop()
+				for _, fr := range fromRows {
+					if err := rt.checkCancel(); err != nil {
 						return nil, err
 					}
-					vals[i] = v
+					rt.push(fr)
+					for i, ge := range groupKeyExprs {
+						v, err := ge(rt)
+						if err != nil {
+							rt.pop()
+							return nil, err
+						}
+						vals[i] = v
+					}
+					rt.keybuf = rt.appendKey(rt.keybuf[:0], vals)
+					g, ok := groups[string(rt.keybuf)]
+					if !ok {
+						gv := rt.arena.alloc(groupByN)
+						copy(gv, vals)
+						g = &group{vals: gv, accs: make([]*aggAcc, len(aggSpecs))}
+						for i, spec := range aggSpecs {
+							g.accs[i] = newAggAcc(spec)
+						}
+						groups[string(rt.keybuf)] = g
+						order = append(order, g)
+					}
+					for _, acc := range g.accs {
+						if err := acc.add(rt); err != nil {
+							rt.pop()
+							return nil, err
+						}
+					}
+					rt.pop()
 				}
-				key := rt.rowKey(vals)
-				g, ok := groups[key]
-				if !ok {
-					g = &group{vals: vals, accs: make([]*aggAcc, len(aggSpecs))}
+				if len(order) == 0 && groupByN == 0 {
+					// Global aggregate over an empty input still yields one row.
+					g := &group{accs: make([]*aggAcc, len(aggSpecs))}
 					for i, spec := range aggSpecs {
 						g.accs[i] = newAggAcc(spec)
 					}
-					groups[key] = g
 					order = append(order, g)
 				}
-				for _, acc := range g.accs {
-					if err := acc.add(rt); err != nil {
-						rt.pop()
-						return nil, err
+				groupRows = make([]Row, 0, len(order))
+				for _, g := range order {
+					groupRow := rt.arena.alloc(groupByN + len(aggSpecs))
+					copy(groupRow, g.vals)
+					for i, acc := range g.accs {
+						v, err := acc.final(rt)
+						if err != nil {
+							return nil, err
+						}
+						groupRow[groupByN+i] = v
 					}
+					groupRows = append(groupRows, groupRow)
 				}
-				rt.pop()
 			}
-			if len(order) == 0 && groupByN == 0 {
-				// Global aggregate over an empty input still yields one row.
-				g := &group{accs: make([]*aggAcc, len(aggSpecs))}
-				for i, spec := range aggSpecs {
-					g.accs[i] = newAggAcc(spec)
-				}
-				order = append(order, g)
-			}
-			for _, g := range order {
-				groupRow := make(Row, groupByN+len(aggSpecs))
-				copy(groupRow, g.vals)
-				for i, acc := range g.accs {
-					v, err := acc.final(rt)
-					if err != nil {
-						return nil, err
-					}
-					groupRow[groupByN+i] = v
-				}
+			for _, groupRow := range groupRows {
 				rt.push(groupRow)
 				if having != nil {
 					hv, err := having(rt)
@@ -562,12 +599,13 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, *e)
+				out = append(out, e)
 			}
 			if stAgg != nil {
 				stAgg.record(aggStart, len(out))
 			}
 		} else {
+			out = make([]outEntry, 0, len(fromRows))
 			for _, fr := range fromRows {
 				if err := rt.checkCancel(); err != nil {
 					return nil, err
@@ -578,7 +616,7 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, *e)
+				out = append(out, e)
 			}
 		}
 
@@ -593,11 +631,11 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				if err := rt.checkCancel(); err != nil {
 					return nil, err
 				}
-				k := rt.rowKey(e.row)
-				if _, dup := seen[k]; dup {
+				rt.keybuf = rt.appendKey(rt.keybuf[:0], e.row)
+				if _, dup := seen[string(rt.keybuf)]; dup {
 					continue
 				}
-				seen[k] = struct{}{}
+				seen[string(rt.keybuf)] = struct{}{}
 				kept = append(kept, e)
 			}
 			out = kept

@@ -1,0 +1,153 @@
+package exec_test
+
+// Planner-choice golden tests: the cost-based decisions introduced with
+// the batched executor (period-index probe vs full scan, sort-merge vs
+// hash coalesce) must be visible in EXPLAIN / EXPLAIN ANALYZE and must
+// flip when the statistics flip. Exact goldens are used where every
+// cost number is an exactly-representable float; larger configurations
+// assert the chosen strategy markers instead, so refining the cost
+// constants does not invalidate the tests.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tip/internal/engine"
+)
+
+func explained(t *testing.T, s *engine.Session, sql string) string {
+	t.Helper()
+	res, err := s.Exec("EXPLAIN "+sql, nil)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", sql, err)
+	}
+	var lines []string
+	for _, r := range res.Rows {
+		lines = append(lines, r[0].Str())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// insertBatch inserts n rows (id, k, valid-element) built by gen in
+// multi-row VALUES batches.
+func insertBatch(t *testing.T, s *engine.Session, table string, n int, gen func(i int) string) {
+	t.Helper()
+	const batch = 100
+	for at := 0; at < n; at += batch {
+		hi := at + batch
+		if hi > n {
+			hi = n
+		}
+		vals := make([]string, 0, batch)
+		for i := at; i < hi; i++ {
+			vals = append(vals, gen(i))
+		}
+		mustExec(t, s, fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(vals, ", ")))
+	}
+}
+
+// TestExplainAnalyzeCoalesceSortMerge is the exact golden for the
+// specialised coalesce operator: with 4 rows and no hash index the
+// estimates are estN=estG=4, so cost merge = 2*4*log2(4)*0.5 = 8 and
+// cost hash = 4*1.5 + 4*16 + 4*log2(2)*0.5 = 72 — both exact floats.
+func TestExplainAnalyzeCoalesceSortMerge(t *testing.T) {
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE g (k INT, valid Element)`)
+	mustExec(t, s, `INSERT INTO g VALUES
+		(1, '[1998-01-01, 1998-01-10]'), (1, '[1998-01-05, 1998-01-20]'),
+		(2, '[1998-02-01, 1998-02-10]'), (2, '[1998-03-01, 1998-03-10]')`)
+	got := analyzed(t, s, `SELECT k, group_union(valid) FROM g GROUP BY k`)
+	want := strings.Join([]string{
+		"select: 1 source(s) (actual rows=2 loops=1 time=X)",
+		"  scan g: full scan (0 filter(s)) (actual rows=4 loops=1 time=X)",
+		"  aggregate: 1 group expr(s), 1 aggregate(s); coalesce: sort-merge (est rows=4 groups=4, cost merge=8 hash=72) (actual rows=2 loops=1 time=X)",
+		"execution time: X",
+	}, "\n")
+	if got != want {
+		t.Errorf("coalesce EXPLAIN ANALYZE mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPlannerCoalesceStrategyFlip: creating a hash index on the single
+// grouping column hands the planner a distinct-key estimate, and with
+// few groups over many rows the strategy flips from sort-merge to hash
+// aggregation. The answers must not change.
+func TestPlannerCoalesceStrategyFlip(t *testing.T) {
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE g (k INT, valid Element)`)
+	insertBatch(t, s, "g", 600, func(i int) string {
+		return fmt.Sprintf("(%d, '[1998-01-%02d, 1998-02-%02d]')", i%3, 1+i%28, 1+i%28)
+	})
+	q := `SELECT k, group_union(valid) FROM g GROUP BY k ORDER BY k`
+
+	out := explained(t, s, q)
+	if !strings.Contains(out, "coalesce: sort-merge (") {
+		t.Fatalf("without a key index the planner should sort-merge:\n%s", out)
+	}
+	before := grid(mustExec(t, s, q))
+
+	mustExec(t, s, `CREATE INDEX gk ON g (k)`)
+	out = explained(t, s, q)
+	if !strings.Contains(out, "coalesce: hash (") {
+		t.Fatalf("3 distinct keys over 600 rows should flip to hash aggregation:\n%s", out)
+	}
+	after := grid(mustExec(t, s, q))
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Errorf("strategy flip changed the answer:\nsort-merge: %v\nhash: %v", before, after)
+	}
+}
+
+// TestPlannerPeriodCostFlip: with every stored period inside the probe
+// window the index would only re-discover the whole table, so the cost
+// model rejects it; after loading rows far outside the window the
+// selectivity drops and the same query goes back to the index. Row
+// counts stay above BatchRows throughout so the cost gate is active.
+func TestPlannerPeriodCostFlip(t *testing.T) {
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE t (a INT, valid Element)`)
+	mustExec(t, s, `CREATE INDEX tv ON t (valid) USING PERIOD`)
+	insertBatch(t, s, "t", 300, func(i int) string {
+		return fmt.Sprintf("(%d, '[1998-%02d-%02d, 1998-%02d-%02d]')",
+			i, 1+i%11, 1+i%27, 2+i%11, 1+i%27)
+	})
+	q := `SELECT COUNT(*) FROM t WHERE overlaps(valid, '[1998-01-01, 1998-12-31]')`
+
+	out := explained(t, s, q)
+	if !strings.Contains(out, "full scan") || !strings.Contains(out, "rejected by cost") {
+		t.Fatalf("probe covering the whole extent should reject the index:\n%s", out)
+	}
+	if got := mustExec(t, s, q).Rows[0][0].Int(); got != 300 {
+		t.Fatalf("full-scan answer = %d, want 300", got)
+	}
+
+	// Widen the data extent far past the probe window: selectivity drops,
+	// the index wins, and the answer is unchanged.
+	insertBatch(t, s, "t", 4000, func(i int) string {
+		return fmt.Sprintf("(%d, '[%d-%02d-%02d, %d-%02d-%02d]')",
+			300+i, 2005+i%5, 1+i%12, 1+i%28, 2006+i%5, 1+i%12, 1+i%28)
+	})
+	out = explained(t, s, q)
+	if !strings.Contains(out, "period index on valid") || !strings.Contains(out, "(cost: index=") {
+		t.Fatalf("low-selectivity probe should keep the index with a cost note:\n%s", out)
+	}
+	if got := mustExec(t, s, q).Rows[0][0].Int(); got != 300 {
+		t.Fatalf("indexed answer = %d, want 300", got)
+	}
+}
+
+// TestExplainSmallTableHasNoCostNote: below the batch-size threshold
+// there is no cost gating, so the established EXPLAIN text is unchanged.
+func TestExplainSmallTableHasNoCostNote(t *testing.T) {
+	s := newDB(t)
+	mustExec(t, s, `CREATE TABLE t (a INT, valid Element)`)
+	mustExec(t, s, `CREATE INDEX tv ON t (valid) USING PERIOD`)
+	mustExec(t, s, `INSERT INTO t VALUES (1, '[1998-01-01, 1998-02-01]')`)
+	out := explained(t, s, `SELECT * FROM t WHERE overlaps(valid, '[1998-01-15, 1998-01-20]')`)
+	if !strings.Contains(out, "period index on valid (1 filter(s) re-checked)") {
+		t.Errorf("period index not chosen:\n%s", out)
+	}
+	if strings.Contains(out, "cost") {
+		t.Errorf("cost note should not appear under %d rows:\n%s", 256, out)
+	}
+}

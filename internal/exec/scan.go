@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"tip/internal/sql/ast"
@@ -128,6 +129,39 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 		}
 	}
 
+	// Cost-based access-path choice for period probes. Hash probes are
+	// always taken (one bucket lookup); a period probe may touch a large
+	// fraction of the index, so when the table is past batch size and
+	// carries statistics, estimate the probe's candidate count and fall
+	// back to the full scan when re-checking the candidates would cost
+	// more than reading every row. The probe expression can only be
+	// pre-evaluated when it is parent-free (top-level query).
+	var costNote string
+	if probe != nil && probe.kind == "period" && parent == nil {
+		if st := snap.Stats; st != nil && st.RowCount > BatchRows {
+			colType := tbl.Meta.Columns[probe.col].Type
+			if idxCost, scanCost, estK, ok := b.periodProbeCost(snap, probe.col, colType, probe.probe); ok {
+				if idxCost >= scanCost {
+					costNote = fmt.Sprintf("; period index on %s rejected by cost (index=%.0f scan=%.0f est=%d)",
+						tbl.Meta.Columns[probe.col].Name, idxCost, scanCost, estK)
+					probe = nil
+				} else {
+					costNote = fmt.Sprintf(" (cost: index=%.0f scan=%.0f est=%d)", idxCost, scanCost, estK)
+				}
+			}
+		}
+	}
+	if b.env.PlanChoice != nil {
+		switch {
+		case probe != nil && probe.kind == "hash":
+			b.env.PlanChoice("scan.hash")
+		case probe != nil:
+			b.env.PlanChoice("scan.period")
+		default:
+			b.env.PlanChoice("scan.full")
+		}
+	}
+
 	var stScan *OpStats
 	if b.explain != nil {
 		switch {
@@ -135,16 +169,24 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 			stScan = b.note("scan %s: hash index on %s (%d filter(s) re-checked)",
 				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
 		case probe != nil && probe.kind == "period":
-			stScan = b.note("scan %s: period index on %s (%d filter(s) re-checked)",
-				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters))
+			stScan = b.note("scan %s: period index on %s (%d filter(s) re-checked)%s",
+				src.binding, tbl.Meta.Columns[probe.col].Name, len(filters), costNote)
 		default:
-			stScan = b.note("scan %s: full scan (%d filter(s))", src.binding, len(filters))
+			stScan = b.note("scan %s: full scan (%d filter(s))%s", src.binding, len(filters), costNote)
 		}
 	}
 
 	width := len(src.schema)
 	scan := func(rt *runtime, candidates []int) ([]Row, error) {
-		var out []Row
+		// Size the output for the no-filter case up front; filtered scans
+		// waste at most one slice that the append-growth path would have
+		// allocated anyway.
+		hint := snap.Rows.Len()
+		if candidates != nil && len(candidates) < hint {
+			hint = len(candidates)
+		}
+		out := make([]Row, 0, hint)
+		alias := Vectorized()
 		consider := func(r Row) error {
 			if err := rt.checkCancel(); err != nil {
 				return err
@@ -154,6 +196,13 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 				return err
 			}
 			if ok {
+				if alias {
+					// MVCC slab rows are immutable (writers replace whole
+					// rows), so the batched executor aliases them instead
+					// of copying one row at a time.
+					out = append(out, r)
+					return nil
+				}
 				row := make(Row, width)
 				copy(row, r)
 				out = append(out, row)
@@ -244,6 +293,95 @@ func periodCandidates(rt *runtime, snap *TableVersion, col int, colType *types.T
 	default:
 		return nil, false, nil
 	}
+}
+
+// periodRecheckCost weighs one index candidate against one scanned row:
+// a candidate costs a point lookup in the row slab plus the filter
+// re-check, where a scanned row costs just the filter evaluation.
+const periodRecheckCost = 1.5
+
+// periodProbeCost estimates the cost of answering the scan through the
+// period index on col versus reading every row, by pre-evaluating the
+// (parent-free) probe expression and intersecting its window with the
+// column's published statistics. Selectivity uses the standard interval
+// overlap model: a stored interval of average span s overlaps a query
+// window [qlo,qhi] iff its start falls in [qlo-s, qhi], so the match
+// fraction is (window + s) / (data extent + s). ok=false means no
+// estimate could be made (no statistics, a NULL or non-temporal probe,
+// or a probe evaluation error) and the index is kept.
+func (b *binder) periodProbeCost(snap *TableVersion, col int, colType *types.Type, probe cexpr) (idxCost, scanCost float64, estK int, ok bool) {
+	st := snap.Stats
+	ps, have := st.Periods[col]
+	if !have || ps.Entries == 0 {
+		return 0, 0, 0, false
+	}
+	rt := &runtime{env: b.env}
+	pv, err := probe(rt)
+	if err != nil || pv.Null {
+		return 0, 0, 0, false
+	}
+	if cv, err := b.env.Reg.ImplicitConvert(b.env.Ctx(), pv, colType); err == nil {
+		pv = cv
+	}
+	qlo, qhi, bound := probeWindow(pv, b.env.Now)
+	if !bound {
+		return 0, 0, 0, false
+	}
+	dataW := float64(ps.Hi-ps.Lo) + 1
+	avgSpan := float64(ps.SpanSum) / float64(ps.Entries)
+	ovLo, ovHi := qlo, qhi
+	if ovLo < ps.Lo {
+		ovLo = ps.Lo
+	}
+	if ovHi > ps.Hi {
+		ovHi = ps.Hi
+	}
+	overlapW := 0.0
+	if ovHi >= ovLo {
+		overlapW = float64(ovHi-ovLo) + 1
+	}
+	sel := (overlapW + avgSpan) / (dataW + avgSpan)
+	if sel > 1 {
+		sel = 1
+	}
+	k := sel * float64(ps.Entries)
+	idxCost = math.Log2(float64(ps.Entries)+2) + k*periodRecheckCost
+	scanCost = float64(st.RowCount)
+	return idxCost, scanCost, int(k), true
+}
+
+// probeWindow returns the conservative chronon window covered by a
+// temporal probe value; ok=false for values with no interval form.
+func probeWindow(pv types.Value, now temporal.Chronon) (lo, hi int64, ok bool) {
+	switch obj := pv.Obj().(type) {
+	case temporal.Element:
+		ivs := obj.Bind(now)
+		if len(ivs) == 0 {
+			return 0, 0, false
+		}
+		lo, hi = int64(ivs[0].Lo), int64(ivs[0].Hi)
+		for _, iv := range ivs[1:] {
+			if int64(iv.Lo) < lo {
+				lo = int64(iv.Lo)
+			}
+			if int64(iv.Hi) > hi {
+				hi = int64(iv.Hi)
+			}
+		}
+		return lo, hi, true
+	case temporal.Period:
+		iv, bound := obj.Bind(now)
+		if !bound {
+			return 0, 0, false
+		}
+		return int64(iv.Lo), int64(iv.Hi), true
+	case temporal.Chronon:
+		return int64(obj), int64(obj), true
+	case temporal.Instant:
+		c := obj.Bind(now)
+		return int64(c), int64(c), true
+	}
+	return 0, 0, false
 }
 
 // refsSource reports whether the expression references any column of the
@@ -415,6 +553,22 @@ func (b *binder) tryHashCond(c ast.Expr, level int, set uint64, sources []*sourc
 func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJoinCond, levelFilters []cexpr) ([]Row, error) {
 	var joined []Row
 	colType := src.tbl.Meta.Columns[pc.col].Type
+	// Candidate rows merge into a reused scratch row; only rows that
+	// survive the filters are copied out of the arena (batch.go), so
+	// filtered-out candidates cost no allocation.
+	scratch := make(Row, width)
+	keep := func(a, sr Row) error {
+		copy(scratch, a)
+		copy(scratch[src.off:], sr)
+		ok, err := evalFilters(rt, levelFilters, scratch)
+		if err != nil || !ok {
+			return err
+		}
+		m := rt.arena.alloc(width)
+		copy(m, scratch)
+		joined = append(joined, m)
+		return nil
+	}
 	for _, a := range acc {
 		if err := rt.checkCancel(); err != nil {
 			return nil, err
@@ -440,15 +594,8 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 				return nil, err
 			}
 			for _, sr := range srcRows {
-				m := make(Row, width)
-				copy(m, a)
-				copy(m[src.off:], sr)
-				keep, err := evalFilters(rt, levelFilters, m)
-				if err != nil {
+				if err := keep(a, sr); err != nil {
 					return nil, err
-				}
-				if keep {
-					joined = append(joined, m)
 				}
 			}
 			continue
@@ -461,22 +608,15 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 			if !live {
 				continue
 			}
-			keep, err := evalFilters(rt, src.pushed, sr)
+			ok, err := evalFilters(rt, src.pushed, sr)
 			if err != nil {
 				return nil, err
 			}
-			if !keep {
+			if !ok {
 				continue
 			}
-			m := make(Row, width)
-			copy(m, a)
-			copy(m[src.off:], sr)
-			keep, err = evalFilters(rt, levelFilters, m)
-			if err != nil {
+			if err := keep(a, sr); err != nil {
 				return nil, err
-			}
-			if keep {
-				joined = append(joined, m)
 			}
 		}
 	}
@@ -585,33 +725,72 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 			return nil, err
 		}
 		if level == 0 {
+			if width == len(src.schema) && Vectorized() {
+				// Single-source query: the from row IS the source row, so
+				// pass the scan's batch through (filtering in place when
+				// level filters exist — srcRows is owned by this call).
+				if len(levelFilters[0]) == 0 {
+					acc = srcRows
+				} else {
+					acc = srcRows[:0]
+					for _, sr := range srcRows {
+						if err := rt.checkCancel(); err != nil {
+							return nil, err
+						}
+						ok, err := evalFilters(rt, levelFilters[0], sr)
+						if err != nil {
+							return nil, err
+						}
+						if ok {
+							acc = append(acc, sr)
+						}
+					}
+				}
+				if st != nil {
+					st.record(lvlStart, len(acc))
+				}
+				continue
+			}
 			acc = make([]Row, 0, len(srcRows))
+			scratch := make(Row, width)
 			for _, sr := range srcRows {
 				if err := rt.checkCancel(); err != nil {
 					return nil, err
 				}
-				full := make(Row, width)
-				copy(full[src.off:], sr)
-				ok, err := evalFilters(rt, levelFilters[0], full)
+				copy(scratch[src.off:], sr)
+				ok, err := evalFilters(rt, levelFilters[0], scratch)
 				if err != nil {
 					return nil, err
 				}
 				if ok {
+					full := rt.arena.alloc(width)
+					copy(full, scratch)
 					acc = append(acc, full)
 				}
+			}
+			if st != nil {
+				st.record(lvlStart, len(acc))
 			}
 			continue
 		}
 		var joined []Row
-		merge := func(a Row, sr Row) (Row, bool, error) {
+		// Candidate pairs merge into a reused scratch row; survivors are
+		// copied out of the arena, so filtered-out pairs allocate nothing.
+		scratch := make(Row, width)
+		merge := func(a Row, sr Row) error {
 			if err := rt.checkCancel(); err != nil {
-				return nil, false, err
+				return err
 			}
-			m := make(Row, width)
-			copy(m, a)
-			copy(m[src.off:], sr)
-			ok, err := evalFilters(rt, levelFilters[level], m)
-			return m, ok, err
+			copy(scratch, a)
+			copy(scratch[src.off:], sr)
+			ok, err := evalFilters(rt, levelFilters[level], scratch)
+			if err != nil || !ok {
+				return err
+			}
+			m := rt.arena.alloc(width)
+			copy(m, scratch)
+			joined = append(joined, m)
+			return nil
 		}
 		if src.leftJoin {
 			for _, a := range acc {
@@ -620,10 +799,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 					if err := rt.checkCancel(); err != nil {
 						return nil, err
 					}
-					m := make(Row, width)
-					copy(m, a)
-					copy(m[src.off:], sr)
-					ok, err := evalFilters(rt, src.on, m)
+					copy(scratch, a)
+					copy(scratch[src.off:], sr)
+					ok, err := evalFilters(rt, src.on, scratch)
 					if err != nil {
 						return nil, err
 					}
@@ -631,27 +809,30 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 						continue
 					}
 					matched = true
-					keep, err := evalFilters(rt, levelFilters[level], m)
+					keep, err := evalFilters(rt, levelFilters[level], scratch)
 					if err != nil {
 						return nil, err
 					}
 					if keep {
+						m := rt.arena.alloc(width)
+						copy(m, scratch)
 						joined = append(joined, m)
 					}
 				}
 				if !matched {
 					// NULL-pad the right side and re-check the WHERE
 					// filters of this level against the padded row.
-					m := make(Row, width)
-					copy(m, a)
+					copy(scratch, a)
 					for i, cm := range src.schema {
-						m[src.off+i] = types.NewNull(cm.Type)
+						scratch[src.off+i] = types.NewNull(cm.Type)
 					}
-					keep, err := evalFilters(rt, levelFilters[level], m)
+					keep, err := evalFilters(rt, levelFilters[level], scratch)
 					if err != nil {
 						return nil, err
 					}
 					if keep {
+						m := rt.arena.alloc(width)
+						copy(m, scratch)
 						joined = append(joined, m)
 					}
 				}
@@ -700,24 +881,16 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 					continue
 				}
 				for _, sr := range buildMap[kv.Key(rt.env.Now)] {
-					m, ok, err := merge(a, sr)
-					if err != nil {
+					if err := merge(a, sr); err != nil {
 						return nil, err
-					}
-					if ok {
-						joined = append(joined, m)
 					}
 				}
 			}
 		} else {
 			for _, a := range acc {
 				for _, sr := range srcRows {
-					m, ok, err := merge(a, sr)
-					if err != nil {
+					if err := merge(a, sr); err != nil {
 						return nil, err
-					}
-					if ok {
-						joined = append(joined, m)
 					}
 				}
 			}

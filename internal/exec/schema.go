@@ -98,6 +98,48 @@ type TableVersion struct {
 	Rows    *storage.Version
 	Hash    map[int]*index.Hash
 	Periods map[int]*index.Period
+	// Stats are the version's table statistics, derived from components
+	// that maintain them incrementally under the table write lock (row
+	// count from the slab, period bounds/span from the index builders)
+	// and published atomically with the version. nil on versions
+	// predating statistics (the planner then skips cost estimation).
+	Stats *TableStats
+}
+
+// PeriodColStats summarises one period-indexed column: the number of
+// indexed intervals, their conservative overall bounds, and the total
+// interval width (for average-span selectivity). Bounds are exact after
+// any removal (Remove recomputes) and conservative otherwise.
+type PeriodColStats struct {
+	Entries int
+	Lo, Hi  int64
+	SpanSum int64
+}
+
+// TableStats is the statistics snapshot published with a TableVersion.
+// Distinct-key estimates are not stored here: they come from the shared
+// hash-index cores (index.Hash.KeyCount), which stay bounded by the GC
+// on the write path and over-approximate only by not-yet-reclaimed dead
+// keys.
+type TableStats struct {
+	RowCount int
+	Periods  map[int]PeriodColStats
+}
+
+// ComputeStats derives a version's statistics from its components. Row
+// count is O(1); period stats are O(#indexed columns) reads of values
+// the builders maintain incrementally. Every site that installs a
+// TableVersion calls this before Install.
+func ComputeStats(v *TableVersion) *TableStats {
+	st := &TableStats{RowCount: v.Rows.Len()}
+	if len(v.Periods) > 0 {
+		st.Periods = make(map[int]PeriodColStats, len(v.Periods))
+		for pos, ix := range v.Periods {
+			entries, lo, hi, span := ix.Stats()
+			st.Periods[pos] = PeriodColStats{Entries: entries, Lo: lo, Hi: hi, SpanSum: span}
+		}
+	}
+	return st
 }
 
 // Table is the runtime state of one table: catalog metadata plus the
@@ -111,11 +153,13 @@ type Table struct {
 // NewTable returns an empty runtime table for the given metadata.
 func NewTable(meta *catalog.TableMeta) *Table {
 	t := &Table{Meta: meta}
-	t.cur.Store(&TableVersion{
+	v := &TableVersion{
 		Rows:    storage.NewVersion(),
 		Hash:    make(map[int]*index.Hash),
 		Periods: make(map[int]*index.Period),
-	})
+	}
+	v.Stats = ComputeStats(v)
+	t.cur.Store(v)
 	return t
 }
 
@@ -145,6 +189,13 @@ type Env struct {
 	// cancelled token aborts the statement with its typed error (see
 	// cancel.go). nil means the statement cannot be cancelled.
 	Cancel *Token
+	// PlanChoice, when non-nil, is called once per planner access-path
+	// decision with a short label ("scan.full", "scan.period",
+	// "coalesce.sort_merge", ...). The engine wires it to its
+	// planner.* counters.
+	PlanChoice func(choice string)
+
+	ctx *blade.Ctx // cached evaluation context; Now is fixed per statement
 }
 
 // Snapshot returns the version of tbl the current statement reads:
@@ -159,16 +210,27 @@ func (e *Env) Snapshot(name string, tbl *Table) *TableVersion {
 	return tbl.Snapshot()
 }
 
-// Ctx returns the blade evaluation context for this environment.
-func (e *Env) Ctx() *blade.Ctx { return &blade.Ctx{Now: e.Now} }
+// Ctx returns the blade evaluation context for this environment. The
+// context is cached: Now is fixed for the statement's lifetime, and
+// aggregate accumulators call this once per input row.
+func (e *Env) Ctx() *blade.Ctx {
+	if e.ctx == nil || e.ctx.Now != e.Now {
+		e.ctx = &blade.Ctx{Now: e.Now}
+	}
+	return e.ctx
+}
 
 // runtime is the per-execution state: the environment plus the scope
 // stack of rows for correlated evaluation. rows[len-1] is the innermost
-// scope. ticks counts row-loop iterations to ration cancel polls.
+// scope. ticks counts row-loop iterations to ration cancel polls;
+// arena and keybuf are the statement's batch allocator and reused
+// grouping-key buffer (batch.go).
 type runtime struct {
-	env   *Env
-	rows  []Row
-	ticks uint32
+	env    *Env
+	rows   []Row
+	ticks  uint32
+	arena  rowArena
+	keybuf []byte
 }
 
 func (rt *runtime) push(r Row) { rt.rows = append(rt.rows, r) }

@@ -110,7 +110,8 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 				var kept, deduped []Row
 				if deduped, err = dedup(rt, rows); err == nil {
 					for _, r := range deduped {
-						if _, hit := right[rt.rowKey(r)]; !hit {
+						rt.keybuf = rt.appendKey(rt.keybuf[:0], r)
+						if _, hit := right[string(rt.keybuf)]; !hit {
 							kept = append(kept, r)
 						}
 					}
@@ -121,7 +122,8 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 				var kept, deduped []Row
 				if deduped, err = dedup(rt, rows); err == nil {
 					for _, r := range deduped {
-						if _, hit := right[rt.rowKey(r)]; hit {
+						rt.keybuf = rt.appendKey(rt.keybuf[:0], r)
+						if _, hit := right[string(rt.keybuf)]; hit {
 							kept = append(kept, r)
 						}
 					}
@@ -191,7 +193,9 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 	return &selectPlan{outSchema: left.outSchema, run: run}, nil
 }
 
-// dedup removes duplicate rows by key, preserving first occurrence.
+// dedup removes duplicate rows by key, preserving first occurrence. Key
+// bytes build into the runtime's reused buffer; only first occurrences
+// allocate their map key string.
 func dedup(rt *runtime, rows []Row) ([]Row, error) {
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0:0]
@@ -199,11 +203,11 @@ func dedup(rt *runtime, rows []Row) ([]Row, error) {
 		if err := rt.checkCancel(); err != nil {
 			return nil, err
 		}
-		k := rt.rowKey(r)
-		if _, dup := seen[k]; dup {
+		rt.keybuf = rt.appendKey(rt.keybuf[:0], r)
+		if _, dup := seen[string(rt.keybuf)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(rt.keybuf)] = struct{}{}
 		out = append(out, r)
 	}
 	return out, nil
@@ -213,7 +217,8 @@ func dedup(rt *runtime, rows []Row) ([]Row, error) {
 func keySet(rt *runtime, rows []Row) map[string]struct{} {
 	set := make(map[string]struct{}, len(rows))
 	for _, r := range rows {
-		set[rt.rowKey(r)] = struct{}{}
+		rt.keybuf = rt.appendKey(rt.keybuf[:0], r)
+		set[string(rt.keybuf)] = struct{}{}
 	}
 	return set
 }

@@ -139,6 +139,7 @@ func (w *TableWriter) Commit() {
 			nv.Periods[pos] = b.Commit()
 		}
 	}
+	nv.Stats = ComputeStats(nv)
 	w.t.Install(nv)
 }
 

@@ -169,6 +169,44 @@ func (st *Stratum) OverlapJoin(table, key, pred1, pred2 string) (*exec.Result, e
 	return st.sess.Exec(OverlapJoinSQL(table, key, pred1, pred2), nil)
 }
 
+// TIPPlanVariant names one executor configuration for the in-engine
+// side of the §5 comparison. The planner picks the coalesce strategy by
+// cost, so a variant steers it indirectly: UseHashIndex creates a hash
+// index on the grouping column (giving the planner a distinct-key
+// estimate that favours hash aggregation), and Vectorized=false forces
+// the generic row-at-a-time aggregation path.
+type TIPPlanVariant struct {
+	Name         string
+	Vectorized   bool
+	UseHashIndex bool
+}
+
+// CoalescePlanVariants returns the executor configurations the E2
+// comparison runs the TIP side under: the default vectorized sort-merge
+// coalesce, hash-aggregation coalesce (hash index on the grouping
+// column), and the pre-batching row-at-a-time aggregation.
+func CoalescePlanVariants() []TIPPlanVariant {
+	return []TIPPlanVariant{
+		{Name: "sort-merge", Vectorized: true},
+		{Name: "hash-agg", Vectorized: true, UseHashIndex: true},
+		{Name: "row-at-a-time", Vectorized: false},
+	}
+}
+
+// Apply configures a TIP session for the variant. Vectorization is a
+// process-wide executor switch; callers should restore the default
+// (exec.SetVectorized(true)) when done.
+func (v TIPPlanVariant) Apply(sess *engine.Session, table, key string) error {
+	exec.SetVectorized(v.Vectorized)
+	if v.UseHashIndex {
+		ddl := fmt.Sprintf("CREATE INDEX %s_%s_hash ON %s (%s)", table, key, table, key)
+		if _, err := sess.Exec(ddl, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Complexity measures the size of a generated query for experiment E5:
 // character count, rough token count, number of table references (FROM
 // items) and subquery nesting depth.

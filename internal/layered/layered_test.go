@@ -8,6 +8,7 @@ import (
 	"tip/internal/blade"
 	"tip/internal/core"
 	"tip/internal/engine"
+	"tip/internal/exec"
 	"tip/internal/layered"
 	"tip/internal/temporal"
 	"tip/internal/types"
@@ -289,4 +290,65 @@ func TestComplexityMetrics(t *testing.T) {
 	if tc.TableRefs != 1 {
 		t.Errorf("tip table refs = %d", tc.TableRefs)
 	}
+}
+
+// TestCoalescePlanVariants runs TIP's group_union under every coalesce
+// plan variant (sort-merge, hash-agg via a hash index on the grouping
+// column, row-at-a-time) and checks each against the kernel truth — the
+// agreement leg of the E2 plan-variant comparison.
+func TestCoalescePlanVariants(t *testing.T) {
+	defer exec.SetVectorized(true)
+	for _, v := range layered.CoalescePlanVariants() {
+		tip, _, b := newSessions(t)
+		truth := randomPatientData2(t, tip, b, 8, 6, int64(101))
+		if err := v.Apply(tip, "rx", "patient"); err != nil {
+			t.Fatalf("%s: Apply: %v", v.Name, err)
+		}
+		res, err := tip.Exec(`SELECT patient, group_union(valid) FROM rx GROUP BY patient`, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if len(res.Rows) != len(truth) {
+			t.Fatalf("%s: %d groups, want %d", v.Name, len(res.Rows), len(truth))
+		}
+		for _, row := range res.Rows {
+			p := row[0].Str()
+			got := row[1].Obj().(temporal.Element)
+			if !got.Equal(truth[p], testNow) {
+				t.Errorf("%s: %s: got %s, truth %s", v.Name, p, got, truth[p])
+			}
+		}
+	}
+}
+
+// randomPatientData2 is randomPatientData without the stratum side, for
+// TIP-only variant checks.
+func randomPatientData2(t *testing.T, tip *engine.Session, b *core.Blade,
+	patients, periodsPer int, seed int64) map[string]temporal.Element {
+	t.Helper()
+	if _, err := tip.Exec(`CREATE TABLE rx (patient VARCHAR(10), valid Element)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	truth := make(map[string]temporal.Element)
+	for p := 0; p < patients; p++ {
+		name := fmt.Sprintf("p%02d", p)
+		var all []temporal.Period
+		for k := 0; k < periodsPer; k++ {
+			lo := r.Intn(300)
+			hi := lo + 1 + r.Intn(60)
+			pd := temporal.MustPeriod(day(lo), day(hi))
+			all = append(all, pd)
+			if _, err := tip.Exec(`INSERT INTO rx VALUES (:p, :v)`, map[string]types.Value{
+				"p": types.NewString(name), "v": b.ElementValue(pd.Element())}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e, err := temporal.MakeElement(all...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[name] = e
+	}
+	return truth
 }

@@ -93,7 +93,33 @@ func (e Element) ContainsChronon(c Chronon, now Chronon) bool {
 // which is exactly why the paper's coalescing query must use
 // length(group_union(valid)) rather than SUM(length(valid)).
 func (e Element) Length(now Chronon) Span {
+	// Fast path: a determinate element is stored canonically (sorted and
+	// disjoint — the same assumption Bind's no-normalize path makes), so
+	// the period spans sum directly without materialising the interval
+	// set Bind allocates.
 	var total Span
+	var prevLo Chronon
+	direct := true
+	for i, p := range e.periods {
+		if !p.Determinate() {
+			direct = false
+			break
+		}
+		iv, nonEmpty := p.Bind(now)
+		if !nonEmpty {
+			continue
+		}
+		if i > 0 && iv.Lo < prevLo {
+			direct = false
+			break
+		}
+		prevLo = iv.Lo
+		total += iv.Length()
+	}
+	if direct {
+		return total
+	}
+	total = 0
 	for _, iv := range e.Bind(now) {
 		total += iv.Length()
 	}

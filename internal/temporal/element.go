@@ -61,6 +61,62 @@ func MustElement(periods ...Period) Element {
 	return e
 }
 
+// ElementOfIntervals builds a determinate element from raw intervals,
+// normalizing them (sort, drop empties, merge overlapping and adjacent
+// runs) exactly as the element algebra does. It exists so callers that
+// assemble interval sets outside the algebra — the executor's
+// sort-merge coalesce operator — produce elements identical to the ones
+// MakeElement-based aggregation yields. Normalization is linear when
+// the input is already sorted by Lo.
+func ElementOfIntervals(ivs []Interval) Element {
+	if len(ivs) == 0 {
+		return Element{}
+	}
+	sorted := true
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Lo < ivs[i-1].Lo {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		// Merge straight into the period slice: one exactly-sized
+		// allocation instead of normalize's scratch copy plus elementOf's
+		// conversion. Coalescing shrinks the set hard (that is its job),
+		// so a counting pass first keeps the allocation at the merged
+		// size, not the raw input size. The merge only depends on Lo order
+		// (equal-Lo intervals always overlap), so normalize's (Lo, Hi)
+		// tie-break is irrelevant to the result.
+		merged := 1
+		hi := ivs[0].Hi
+		for _, iv := range ivs[1:] {
+			if iv.Lo <= hi || (hi < MaxChronon && iv.Lo == hi+1) {
+				if iv.Hi > hi {
+					hi = iv.Hi
+				}
+				continue
+			}
+			merged++
+			hi = iv.Hi
+		}
+		ps := make([]Period, 0, merged)
+		cur := ivs[0]
+		for _, iv := range ivs[1:] {
+			if iv.Lo <= cur.Hi || (cur.Hi < MaxChronon && iv.Lo == cur.Hi+1) {
+				if iv.Hi > cur.Hi {
+					cur.Hi = iv.Hi
+				}
+				continue
+			}
+			ps = append(ps, cur.Period())
+			cur = iv
+		}
+		ps = append(ps, cur.Period())
+		return Element{periods: ps}
+	}
+	return elementOf(normalize(ivs))
+}
+
 // elementOf wraps normalised intervals into a determinate Element.
 func elementOf(ivs []Interval) Element {
 	ps := make([]Period, len(ivs))
@@ -135,6 +191,21 @@ func (e Element) Bind(now Chronon) []Interval {
 		return ivs
 	}
 	return normalize(ivs)
+}
+
+// AppendBound appends every period's binding at now to dst and returns
+// the extended slice, without sorting or merging — the allocation-free
+// variant of Bind for callers that normalise a larger collection
+// afterwards (normalize(raw bindings) equals normalize(Bind output), so
+// the skipped canonicalisation is never observable there). Periods that
+// bind empty vanish, exactly as in Bind.
+func (e Element) AppendBound(dst []Interval, now Chronon) []Interval {
+	for _, p := range e.periods {
+		if iv, ok := p.Bind(now); ok {
+			dst = append(dst, iv)
+		}
+	}
+	return dst
 }
 
 // Shift displaces every period of the element by s.
