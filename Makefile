@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke parse-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
@@ -8,7 +8,7 @@ GO ?= go
 # torture subset, the wire-fault torture subset, the MVCC snapshot
 # smoke, the planner smoke, the replication smoke, and the
 # metrics-overhead smoke.
-check: vet build race crash-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke obs-smoke
+check: vet build race parse-smoke crash-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,18 @@ race:
 # bench regenerates the experiment tables (quick sizes).
 bench:
 	$(GO) run ./cmd/tipbench
+
+# parse-smoke guards the SQL front end: the differential parity corpus
+# (every statement in the test suites, examples and the workload
+# generator must produce the same AST as the frozen pre-rewrite
+# grammar), the committed FuzzParseParity/FuzzLexer seed corpora, the
+# lexer/parser bug-sweep regressions (error line:column, malformed
+# exponents), and the allocs-per-parse regression bound
+# (testing.AllocsPerRun, so it runs without the race detector's
+# allocation inflation).
+parse-smoke:
+	$(GO) test -run 'TestParseParity|TestParseScriptParity|TestParseError|TestParseMalformedExponents|TestParseAllocs|TestParseAcceptSweep|FuzzParseParity' -count=1 ./internal/sql/parse
+	$(GO) test -run 'TestLexer|FuzzLexer' -count=1 ./internal/sql/scan
 
 # crash-smoke replays the crash-torture battery (-short trims the
 # random intra-frame cuts; every frame-boundary cut still runs): the WAL

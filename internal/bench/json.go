@@ -154,7 +154,7 @@ func JSONResults(rows int) []Result {
 			}
 		})
 
-	return []Result{insert, coalesce, join, ReplReadResult()}
+	return []Result{insert, coalesce, join, ReplReadResult(), ParseResult()}
 }
 
 // mvccOpsPerSec measures single-writer insert throughput, optionally

@@ -11,8 +11,15 @@ import (
 // histogram-derived latency quantiles, and WriteJSON round-trips them.
 func TestJSONResults(t *testing.T) {
 	results := JSONResults(200)
-	if len(results) != 4 {
-		t.Fatalf("got %d scenarios, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(results))
+	}
+	for _, r := range results {
+		if r.Name == "parse" {
+			if s := r.Metrics["speedup_vs_ref"]; s <= 1 {
+				t.Errorf("parse: speedup_vs_ref = %v, want > 1", s)
+			}
+		}
 	}
 	for _, r := range results {
 		if r.Statements <= 0 || r.OpsPerSec <= 0 {

@@ -20,7 +20,10 @@ const planCacheSize = 256
 // not just parse trees — are cached.) The cache is session-local and a
 // session is single-goroutine, so no locking is needed; the parsed AST
 // is reused across executions, which is safe because binding never
-// mutates it.
+// mutates it. A cached AST's string fields alias the source SQL and
+// its nodes live in the parse arena, so an entry retains exactly its
+// key string plus one arena block — nothing beyond what the cache
+// already holds.
 type planCache struct {
 	max     int
 	entries map[string]*list.Element

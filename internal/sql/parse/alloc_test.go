@@ -1,0 +1,48 @@
+package parse
+
+import "testing"
+
+// TestParseAllocs pins the zero-allocation work: a representative
+// single-table SELECT must cost at most 5 heap allocations end to end
+// (parser+arena block, select-item slice, table-ref slice, plus slack
+// for one slab overflow). Skipped under -race, which instruments
+// allocation.
+func TestParseAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	const q = `SELECT doctor, patient, dosage FROM Prescription WHERE dosage > 10 AND drug = 'Diabeta'`
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := Parse(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 5 {
+		t.Errorf("Parse allocates %.1f times per op, budget is 5", avg)
+	}
+}
+
+// TestParseAllocsCacheHitShape guards the statements the benchmarks
+// replay: none may regress past a small constant bound.
+func TestParseAllocsCacheHitShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	queries := []string{
+		`SELECT patient FROM Prescription WHERE drug = 'Tylenol'`,
+		`UPDATE Prescription SET dosage = dosage + 1 WHERE dosage < 5`,
+		`DELETE FROM Prescription WHERE isempty(valid)`,
+		`INSERT INTO Prescription VALUES ('a', 'b', '1999-01-01', 'c', 1, '1', '{[1999-01-01, NOW]}')`,
+	}
+	for _, q := range queries {
+		q := q
+		avg := testing.AllocsPerRun(100, func() {
+			if _, err := Parse(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 12 {
+			t.Errorf("Parse(%q) allocates %.1f times per op, bound is 12", q, avg)
+		}
+	}
+}

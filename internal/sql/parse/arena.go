@@ -1,0 +1,334 @@
+package parse
+
+import "tip/internal/sql/ast"
+
+// The per-parse arena batches AST node allocation. Nodes of the hot
+// types come out of type-segregated slabs whose first chunk is embedded
+// in the arena block itself, so a typical single statement costs one
+// heap allocation (the arena, which escapes through the AST) instead of
+// one per node; larger statements spill into chunked overflow slabs.
+// The parser proper (lexer state and token window) holds only a pointer
+// to the arena and stays on the caller's stack, which keeps the
+// token-pump free of write barriers.
+//
+// Lifetime rules: slab memory is part of the AST — a node pointer keeps
+// its slab (and the whole arena block) alive, and token/AST strings
+// are sub-slices that keep the source SQL string alive. The arena is
+// never reset or reused, so parsed statements are immutable and safe to
+// share, cache and rebind exactly like individually allocated nodes.
+// (The engine's plan cache keys entries by the same source string the
+// AST aliases, so caching adds no extra retention.)
+//
+// Inline slab sizes are tuned per type to the node counts of real
+// statements — e.g. one Select but several ColumnRefs — because every
+// inline element is zeroed on each parse; see TestParseAllocs.
+
+// slab1/slab2/slab4/slab8 hand out *T values from an inline array,
+// falling back to individual heap nodes once it is full. They differ
+// only in inline capacity (Go generics cannot abstract over array
+// lengths). The bookkeeping is a bare counter on purpose: a free-list
+// slice would put a pointer-bearing 24-byte header in the arena and a
+// write-barriered header update on every alloc, and it would inflate
+// the arena block into the next size class — the counter costs four
+// bytes and one barrier-free store.
+type slab1[T any] struct {
+	n     uint32
+	first [1]T
+}
+
+func (s *slab1[T]) alloc() *T {
+	if s.n < 1 {
+		s.n++
+		return &s.first[0]
+	}
+	return new(T)
+}
+
+// slab2/slab4/slab8 carry one lazily allocated 8-element overflow
+// chunk before falling back to per-node allocation, so a statement
+// with (say) fourteen column references costs one chunk rather than
+// ten loose nodes. One chunk is enough: statements deep enough to
+// exhaust inline+chunk are vanishingly rare, and loose nodes keep
+// them correct.
+type slab2[T any] struct {
+	n     uint32
+	over  *[8]T
+	first [2]T
+}
+
+func (s *slab2[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 2 {
+		return &s.first[i]
+	}
+	if i -= 2; i < 8 {
+		if s.over == nil {
+			s.over = new([8]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+// slab2w/slab4w are the same shape with a 16-element overflow chunk,
+// for the small node types (string literals, column references) that
+// bulk statements — multi-row INSERTs, wide reporting queries — use by
+// the dozen.
+type slab2w[T any] struct {
+	n     uint32
+	over  *[16]T
+	first [2]T
+}
+
+func (s *slab2w[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 2 {
+		return &s.first[i]
+	}
+	if i -= 2; i < 16 {
+		if s.over == nil {
+			s.over = new([16]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+// slab6/slab6w widen the inline array to six elements for the two node
+// types real statements use most: a routine analytical WHERE clause
+// carries five or six conjuncts and column references, just past an
+// inline four, and spilling those into a chunk paid a several-hundred-
+// byte allocation for one or two nodes on the most common statements.
+type slab6[T any] struct {
+	n     uint32
+	over  *[8]T
+	first [6]T
+}
+
+func (s *slab6[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 6 {
+		return &s.first[i]
+	}
+	if i -= 6; i < 8 {
+		if s.over == nil {
+			s.over = new([8]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+type slab6w[T any] struct {
+	n     uint32
+	over  *[16]T
+	first [6]T
+}
+
+func (s *slab6w[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 6 {
+		return &s.first[i]
+	}
+	if i -= 6; i < 16 {
+		if s.over == nil {
+			s.over = new([16]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+type slab4w[T any] struct {
+	n     uint32
+	over  *[16]T
+	first [4]T
+}
+
+func (s *slab4w[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 4 {
+		return &s.first[i]
+	}
+	if i -= 4; i < 16 {
+		if s.over == nil {
+			s.over = new([16]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+type slab4[T any] struct {
+	n     uint32
+	over  *[8]T
+	first [4]T
+}
+
+func (s *slab4[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 4 {
+		return &s.first[i]
+	}
+	if i -= 4; i < 8 {
+		if s.over == nil {
+			s.over = new([8]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+type slab8[T any] struct {
+	n     uint32
+	over  *[8]T
+	first [8]T
+}
+
+func (s *slab8[T]) alloc() *T {
+	i := s.n
+	s.n = i + 1
+	if i < 8 {
+		return &s.first[i]
+	}
+	if i -= 8; i < 8 {
+		if s.over == nil {
+			s.over = new([8]T)
+		}
+		return &s.over[i]
+	}
+	return new(T)
+}
+
+// arena groups the slabs for the node types that dominate real
+// statements. Rare node types (CASE, BETWEEN, set ops, DDL statements)
+// are allocated directly — they appear at most once or twice per
+// statement and batching them would only bloat the arena block.
+type arena struct {
+	sels   slab1[ast.Select]
+	subqs  slab1[ast.Subquery]
+	bins   slab6[ast.Binary]
+	cols   slab6w[ast.ColumnRef]
+	ints   slab2[ast.IntLit]
+	strs   slab2w[ast.StringLit]
+	calls  slab2[ast.Call]
+	casts  slab1[ast.Cast]
+	params slab4[ast.Param]
+	// Backing arrays for the AST's slices (select items, table refs,
+	// call arguments / GROUP BY / IN lists, ORDER BY): each list takes
+	// one and appends into it, spilling to an ordinary heap slice only
+	// past the array's capacity. A list that stays empty never takes an
+	// array, so nil-vs-empty slice shape matches per-node allocation.
+	itemArrs  slab1[[3]ast.SelectItem]
+	fromArrs  slab1[[2]ast.TableRef]
+	exprArrs  slab4[[2]ast.Expr]
+	orderArrs slab1[[1]ast.OrderItem]
+}
+
+func (a *arena) sel() *ast.Select { return a.sels.alloc() }
+
+func (a *arena) subquery(q *ast.Select) *ast.Subquery {
+	n := a.subqs.alloc()
+	n.Query = q
+	return n
+}
+
+// The list helpers take the inline backing array when it is still
+// free; once it is gone (second select of a compound, say) they hand
+// back a small right-sized heap slice rather than another full-width
+// array — later selects are usually no wider than the first.
+
+func (a *arena) items() []ast.SelectItem {
+	if a.itemArrs.n == 0 {
+		a.itemArrs.n = 1
+		return a.itemArrs.first[0][:0]
+	}
+	return make([]ast.SelectItem, 0, 2)
+}
+
+func (a *arena) froms() []ast.TableRef {
+	if a.fromArrs.n == 0 {
+		a.fromArrs.n = 1
+		return a.fromArrs.first[0][:0]
+	}
+	return make([]ast.TableRef, 0, 1)
+}
+
+func (a *arena) exprs() []ast.Expr {
+	if i := a.exprArrs.n; i < 4 {
+		a.exprArrs.n = i + 1
+		return a.exprArrs.first[i][:0]
+	}
+	return make([]ast.Expr, 0, 2)
+}
+
+func (a *arena) orders() []ast.OrderItem {
+	if a.orderArrs.n == 0 {
+		a.orderArrs.n = 1
+		return a.orderArrs.first[0][:0]
+	}
+	return make([]ast.OrderItem, 0, 2)
+}
+
+func (a *arena) binary(op string, l, r ast.Expr) *ast.Binary {
+	n := a.bins.alloc()
+	n.Op, n.L, n.R = op, l, r
+	return n
+}
+
+func (a *arena) columnRef(table, column string) *ast.ColumnRef {
+	n := a.cols.alloc()
+	n.Table, n.Column = table, column
+	return n
+}
+
+func (a *arena) intLit(v int64) *ast.IntLit {
+	n := a.ints.alloc()
+	n.V = v
+	return n
+}
+
+func (a *arena) stringLit(v string) *ast.StringLit {
+	n := a.strs.alloc()
+	n.V = v
+	return n
+}
+
+func (a *arena) call(name string) *ast.Call {
+	n := a.calls.alloc()
+	n.Name = name
+	return n
+}
+
+func (a *arena) cast(x ast.Expr, typeName string) *ast.Cast {
+	n := a.casts.alloc()
+	n.X, n.TypeName = x, typeName
+	return n
+}
+
+func (a *arena) param(name string) *ast.Param {
+	n := a.params.alloc()
+	n.Name = name
+	return n
+}
+
+// Unary nodes (NOT, unary minus on a non-literal) are rare enough that
+// an inline slab wasted its arena bytes on every parse; they are
+// allocated individually.
+func (a *arena) unary(op string, x ast.Expr) *ast.Unary {
+	return &ast.Unary{Op: op, X: x}
+}
+
+// Shared immutable literal singletons: NULL/TRUE/FALSE carry no
+// per-parse state, so every AST may point at the same node.
+var (
+	nullLit  = &ast.NullLit{}
+	trueLit  = &ast.BoolLit{V: true}
+	falseLit = &ast.BoolLit{V: false}
+)

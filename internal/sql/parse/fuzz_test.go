@@ -1,0 +1,33 @@
+package parse
+
+import (
+	"reflect"
+	"testing"
+
+	"tip/internal/sql/parse/refparse"
+)
+
+// FuzzParseParity feeds arbitrary input to the production parser and
+// the frozen pre-rewrite parser in refparse. The two must agree on
+// error presence and, when both succeed, produce deeply equal ASTs —
+// any divergence is a bug in the Pratt rewrite (or a panic in either).
+// Seeds live in testdata/fuzz/FuzzParseParity alongside the corpus
+// go test -fuzz finds on its own.
+func FuzzParseParity(f *testing.F) {
+	for _, q := range parityCorpus {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // bound superlinear DeepEqual work on giant inputs
+		}
+		got, gotErr := Parse(src)
+		want, wantErr := refparse.Parse(src)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("Parse(%q): err=%v, refparse err=%v", src, gotErr, wantErr)
+		}
+		if gotErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("Parse(%q):\n got  %#v\n want %#v", src, got, want)
+		}
+	})
+}

@@ -1,11 +1,29 @@
-// Package parse implements the recursive-descent SQL parser for the TIP
-// engine. The dialect covers the statements the paper's examples and the
+// Package parse turns SQL text into the ast package's statement nodes.
+// The dialect covers the statements the paper's examples and the
 // layered baseline need: CREATE/DROP TABLE, CREATE/DROP INDEX, INSERT
 // (VALUES and SELECT forms), SELECT with joins, WHERE, GROUP BY, HAVING,
 // ORDER BY, LIMIT/OFFSET and DISTINCT, UPDATE, DELETE, transaction
 // control, and SET NOW for what-if evaluation. Expressions include the
 // Informix explicit-cast operator (::), named parameters (:name),
 // EXISTS/IN/scalar subqueries, CASE, BETWEEN and LIKE.
+//
+// The parser is built for the plan cache's miss path: it pulls tokens
+// from the scanner on demand (never materialising a token slice), keeps
+// a two-token lookahead window, dispatches keywords and operators on
+// the integer ids the lexer stamps on each token, and allocates AST
+// nodes from a per-parse arena embedded in the parser. A representative
+// single-table SELECT costs a handful of heap allocations total; see
+// arena.go for the slab design and the lifetime rules.
+//
+// Expressions are parsed with a single Pratt (precedence-climbing)
+// loop over a binding-power table instead of one recursive function per
+// precedence level. The grammar and operator precedence are unchanged
+// from the recursive-descent parser this replaced (frozen in the
+// refparse package for differential testing):
+//
+//	OR < AND < NOT < comparisons/IS/BETWEEN/IN/LIKE < +,-,|| < *,/,% < unary -,+ < ::
+//
+// Parse errors report line:column as well as the byte offset.
 package parse
 
 import (
@@ -20,17 +38,20 @@ import (
 // Parse parses a single SQL statement (an optional trailing ';' is
 // allowed).
 func Parse(sql string) (ast.Statement, error) {
-	p, err := newParser(sql)
-	if err != nil {
-		return nil, err
-	}
+	var p parser
+	p.init(sql)
 	st, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, p.firstErr(err)
 	}
-	p.acceptSymbol(";")
-	if !p.at(scan.EOF) {
-		return nil, p.errf("unexpected %s after statement", p.cur())
+	p.acceptSym(scan.SymSemi)
+	if p.cur.Kind != scan.EOF {
+		return nil, p.firstErr(p.errf("unexpected %s after statement", p.cur))
+	}
+	// Lexing is lazy, so a lexical error past the last token the
+	// grammar needed surfaces here rather than up front.
+	if p.lexErr != nil {
+		return nil, p.lexErr
 	}
 	return st, nil
 }
@@ -60,184 +81,241 @@ type ScriptPart struct {
 // ParseScriptParts parses a ';'-separated sequence of statements,
 // returning each with the slice of the input it was parsed from.
 func ParseScriptParts(sql string) ([]ScriptPart, error) {
-	p, err := newParser(sql)
-	if err != nil {
-		return nil, err
-	}
+	var p parser
+	p.init(sql)
 	var out []ScriptPart
 	for {
-		for p.acceptSymbol(";") {
+		for p.acceptSym(scan.SymSemi) {
 		}
-		if p.at(scan.EOF) {
+		if p.cur.Kind == scan.EOF {
+			if p.lexErr != nil {
+				return nil, p.lexErr
+			}
 			return out, nil
 		}
-		start := p.cur().Pos
+		start := p.cur.Pos
 		st, err := p.statement()
 		if err != nil {
-			return nil, err
+			return nil, p.firstErr(err)
 		}
 		// The current token is the terminator (';' or EOF); its offset
 		// bounds the statement's text.
-		text := strings.TrimSpace(p.src[start:p.cur().Pos])
+		text := strings.TrimSpace(p.src[start:p.cur.Pos])
 		out = append(out, ScriptPart{Stmt: st, SQL: text})
-		if !p.acceptSymbol(";") && !p.at(scan.EOF) {
-			return nil, p.errf("expected ';' between statements, got %s", p.cur())
+		if !p.acceptSym(scan.SymSemi) && p.cur.Kind != scan.EOF {
+			return nil, p.firstErr(p.errf("expected ';' between statements, got %s", p.cur))
 		}
 	}
 }
 
+// parser streams tokens from the embedded lexer through a two-token
+// window (cur plus a lazily fetched peek). The parser itself lives on
+// the caller's stack — only the arena it points at is heap-allocated,
+// because the arena's slabs become part of the returned AST. Keeping
+// the token window on the stack means the pump (fetch/advance) stores
+// tokens without GC write barriers.
 type parser struct {
-	toks []scan.Token
-	pos  int
-	src  string
+	src     string
+	lex     scan.Lexer
+	cur     scan.Token
+	peek    scan.Token
+	hasPeek bool
+	lexErr  error
+	a       *arena
 }
 
-func newParser(sql string) (*parser, error) {
-	toks, err := scan.New(sql).All()
-	if err != nil {
-		return nil, err
+func (p *parser) init(sql string) {
+	p.src = sql
+	p.a = &arena{}
+	p.lex.Init(sql)
+	p.fetch(&p.cur)
+}
+
+// fetch pulls the next token into dst (in place — no token copies). A
+// lexical error is recorded once and replaced by a synthetic EOF so the
+// grammar code stays error-free; the API entry points report lexErr in
+// preference to any parse error it caused, matching the eager-lexing
+// parser's behaviour.
+func (p *parser) fetch(dst *scan.Token) {
+	if err := p.lex.Next(dst); err != nil {
+		if p.lexErr == nil {
+			p.lexErr = err
+		}
+		*dst = scan.Token{Kind: scan.EOF, Pos: int32(len(p.src))}
 	}
-	return &parser{toks: toks, src: sql}, nil
 }
 
-func (p *parser) cur() scan.Token     { return p.toks[p.pos] }
-func (p *parser) at(k scan.Kind) bool { return p.cur().Kind == k }
+// firstErr picks the error to surface at an API boundary.
+func (p *parser) firstErr(err error) error {
+	if p.lexErr != nil {
+		return p.lexErr
+	}
+	return err
+}
+
+// peekTok returns a pointer to the lookahead token (valid until the
+// next advance) rather than a copy of it.
+func (p *parser) peekTok() *scan.Token {
+	if !p.hasPeek {
+		if p.cur.Kind == scan.EOF {
+			return &p.cur
+		}
+		p.fetch(&p.peek)
+		p.hasPeek = true
+	}
+	return &p.peek
+}
+
+// advance consumes the current token and slides the window. It
+// deliberately returns nothing: handing back the consumed 24-byte
+// token put a wide struct copy — and a store-forwarding stall against
+// the lexer's narrow field stores — on every single consume. Callers
+// that need the consumed token read its fields from p.cur first.
+// The peek-consuming branch is outlined (and kept out of the inliner's
+// cost budget): lookahead is used in only two grammar spots, so the hot
+// consume path is branch + fetch, which lets advance — and the accept
+// helpers wrapping it — inline into the grammar code.
+func (p *parser) advance() {
+	if p.hasPeek {
+		p.takePeek()
+	} else if p.cur.Kind != scan.EOF {
+		p.fetch(&p.cur)
+	}
+}
+
+//go:noinline
+func (p *parser) takePeek() {
+	p.cur, p.hasPeek = p.peek, false
+}
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().Pos)
+	line, col := scan.LineCol(p.src, int(p.cur.Pos))
+	return fmt.Errorf("sql: %s (line %d:%d, offset %d)",
+		fmt.Sprintf(format, args...), line, col, p.cur.Pos)
 }
 
-func (p *parser) advance() scan.Token {
-	t := p.toks[p.pos]
-	if t.Kind != scan.EOF {
-		p.pos++
-	}
-	return t
-}
-
-// atKeyword reports whether the current token is the given keyword.
-func (p *parser) atKeyword(kw string) bool { return p.cur().IsKeyword(kw) }
-
-// accept consumes the keyword if present.
-func (p *parser) accept(kw string) bool {
-	if p.atKeyword(kw) {
-		p.pos++
+// acceptKw consumes the keyword if the current token is it.
+func (p *parser) acceptKw(k scan.KwID) bool {
+	if p.cur.Kw == k {
+		p.advance()
 		return true
 	}
 	return false
 }
 
-// expect consumes the keyword or fails.
-func (p *parser) expect(kw string) error {
-	if !p.accept(kw) {
-		return p.errf("expected %s, got %s", kw, p.cur())
+// expectKw consumes the keyword or fails. The error construction is
+// outlined so the success path inlines.
+func (p *parser) expectKw(k scan.KwID) error {
+	if p.cur.Kw == k {
+		p.advance()
+		return nil
 	}
-	return nil
+	return p.expectKwErr(k)
 }
 
-// acceptSymbol consumes the symbol if present.
-func (p *parser) acceptSymbol(s string) bool {
-	if p.cur().IsSymbol(s) {
-		p.pos++
+//go:noinline
+func (p *parser) expectKwErr(k scan.KwID) error {
+	return p.errf("expected %s, got %s", k, p.cur)
+}
+
+// acceptSym consumes the symbol if the current token is it.
+func (p *parser) acceptSym(s scan.SymID) bool {
+	if p.cur.Sym == s {
+		p.advance()
 		return true
 	}
 	return false
 }
 
-// expectSymbol consumes the symbol or fails.
-func (p *parser) expectSymbol(s string) error {
-	if !p.acceptSymbol(s) {
-		return p.errf("expected %q, got %s", s, p.cur())
+// expectSym consumes the symbol or fails; see expectKw.
+func (p *parser) expectSym(s scan.SymID) error {
+	if p.cur.Sym == s {
+		p.advance()
+		return nil
 	}
-	return nil
+	return p.expectSymErr(s)
+}
+
+//go:noinline
+func (p *parser) expectSymErr(s scan.SymID) error {
+	return p.errf("expected %q, got %s", s.String(), p.cur)
 }
 
 // ident consumes an identifier.
 func (p *parser) ident(what string) (string, error) {
-	if !p.at(scan.Ident) {
-		return "", p.errf("expected %s, got %s", what, p.cur())
+	if p.cur.Kind != scan.Ident {
+		return "", p.errf("expected %s, got %s", what, p.cur)
 	}
-	return p.advance().Text, nil
-}
-
-// reserved words that terminate an implicit alias.
-var reserved = map[string]bool{
-	"FROM": true, "WHERE": true, "GROUP": true, "HAVING": true, "ORDER": true,
-	"LIMIT": true, "OFFSET": true, "JOIN": true, "INNER": true, "LEFT": true,
-	"ON": true, "AND": true, "OR": true, "NOT": true, "AS": true, "SET": true,
-	"VALUES": true, "SELECT": true, "INSERT": true, "UPDATE": true,
-	"DELETE": true, "DISTINCT": true, "UNION": true, "EXCEPT": true,
-	"INTERSECT": true, "BY": true, "ASC": true,
-	"DESC": true, "IN": true, "IS": true, "LIKE": true, "BETWEEN": true,
-	"EXISTS": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
-	"END": true, "NULL": true, "TRUE": true, "FALSE": true, "CROSS": true,
+	text := p.cur.Text
+	p.advance()
+	return text, nil
 }
 
 func (p *parser) statement() (ast.Statement, error) {
-	switch {
-	case p.atKeyword("CREATE"):
+	switch p.cur.Kw {
+	case scan.KwCreate:
 		return p.create()
-	case p.atKeyword("DROP"):
+	case scan.KwDrop:
 		return p.drop()
-	case p.atKeyword("INSERT"):
+	case scan.KwInsert:
 		return p.insert()
-	case p.atKeyword("SELECT"):
-		return p.selectStmt()
-	case p.atKeyword("UPDATE"):
+	case scan.KwSelect:
+		return p.selectBody()
+	case scan.KwUpdate:
 		return p.update()
-	case p.atKeyword("DELETE"):
+	case scan.KwDelete:
 		return p.delete()
-	case p.atKeyword("BEGIN"):
+	case scan.KwBegin:
 		p.advance()
-		p.accept("TRANSACTION")
-		p.accept("WORK")
+		p.acceptKw(scan.KwTransaction)
+		p.acceptKw(scan.KwWork)
 		return &ast.Begin{}, nil
-	case p.atKeyword("COMMIT"):
+	case scan.KwCommit:
 		p.advance()
-		p.accept("WORK")
+		p.acceptKw(scan.KwWork)
 		return &ast.Commit{}, nil
-	case p.atKeyword("ROLLBACK"):
+	case scan.KwRollback:
 		p.advance()
-		p.accept("WORK")
+		p.acceptKw(scan.KwWork)
 		return &ast.Rollback{}, nil
-	case p.atKeyword("SET"):
+	case scan.KwSet:
 		return p.set()
-	case p.atKeyword("SHOW"):
+	case scan.KwShow:
 		p.advance()
-		if err := p.expect("TABLES"); err != nil {
+		if err := p.expectKw(scan.KwTables); err != nil {
 			return nil, err
 		}
 		return &ast.ShowTables{}, nil
-	case p.atKeyword("DESCRIBE") || p.atKeyword("DESC"):
+	case scan.KwDescribe, scan.KwDesc:
 		p.advance()
 		name, err := p.ident("table name")
 		if err != nil {
 			return nil, err
 		}
 		return &ast.Describe{Table: name}, nil
-	case p.atKeyword("EXPLAIN"):
+	case scan.KwExplain:
 		p.advance()
-		analyze := p.accept("ANALYZE")
+		analyze := p.acceptKw(scan.KwAnalyze)
 		sel, err := p.selectBody()
 		if err != nil {
 			return nil, err
 		}
 		return &ast.Explain{Query: sel, Analyze: analyze}, nil
 	default:
-		return nil, p.errf("expected a statement, got %s", p.cur())
+		return nil, p.errf("expected a statement, got %s", p.cur)
 	}
 }
 
 func (p *parser) create() (ast.Statement, error) {
 	p.advance() // CREATE
 	switch {
-	case p.accept("TABLE"):
+	case p.acceptKw(scan.KwTable):
 		ifNot := false
-		if p.accept("IF") {
-			if err := p.expect("NOT"); err != nil {
+		if p.acceptKw(scan.KwIf) {
+			if err := p.expectKw(scan.KwNot); err != nil {
 				return nil, err
 			}
-			if err := p.expect("EXISTS"); err != nil {
+			if err := p.expectKw(scan.KwExists); err != nil {
 				return nil, err
 			}
 			ifNot = true
@@ -246,7 +324,7 @@ func (p *parser) create() (ast.Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol("("); err != nil {
+		if err := p.expectSym(scan.SymLParen); err != nil {
 			return nil, err
 		}
 		var cols []ast.ColumnDef
@@ -260,54 +338,55 @@ func (p *parser) create() (ast.Statement, error) {
 				return nil, err
 			}
 			col := ast.ColumnDef{Name: cname, TypeName: tname}
-			if p.accept("NOT") {
-				if err := p.expect("NULL"); err != nil {
+			if p.acceptKw(scan.KwNot) {
+				if err := p.expectKw(scan.KwNull); err != nil {
 					return nil, err
 				}
 				col.NotNull = true
 			}
 			cols = append(cols, col)
-			if p.acceptSymbol(",") {
+			if p.acceptSym(scan.SymComma) {
 				continue
 			}
 			break
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return nil, err
 		}
 		return &ast.CreateTable{Name: name, IfNotExists: ifNot, Columns: cols}, nil
-	case p.accept("INDEX"):
+	case p.acceptKw(scan.KwIndex):
 		name, err := p.ident("index name")
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expect("ON"); err != nil {
+		if err := p.expectKw(scan.KwOn); err != nil {
 			return nil, err
 		}
 		table, err := p.ident("table name")
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol("("); err != nil {
+		if err := p.expectSym(scan.SymLParen); err != nil {
 			return nil, err
 		}
 		col, err := p.ident("column name")
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return nil, err
 		}
 		idx := &ast.CreateIndex{Name: name, Table: table, Column: col}
-		if p.accept("USING") {
+		if p.acceptKw(scan.KwUsing) {
+			kindTok := p.cur
 			kind, err := p.ident("index kind")
 			if err != nil {
 				return nil, err
 			}
-			switch strings.ToUpper(kind) {
-			case "PERIOD":
+			switch kindTok.Kw {
+			case scan.KwPeriod:
 				idx.Period = true
-			case "HASH":
+			case scan.KwHash:
 			default:
 				return nil, p.errf("unknown index kind %s", kind)
 			}
@@ -321,10 +400,10 @@ func (p *parser) create() (ast.Statement, error) {
 func (p *parser) drop() (ast.Statement, error) {
 	p.advance() // DROP
 	switch {
-	case p.accept("TABLE"):
+	case p.acceptKw(scan.KwTable):
 		ifEx := false
-		if p.accept("IF") {
-			if err := p.expect("EXISTS"); err != nil {
+		if p.acceptKw(scan.KwIf) {
+			if err := p.expectKw(scan.KwExists); err != nil {
 				return nil, err
 			}
 			ifEx = true
@@ -334,7 +413,7 @@ func (p *parser) drop() (ast.Statement, error) {
 			return nil, err
 		}
 		return &ast.DropTable{Name: name, IfExists: ifEx}, nil
-	case p.accept("INDEX"):
+	case p.acceptKw(scan.KwIndex):
 		name, err := p.ident("index name")
 		if err != nil {
 			return nil, err
@@ -346,24 +425,25 @@ func (p *parser) drop() (ast.Statement, error) {
 }
 
 // typeName parses a type name with an optional ignored precision, e.g.
-// CHAR(20) or VARCHAR(50).
+// CHAR(20) or VARCHAR(50). Reserved words are allowed — type names live
+// in their own namespace.
 func (p *parser) typeName() (string, error) {
 	name, err := p.ident("type name")
 	if err != nil {
 		return "", err
 	}
-	if p.acceptSymbol("(") {
-		if !p.at(scan.Number) {
+	if p.acceptSym(scan.SymLParen) {
+		if p.cur.Kind != scan.Number {
 			return "", p.errf("expected type precision")
 		}
 		p.advance()
-		if p.acceptSymbol(",") {
-			if !p.at(scan.Number) {
+		if p.acceptSym(scan.SymComma) {
+			if p.cur.Kind != scan.Number {
 				return "", p.errf("expected type scale")
 			}
 			p.advance()
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return "", err
 		}
 	}
@@ -372,7 +452,7 @@ func (p *parser) typeName() (string, error) {
 
 func (p *parser) insert() (ast.Statement, error) {
 	p.advance() // INSERT
-	if err := p.expect("INTO"); err != nil {
+	if err := p.expectKw(scan.KwInto); err != nil {
 		return nil, err
 	}
 	table, err := p.ident("table name")
@@ -380,56 +460,56 @@ func (p *parser) insert() (ast.Statement, error) {
 		return nil, err
 	}
 	ins := &ast.Insert{Table: table}
-	if p.acceptSymbol("(") {
+	if p.acceptSym(scan.SymLParen) {
 		for {
 			c, err := p.ident("column name")
 			if err != nil {
 				return nil, err
 			}
 			ins.Columns = append(ins.Columns, c)
-			if p.acceptSymbol(",") {
+			if p.acceptSym(scan.SymComma) {
 				continue
 			}
 			break
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return nil, err
 		}
 	}
 	switch {
-	case p.accept("VALUES"):
+	case p.acceptKw(scan.KwValues):
 		for {
-			if err := p.expectSymbol("("); err != nil {
+			if err := p.expectSym(scan.SymLParen); err != nil {
 				return nil, err
 			}
-			var row []ast.Expr
+			row := make([]ast.Expr, 0, 8)
 			for {
 				e, err := p.expr()
 				if err != nil {
 					return nil, err
 				}
 				row = append(row, e)
-				if p.acceptSymbol(",") {
+				if p.acceptSym(scan.SymComma) {
 					continue
 				}
 				break
 			}
-			if err := p.expectSymbol(")"); err != nil {
+			if err := p.expectSym(scan.SymRParen); err != nil {
 				return nil, err
 			}
 			ins.Rows = append(ins.Rows, row)
-			if p.acceptSymbol(",") {
+			if p.acceptSym(scan.SymComma) {
 				continue
 			}
 			break
 		}
 		return ins, nil
-	case p.atKeyword("SELECT"):
-		sel, err := p.selectStmt()
+	case p.cur.Kw == scan.KwSelect:
+		sel, err := p.selectBody()
 		if err != nil {
 			return nil, err
 		}
-		ins.Query = sel.(*ast.Select)
+		ins.Query = sel
 		return ins, nil
 	default:
 		return nil, p.errf("expected VALUES or SELECT in INSERT")
@@ -442,7 +522,7 @@ func (p *parser) update() (ast.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.expect("SET"); err != nil {
+	if err := p.expectKw(scan.KwSet); err != nil {
 		return nil, err
 	}
 	up := &ast.Update{Table: table}
@@ -451,7 +531,7 @@ func (p *parser) update() (ast.Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol("="); err != nil {
+		if err := p.expectSym(scan.SymEq); err != nil {
 			return nil, err
 		}
 		e, err := p.expr()
@@ -459,12 +539,12 @@ func (p *parser) update() (ast.Statement, error) {
 			return nil, err
 		}
 		up.Set = append(up.Set, ast.Assignment{Column: col, Value: e})
-		if p.acceptSymbol(",") {
+		if p.acceptSym(scan.SymComma) {
 			continue
 		}
 		break
 	}
-	if p.accept("WHERE") {
+	if p.acceptKw(scan.KwWhere) {
 		if up.Where, err = p.expr(); err != nil {
 			return nil, err
 		}
@@ -474,7 +554,7 @@ func (p *parser) update() (ast.Statement, error) {
 
 func (p *parser) delete() (ast.Statement, error) {
 	p.advance() // DELETE
-	if err := p.expect("FROM"); err != nil {
+	if err := p.expectKw(scan.KwFrom); err != nil {
 		return nil, err
 	}
 	table, err := p.ident("table name")
@@ -482,7 +562,7 @@ func (p *parser) delete() (ast.Statement, error) {
 		return nil, err
 	}
 	del := &ast.Delete{Table: table}
-	if p.accept("WHERE") {
+	if p.acceptKw(scan.KwWhere) {
 		if del.Where, err = p.expr(); err != nil {
 			return nil, err
 		}
@@ -494,16 +574,16 @@ func (p *parser) set() (ast.Statement, error) {
 	p.advance() // SET
 	timeout := false
 	switch {
-	case p.accept("NOW"):
-	case p.accept("STATEMENT_TIMEOUT"):
+	case p.acceptKw(scan.KwNow):
+	case p.acceptKw(scan.KwStatementTimeout):
 		timeout = true
 	default:
 		return nil, p.errf("only SET NOW and SET STATEMENT_TIMEOUT are supported")
 	}
-	if err := p.expectSymbol("="); err != nil {
+	if err := p.expectSym(scan.SymEq); err != nil {
 		return nil, err
 	}
-	if p.accept("DEFAULT") {
+	if p.acceptKw(scan.KwDefault) {
 		if timeout {
 			return &ast.SetTimeout{}, nil
 		}
@@ -519,14 +599,6 @@ func (p *parser) set() (ast.Statement, error) {
 	return &ast.SetNow{Value: e}, nil
 }
 
-func (p *parser) selectStmt() (ast.Statement, error) {
-	sel, err := p.selectBody()
-	if err != nil {
-		return nil, err
-	}
-	return sel, nil
-}
-
 // selectBody parses a possibly-compound select: a core, any chain of
 // UNION [ALL] / EXCEPT / INTERSECT cores (left-associative), and a
 // trailing ORDER BY / LIMIT / OFFSET that applies to the combination.
@@ -537,21 +609,19 @@ func (p *parser) selectBody() (*ast.Select, error) {
 	}
 	for {
 		var op string
-		switch {
-		case p.accept("UNION"):
+		switch p.cur.Kw {
+		case scan.KwUnion:
 			op = "UNION"
-		case p.accept("EXCEPT"):
+		case scan.KwExcept:
 			op = "EXCEPT"
-		case p.accept("INTERSECT"):
+		case scan.KwIntersect:
 			op = "INTERSECT"
 		default:
-			op = ""
+			return p.selectTail(sel)
 		}
-		if op == "" {
-			break
-		}
+		p.advance()
 		part := ast.SetPart{Op: op}
-		if op == "UNION" && p.accept("ALL") {
+		if op == "UNION" && p.acceptKw(scan.KwAll) {
 			part.All = true
 		}
 		rhs, err := p.selectCore()
@@ -561,36 +631,42 @@ func (p *parser) selectBody() (*ast.Select, error) {
 		part.Sel = rhs
 		sel.SetOps = append(sel.SetOps, part)
 	}
-	if p.accept("ORDER") {
-		if err := p.expect("BY"); err != nil {
+}
+
+// selectTail parses the ORDER BY / LIMIT / OFFSET that closes a
+// (possibly compound) select.
+func (p *parser) selectTail(sel *ast.Select) (*ast.Select, error) {
+	if p.acceptKw(scan.KwOrder) {
+		if err := p.expectKw(scan.KwBy); err != nil {
 			return nil, err
 		}
+		sel.OrderBy = p.a.orders()
 		for {
 			e, err := p.expr()
 			if err != nil {
 				return nil, err
 			}
 			item := ast.OrderItem{Expr: e}
-			if p.accept("DESC") {
+			if p.acceptKw(scan.KwDesc) {
 				item.Desc = true
 			} else {
-				p.accept("ASC")
+				p.acceptKw(scan.KwAsc)
 			}
 			sel.OrderBy = append(sel.OrderBy, item)
-			if p.acceptSymbol(",") {
+			if p.acceptSym(scan.SymComma) {
 				continue
 			}
 			break
 		}
 	}
-	if p.accept("LIMIT") {
+	if p.acceptKw(scan.KwLimit) {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
 		sel.Limit = e
 	}
-	if p.accept("OFFSET") {
+	if p.acceptKw(scan.KwOffset) {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
@@ -604,66 +680,64 @@ func (p *parser) selectBody() (*ast.Select, error) {
 // HAVING ...] block without ORDER BY/LIMIT (those belong to the
 // enclosing compound).
 func (p *parser) selectCore() (*ast.Select, error) {
-	if err := p.expect("SELECT"); err != nil {
+	if err := p.expectKw(scan.KwSelect); err != nil {
 		return nil, err
 	}
-	sel := &ast.Select{}
-	if p.accept("DISTINCT") {
+	sel := p.a.sel()
+	if p.acceptKw(scan.KwDistinct) {
 		sel.Distinct = true
 	} else {
-		p.accept("ALL")
+		p.acceptKw(scan.KwAll)
 	}
-	// Select list.
+	sel.Items = p.a.items()
 	for {
-		item, err := p.selectItem()
-		if err != nil {
+		// Append the zero item first and parse into the slot: a
+		// SelectItem is 56 pointer-bearing bytes, and building it on
+		// the stack only to copy it into the heap slice would pay the
+		// move plus its write barriers on every item.
+		sel.Items = append(sel.Items, ast.SelectItem{})
+		if err := p.selectItem(&sel.Items[len(sel.Items)-1]); err != nil {
 			return nil, err
 		}
-		sel.Items = append(sel.Items, item)
-		if p.acceptSymbol(",") {
+		if p.acceptSym(scan.SymComma) {
 			continue
 		}
 		break
 	}
-	if p.accept("FROM") {
-		ref, err := p.tableRef()
-		if err != nil {
+	if p.acceptKw(scan.KwFrom) {
+		sel.From = p.a.froms()
+		if _, err := p.fromRef(sel); err != nil {
 			return nil, err
 		}
-		sel.From = append(sel.From, ref)
 		for {
-			if p.acceptSymbol(",") {
-				ref, err := p.tableRef()
-				if err != nil {
+			if p.acceptSym(scan.SymComma) {
+				if _, err := p.fromRef(sel); err != nil {
 					return nil, err
 				}
-				sel.From = append(sel.From, ref)
 				continue
 			}
-			if p.accept("CROSS") {
-				if err := p.expect("JOIN"); err != nil {
+			if p.acceptKw(scan.KwCross) {
+				if err := p.expectKw(scan.KwJoin); err != nil {
 					return nil, err
 				}
-				ref, err := p.tableRef()
-				if err != nil {
+				if _, err := p.fromRef(sel); err != nil {
 					return nil, err
 				}
-				sel.From = append(sel.From, ref)
 				continue
 			}
 			// LEFT [OUTER] JOIN keeps its ON condition on the table ref
 			// (outer semantics); INNER JOIN ... ON desugars to a cross
 			// product plus a WHERE conjunct.
-			if p.accept("LEFT") {
-				p.accept("OUTER")
-				if err := p.expect("JOIN"); err != nil {
+			if p.acceptKw(scan.KwLeft) {
+				p.acceptKw(scan.KwOuter)
+				if err := p.expectKw(scan.KwJoin); err != nil {
 					return nil, err
 				}
-				ref, err := p.tableRef()
+				ref, err := p.fromRef(sel)
 				if err != nil {
 					return nil, err
 				}
-				if err := p.expect("ON"); err != nil {
+				if err := p.expectKw(scan.KwOn); err != nil {
 					return nil, err
 				}
 				cond, err := p.expr()
@@ -672,17 +746,14 @@ func (p *parser) selectCore() (*ast.Select, error) {
 				}
 				ref.LeftJoin = true
 				ref.On = cond
-				sel.From = append(sel.From, ref)
 				continue
 			}
-			inner := p.accept("INNER")
-			if p.accept("JOIN") {
-				ref, err := p.tableRef()
-				if err != nil {
+			inner := p.acceptKw(scan.KwInner)
+			if p.acceptKw(scan.KwJoin) {
+				if _, err := p.fromRef(sel); err != nil {
 					return nil, err
 				}
-				sel.From = append(sel.From, ref)
-				if err := p.expect("ON"); err != nil {
+				if err := p.expectKw(scan.KwOn); err != nil {
 					return nil, err
 				}
 				cond, err := p.expr()
@@ -692,7 +763,7 @@ func (p *parser) selectCore() (*ast.Select, error) {
 				if sel.Where == nil {
 					sel.Where = cond
 				} else {
-					sel.Where = &ast.Binary{Op: "AND", L: sel.Where, R: cond}
+					sel.Where = p.a.binary("AND", sel.Where, cond)
 				}
 				continue
 			}
@@ -702,7 +773,7 @@ func (p *parser) selectCore() (*ast.Select, error) {
 			break
 		}
 	}
-	if p.accept("WHERE") {
+	if p.acceptKw(scan.KwWhere) {
 		cond, err := p.expr()
 		if err != nil {
 			return nil, err
@@ -710,26 +781,27 @@ func (p *parser) selectCore() (*ast.Select, error) {
 		if sel.Where == nil {
 			sel.Where = cond
 		} else {
-			sel.Where = &ast.Binary{Op: "AND", L: sel.Where, R: cond}
+			sel.Where = p.a.binary("AND", sel.Where, cond)
 		}
 	}
-	if p.accept("GROUP") {
-		if err := p.expect("BY"); err != nil {
+	if p.acceptKw(scan.KwGroup) {
+		if err := p.expectKw(scan.KwBy); err != nil {
 			return nil, err
 		}
+		sel.GroupBy = p.a.exprs()
 		for {
 			e, err := p.expr()
 			if err != nil {
 				return nil, err
 			}
 			sel.GroupBy = append(sel.GroupBy, e)
-			if p.acceptSymbol(",") {
+			if p.acceptSym(scan.SymComma) {
 				continue
 			}
 			break
 		}
 	}
-	if p.accept("HAVING") {
+	if p.acceptKw(scan.KwHaving) {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
@@ -739,203 +811,468 @@ func (p *parser) selectCore() (*ast.Select, error) {
 	return sel, nil
 }
 
-func (p *parser) selectItem() (ast.SelectItem, error) {
+// selectItem parses one select-list item into dst (a freshly appended
+// zero slot; on error the caller discards the whole list).
+func (p *parser) selectItem(dst *ast.SelectItem) error {
 	// "*" or "t.*"
-	if p.cur().IsSymbol("*") {
+	if p.cur.Sym == scan.SymStar {
 		p.advance()
-		return ast.SelectItem{Star: true}, nil
+		dst.Star = true
+		return nil
 	}
-	if p.at(scan.Ident) && p.pos+2 < len(p.toks) &&
-		p.toks[p.pos+1].IsSymbol(".") && p.toks[p.pos+2].IsSymbol("*") {
-		t := p.advance().Text
+	var e ast.Expr
+	var err error
+	if p.cur.Kind == scan.Ident && p.peekTok().Sym == scan.SymDot {
+		// The window is two tokens, so commit to "name." here and
+		// decide between "t.*" and a qualified column once the third
+		// token becomes current.
+		nameText, nameKw := p.cur.Text, p.cur.Kw
+		p.advance()
 		p.advance() // .
-		p.advance() // *
-		return ast.SelectItem{Star: true, StarTable: t}, nil
+		if p.cur.Sym == scan.SymStar {
+			p.advance()
+			dst.Star, dst.StarTable = true, nameText
+			return nil
+		}
+		e, err = p.qualifiedRest(nameText, nameKw)
+	} else {
+		e, err = p.expr()
 	}
-	e, err := p.expr()
 	if err != nil {
-		return ast.SelectItem{}, err
+		return err
 	}
-	item := ast.SelectItem{Expr: e}
-	if p.accept("AS") {
+	dst.Expr = e
+	if p.acceptKw(scan.KwAs) {
 		a, err := p.ident("alias")
 		if err != nil {
-			return ast.SelectItem{}, err
+			return err
 		}
-		item.Alias = a
-	} else if p.at(scan.Ident) && !reserved[p.cur().Keyword()] {
-		item.Alias = p.advance().Text
+		dst.Alias = a
+	} else if p.cur.Kind == scan.Ident && !p.cur.Kw.Reserved() {
+		dst.Alias = p.cur.Text
+		p.advance()
 	}
-	return item, nil
+	return nil
 }
 
-func (p *parser) tableRef() (ast.TableRef, error) {
-	var ref ast.TableRef
-	if p.acceptSymbol("(") {
+// qualifiedRest finishes an expression whose leading "name." was
+// consumed by selectItem's t.* probe: it builds the qualified column
+// reference and re-enters the operator loop so any following operators
+// still bind.
+func (p *parser) qualifiedRest(nameText string, nameKw scan.KwID) (ast.Expr, error) {
+	if nameKw.Reserved() {
+		return nil, p.errf("unexpected keyword %s in expression", nameText)
+	}
+	colKw := p.cur.Kw
+	col, err := p.ident("column name")
+	if err != nil {
+		return nil, err
+	}
+	if colKw.Reserved() {
+		return nil, p.errf("unexpected keyword %s after %s.", col, nameText)
+	}
+	return p.infix(p.a.columnRef(nameText, col), 0)
+}
+
+// fromRef appends a zero TableRef to sel.From and parses into the
+// slot (same rationale as selectItem: a TableRef is 64 pointer-bearing
+// bytes, and parsing into the slice slot skips the stack-to-heap move
+// and its write barriers). The returned pointer stays valid until the
+// next append to sel.From; join parsing uses it to attach ON clauses.
+func (p *parser) fromRef(sel *ast.Select) (*ast.TableRef, error) {
+	sel.From = append(sel.From, ast.TableRef{})
+	ref := &sel.From[len(sel.From)-1]
+	if err := p.tableRef(ref); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+func (p *parser) tableRef(ref *ast.TableRef) error {
+	if p.acceptSym(scan.SymLParen) {
 		sub, err := p.selectBody()
 		if err != nil {
-			return ref, err
+			return err
 		}
-		if err := p.expectSymbol(")"); err != nil {
-			return ref, err
+		if err := p.expectSym(scan.SymRParen); err != nil {
+			return err
 		}
 		ref.Subquery = sub
 	} else {
 		name, err := p.ident("table name")
 		if err != nil {
-			return ref, err
+			return err
 		}
 		ref.Table = name
 	}
-	if p.accept("AS") {
+	if p.acceptKw(scan.KwAs) {
 		a, err := p.ident("alias")
 		if err != nil {
-			return ref, err
+			return err
 		}
 		ref.Alias = a
-	} else if p.at(scan.Ident) && !reserved[p.cur().Keyword()] {
-		ref.Alias = p.advance().Text
+	} else if p.cur.Kind == scan.Ident && !p.cur.Kw.Reserved() {
+		ref.Alias = p.cur.Text
+		p.advance()
 	}
 	if ref.Subquery != nil && ref.Alias == "" {
-		return ref, p.errf("derived table requires an alias")
+		return p.errf("derived table requires an alias")
 	}
-	return ref, nil
+	return nil
 }
 
 // ------------------------------------------------------------- expressions
 
-// expr parses with precedence climbing: OR < AND < NOT < predicates <
-// additive < multiplicative < unary < cast < primary.
-func (p *parser) expr() (ast.Expr, error) { return p.orExpr() }
+// Binding powers, loosest to tightest. An infix operator binds while
+// its power exceeds the minimum for the current context; the right
+// operand of a left-associative operator is parsed at the operator's
+// own power.
+const (
+	bpOr   = 10
+	bpAnd  = 20
+	bpNot  = 25 // prefix NOT: looser than predicates, tighter than AND
+	bpCmp  = 30 // comparisons, IS, BETWEEN, IN, LIKE
+	bpAdd  = 40 // + - ||
+	bpMul  = 50 // * / %
+	bpNeg  = 60 // unary - and +
+	bpCast = 70 // postfix ::
+)
 
-func (p *parser) orExpr() (ast.Expr, error) {
-	l, err := p.andExpr()
+// symBP and symOp give each operator symbol its binding power and its
+// canonical AST operator text (!= is canonicalised to <>). Zero power
+// marks non-operator symbols, which end the expression.
+var (
+	symBP [scan.NSym]uint8
+	symOp [scan.NSym]string
+)
+
+func init() {
+	set := func(s scan.SymID, bp uint8, op string) {
+		symBP[s] = bp
+		symOp[s] = op
+	}
+	set(scan.SymEq, bpCmp, "=")
+	set(scan.SymLt, bpCmp, "<")
+	set(scan.SymGt, bpCmp, ">")
+	set(scan.SymLe, bpCmp, "<=")
+	set(scan.SymGe, bpCmp, ">=")
+	set(scan.SymNe, bpCmp, "<>")
+	set(scan.SymNeBang, bpCmp, "<>")
+	set(scan.SymPlus, bpAdd, "+")
+	set(scan.SymMinus, bpAdd, "-")
+	set(scan.SymConcat, bpAdd, "||")
+	set(scan.SymStar, bpMul, "*")
+	set(scan.SymSlash, bpMul, "/")
+	set(scan.SymPercent, bpMul, "%")
+	set(scan.SymCast, bpCast, "::")
+}
+
+func (p *parser) expr() (ast.Expr, error) { return p.exprBP(0) }
+
+func (p *parser) exprBP(min int) (ast.Expr, error) {
+	l, err := p.prefix(min)
 	if err != nil {
 		return nil, err
 	}
-	for p.accept("OR") {
-		r, err := p.andExpr()
-		if err != nil {
-			return nil, err
-		}
-		l = &ast.Binary{Op: "OR", L: l, R: r}
-	}
-	return l, nil
+	return p.infix(l, min)
 }
 
-func (p *parser) andExpr() (ast.Expr, error) {
-	l, err := p.notExpr()
-	if err != nil {
-		return nil, err
-	}
-	for p.accept("AND") {
-		r, err := p.notExpr()
-		if err != nil {
-			return nil, err
+// prefix parses one operand: a literal, reference, call, parenthesised
+// expression or subquery, or a prefix operator application. min gates
+// prefix NOT, which is legal only where the boolean levels of the
+// grammar are reachable; below the comparison band NOT falls through to
+// the generic identifier path, like any clause keyword in operand
+// position.
+func (p *parser) prefix(min int) (ast.Expr, error) {
+	switch p.cur.Kind {
+	case scan.Number:
+		text, isFloat := p.cur.Text, p.cur.IsFloat
+		p.advance()
+		if isFloat {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, p.errf("bad float literal %s", text)
+			}
+			return &ast.FloatLit{V: v}, nil
 		}
-		l = &ast.Binary{Op: "AND", L: l, R: r}
+		// Up to 18 digits cannot overflow int64, which covers every
+		// integer literal real statements carry; the inline loop skips
+		// a strconv call per literal. (The lexer guarantees the text
+		// is all digits.)
+		if len(text) <= 18 {
+			v := int64(0)
+			for i := 0; i < len(text); i++ {
+				v = v*10 + int64(text[i]-'0')
+			}
+			return p.a.intLit(v), nil
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %s", text)
+		}
+		return p.a.intLit(v), nil
+	case scan.String:
+		text := p.cur.Text
+		p.advance()
+		return p.a.stringLit(text), nil
+	case scan.Param:
+		text := p.cur.Text
+		p.advance()
+		return p.a.param(text), nil
+	case scan.Symbol:
+		switch p.cur.Sym {
+		case scan.SymLParen:
+			p.advance()
+			if p.cur.Kw == scan.KwSelect {
+				sub, err := p.selectBody()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSym(scan.SymRParen); err != nil {
+					return nil, err
+				}
+				return p.a.subquery(sub), nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(scan.SymRParen); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case scan.SymMinus:
+			p.advance()
+			x, err := p.exprBP(bpNeg)
+			if err != nil {
+				return nil, err
+			}
+			// Fold negative numeric literals. The literal came off the
+			// arena a moment ago and is unshared, so negate in place.
+			switch lit := x.(type) {
+			case *ast.IntLit:
+				lit.V = -lit.V
+				return lit, nil
+			case *ast.FloatLit:
+				lit.V = -lit.V
+				return lit, nil
+			}
+			return p.a.unary("-", x), nil
+		case scan.SymPlus:
+			p.advance()
+			return p.exprBP(bpNeg)
+		}
+	case scan.Ident:
+		switch p.cur.Kw {
+		case scan.KwNull:
+			p.advance()
+			return nullLit, nil
+		case scan.KwTrue:
+			p.advance()
+			return trueLit, nil
+		case scan.KwFalse:
+			p.advance()
+			return falseLit, nil
+		case scan.KwNot:
+			if min < bpCmp {
+				p.advance()
+				x, err := p.exprBP(bpNot)
+				if err != nil {
+					return nil, err
+				}
+				return p.a.unary("NOT", x), nil
+			}
+		case scan.KwExists:
+			p.advance()
+			if err := p.expectSym(scan.SymLParen); err != nil {
+				return nil, err
+			}
+			sub, err := p.selectBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(scan.SymRParen); err != nil {
+				return nil, err
+			}
+			return &ast.Exists{Subquery: sub}, nil
+		case scan.KwCase:
+			return p.caseExpr()
+		case scan.KwCast:
+			p.advance()
+			if err := p.expectSym(scan.SymLParen); err != nil {
+				return nil, err
+			}
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw(scan.KwAs); err != nil {
+				return nil, err
+			}
+			tn, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(scan.SymRParen); err != nil {
+				return nil, err
+			}
+			return p.a.cast(x, tn), nil
+		}
+		nameText, nameKw := p.cur.Text, p.cur.Kw
+		p.advance()
+		// Function call? (call syntax may reuse reserved words such as
+		// intersect).
+		if p.cur.Sym == scan.SymLParen {
+			return p.callTail(nameText)
+		}
+		// A bare reserved word is a clause keyword leaking into
+		// expression position (e.g. "SELECT FROM t"), not a column.
+		if nameKw.Reserved() {
+			return nil, p.errf("unexpected keyword %s in expression", nameText)
+		}
+		// Qualified column t.c?
+		if p.acceptSym(scan.SymDot) {
+			colKw := p.cur.Kw
+			col, err := p.ident("column name")
+			if err != nil {
+				return nil, err
+			}
+			if colKw.Reserved() {
+				return nil, p.errf("unexpected keyword %s after %s.", col, nameText)
+			}
+			return p.a.columnRef(nameText, col), nil
+		}
+		return p.a.columnRef("", nameText), nil
 	}
-	return l, nil
+	return nil, p.errf("unexpected %s in expression", p.cur)
 }
 
-func (p *parser) notExpr() (ast.Expr, error) {
-	if p.accept("NOT") {
-		x, err := p.notExpr()
-		if err != nil {
-			return nil, err
-		}
-		return &ast.Unary{Op: "NOT", X: x}, nil
-	}
-	return p.predicate()
-}
-
-func (p *parser) predicate() (ast.Expr, error) {
-	l, err := p.additive()
-	if err != nil {
-		return nil, err
-	}
-	// Postfix predicate forms.
+// infix binds operators to l while their power exceeds min.
+func (p *parser) infix(l ast.Expr, min int) (ast.Expr, error) {
 	for {
-		switch {
-		case p.cur().IsSymbol("=") || p.cur().IsSymbol("<>") || p.cur().IsSymbol("!=") ||
-			p.cur().IsSymbol("<") || p.cur().IsSymbol("<=") ||
-			p.cur().IsSymbol(">") || p.cur().IsSymbol(">="):
-			op := p.advance().Text
-			if op == "!=" {
-				op = "<>"
+		switch p.cur.Kind {
+		case scan.Symbol:
+			sym := p.cur.Sym
+			bp := int(symBP[sym])
+			if bp <= min { // includes bp==0: not an operator
+				return l, nil
 			}
-			r, err := p.additive()
+			if sym == scan.SymCast {
+				// Postfix Informix cast (::) binds tighter than any
+				// arithmetic: '7 00:00:00'::Span * :w multiplies the
+				// casted span.
+				p.advance()
+				tn, err := p.typeName()
+				if err != nil {
+					return nil, err
+				}
+				l = p.a.cast(l, tn)
+				continue
+			}
+			p.advance()
+			r, err := p.exprBP(bp)
 			if err != nil {
 				return nil, err
 			}
-			l = &ast.Binary{Op: op, L: l, R: r}
-		case p.atKeyword("IS"):
-			p.advance()
-			not := p.accept("NOT")
-			if err := p.expect("NULL"); err != nil {
-				return nil, err
-			}
-			l = &ast.IsNull{X: l, Not: not}
-		case p.atKeyword("BETWEEN"):
-			p.advance()
-			lo, err := p.additive()
-			if err != nil {
-				return nil, err
-			}
-			if err := p.expect("AND"); err != nil {
-				return nil, err
-			}
-			hi, err := p.additive()
-			if err != nil {
-				return nil, err
-			}
-			l = &ast.Between{X: l, Lo: lo, Hi: hi}
-		case p.atKeyword("IN"):
-			p.advance()
-			in, err := p.inTail(l, false)
-			if err != nil {
-				return nil, err
-			}
-			l = in
-		case p.atKeyword("LIKE"):
-			p.advance()
-			pat, err := p.additive()
-			if err != nil {
-				return nil, err
-			}
-			l = &ast.Like{X: l, Pattern: pat}
-		case p.atKeyword("NOT"):
-			// expr NOT IN / NOT BETWEEN / NOT LIKE
-			save := p.pos
-			p.advance()
-			switch {
-			case p.accept("IN"):
-				in, err := p.inTail(l, true)
+			l = p.a.binary(symOp[sym], l, r)
+		case scan.Ident:
+			switch p.cur.Kw {
+			case scan.KwOr:
+				if bpOr <= min {
+					return l, nil
+				}
+				p.advance()
+				r, err := p.exprBP(bpOr)
+				if err != nil {
+					return nil, err
+				}
+				l = p.a.binary("OR", l, r)
+			case scan.KwAnd:
+				if bpAnd <= min {
+					return l, nil
+				}
+				p.advance()
+				r, err := p.exprBP(bpAnd)
+				if err != nil {
+					return nil, err
+				}
+				l = p.a.binary("AND", l, r)
+			case scan.KwIs:
+				if bpCmp <= min {
+					return l, nil
+				}
+				p.advance()
+				not := p.acceptKw(scan.KwNot)
+				if err := p.expectKw(scan.KwNull); err != nil {
+					return nil, err
+				}
+				l = &ast.IsNull{X: l, Not: not}
+			case scan.KwBetween:
+				if bpCmp <= min {
+					return l, nil
+				}
+				p.advance()
+				b, err := p.betweenTail(l, false)
+				if err != nil {
+					return nil, err
+				}
+				l = b
+			case scan.KwIn:
+				if bpCmp <= min {
+					return l, nil
+				}
+				p.advance()
+				in, err := p.inTail(l, false)
 				if err != nil {
 					return nil, err
 				}
 				l = in
-			case p.accept("BETWEEN"):
-				lo, err := p.additive()
+			case scan.KwLike:
+				if bpCmp <= min {
+					return l, nil
+				}
+				p.advance()
+				pat, err := p.exprBP(bpCmp)
 				if err != nil {
 					return nil, err
 				}
-				if err := p.expect("AND"); err != nil {
-					return nil, err
+				l = &ast.Like{X: l, Pattern: pat}
+			case scan.KwNot:
+				// expr NOT IN / NOT BETWEEN / NOT LIKE, resolved with
+				// one token of lookahead instead of backtracking; any
+				// other word after NOT ends the expression.
+				if bpCmp <= min {
+					return l, nil
 				}
-				hi, err := p.additive()
-				if err != nil {
-					return nil, err
+				switch p.peekTok().Kw {
+				case scan.KwIn:
+					p.advance()
+					p.advance()
+					in, err := p.inTail(l, true)
+					if err != nil {
+						return nil, err
+					}
+					l = in
+				case scan.KwBetween:
+					p.advance()
+					p.advance()
+					b, err := p.betweenTail(l, true)
+					if err != nil {
+						return nil, err
+					}
+					l = b
+				case scan.KwLike:
+					p.advance()
+					p.advance()
+					pat, err := p.exprBP(bpCmp)
+					if err != nil {
+						return nil, err
+					}
+					l = &ast.Like{X: l, Pattern: pat, Not: true}
+				default:
+					return l, nil
 				}
-				l = &ast.Between{X: l, Lo: lo, Hi: hi, Not: true}
-			case p.accept("LIKE"):
-				pat, err := p.additive()
-				if err != nil {
-					return nil, err
-				}
-				l = &ast.Like{X: l, Pattern: pat, Not: true}
 			default:
-				p.pos = save
 				return l, nil
 			}
 		default:
@@ -944,274 +1281,85 @@ func (p *parser) predicate() (ast.Expr, error) {
 	}
 }
 
-func (p *parser) inTail(l ast.Expr, not bool) (ast.Expr, error) {
-	if err := p.expectSymbol("("); err != nil {
+// betweenTail parses the lo AND hi bounds (each at the comparison
+// level, so the AND separator is never consumed by a bound).
+func (p *parser) betweenTail(l ast.Expr, not bool) (ast.Expr, error) {
+	lo, err := p.exprBP(bpCmp)
+	if err != nil {
 		return nil, err
 	}
-	if p.atKeyword("SELECT") {
+	if err := p.expectKw(scan.KwAnd); err != nil {
+		return nil, err
+	}
+	hi, err := p.exprBP(bpCmp)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Between{X: l, Lo: lo, Hi: hi, Not: not}, nil
+}
+
+func (p *parser) inTail(l ast.Expr, not bool) (ast.Expr, error) {
+	if err := p.expectSym(scan.SymLParen); err != nil {
+		return nil, err
+	}
+	if p.cur.Kw == scan.KwSelect {
 		sub, err := p.selectBody()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return nil, err
 		}
 		return &ast.InList{X: l, Subquery: sub, Not: not}, nil
 	}
-	var list []ast.Expr
+	list := p.a.exprs()
 	for {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
 		list = append(list, e)
-		if p.acceptSymbol(",") {
+		if p.acceptSym(scan.SymComma) {
 			continue
 		}
 		break
 	}
-	if err := p.expectSymbol(")"); err != nil {
+	if err := p.expectSym(scan.SymRParen); err != nil {
 		return nil, err
 	}
 	return &ast.InList{X: l, List: list, Not: not}, nil
 }
 
-func (p *parser) additive() (ast.Expr, error) {
-	l, err := p.multiplicative()
-	if err != nil {
-		return nil, err
-	}
-	for {
-		var op string
-		switch {
-		case p.cur().IsSymbol("+"):
-			op = "+"
-		case p.cur().IsSymbol("-"):
-			op = "-"
-		case p.cur().IsSymbol("||"):
-			op = "||"
-		default:
-			return l, nil
-		}
-		p.advance()
-		r, err := p.multiplicative()
-		if err != nil {
-			return nil, err
-		}
-		l = &ast.Binary{Op: op, L: l, R: r}
-	}
-}
-
-func (p *parser) multiplicative() (ast.Expr, error) {
-	l, err := p.unary()
-	if err != nil {
-		return nil, err
-	}
-	for {
-		var op string
-		switch {
-		case p.cur().IsSymbol("*"):
-			op = "*"
-		case p.cur().IsSymbol("/"):
-			op = "/"
-		case p.cur().IsSymbol("%"):
-			op = "%"
-		default:
-			return l, nil
-		}
-		p.advance()
-		r, err := p.unary()
-		if err != nil {
-			return nil, err
-		}
-		l = &ast.Binary{Op: op, L: l, R: r}
-	}
-}
-
-func (p *parser) unary() (ast.Expr, error) {
-	if p.acceptSymbol("-") {
-		x, err := p.unary()
-		if err != nil {
-			return nil, err
-		}
-		// Fold negative numeric literals.
-		switch lit := x.(type) {
-		case *ast.IntLit:
-			return &ast.IntLit{V: -lit.V}, nil
-		case *ast.FloatLit:
-			return &ast.FloatLit{V: -lit.V}, nil
-		}
-		return &ast.Unary{Op: "-", X: x}, nil
-	}
-	if p.acceptSymbol("+") {
-		return p.unary()
-	}
-	return p.castExpr()
-}
-
-// castExpr handles the postfix Informix cast operator (::), which binds
-// tighter than any arithmetic: '7 00:00:00'::Span * :w multiplies the
-// casted span.
-func (p *parser) castExpr() (ast.Expr, error) {
-	x, err := p.primary()
-	if err != nil {
-		return nil, err
-	}
-	for p.acceptSymbol("::") {
-		t, err := p.typeName()
-		if err != nil {
-			return nil, err
-		}
-		x = &ast.Cast{X: x, TypeName: t}
-	}
-	return x, nil
-}
-
-func (p *parser) primary() (ast.Expr, error) {
-	t := p.cur()
-	switch {
-	case t.Kind == scan.Number:
-		p.advance()
-		if t.IsFloat {
-			v, err := strconv.ParseFloat(t.Text, 64)
-			if err != nil {
-				return nil, p.errf("bad float literal %s", t.Text)
-			}
-			return &ast.FloatLit{V: v}, nil
-		}
-		v, err := strconv.ParseInt(t.Text, 10, 64)
-		if err != nil {
-			return nil, p.errf("bad integer literal %s", t.Text)
-		}
-		return &ast.IntLit{V: v}, nil
-	case t.Kind == scan.String:
-		p.advance()
-		return &ast.StringLit{V: t.Text}, nil
-	case t.Kind == scan.Param:
-		p.advance()
-		return &ast.Param{Name: t.Text}, nil
-	case t.IsSymbol("("):
-		p.advance()
-		if p.atKeyword("SELECT") {
-			sub, err := p.selectBody()
-			if err != nil {
-				return nil, err
-			}
-			if err := p.expectSymbol(")"); err != nil {
-				return nil, err
-			}
-			return &ast.Subquery{Query: sub}, nil
-		}
-		e, err := p.expr()
-		if err != nil {
-			return nil, err
-		}
-		if err := p.expectSymbol(")"); err != nil {
-			return nil, err
-		}
-		return e, nil
-	case t.IsKeyword("NULL"):
-		p.advance()
-		return &ast.NullLit{}, nil
-	case t.IsKeyword("TRUE"):
-		p.advance()
-		return &ast.BoolLit{V: true}, nil
-	case t.IsKeyword("FALSE"):
-		p.advance()
-		return &ast.BoolLit{V: false}, nil
-	case t.IsKeyword("EXISTS"):
-		p.advance()
-		if err := p.expectSymbol("("); err != nil {
-			return nil, err
-		}
-		sub, err := p.selectBody()
-		if err != nil {
-			return nil, err
-		}
-		if err := p.expectSymbol(")"); err != nil {
-			return nil, err
-		}
-		return &ast.Exists{Subquery: sub}, nil
-	case t.IsKeyword("CASE"):
-		return p.caseExpr()
-	case t.IsKeyword("CAST"):
-		p.advance()
-		if err := p.expectSymbol("("); err != nil {
-			return nil, err
-		}
-		x, err := p.expr()
-		if err != nil {
-			return nil, err
-		}
-		if err := p.expect("AS"); err != nil {
-			return nil, err
-		}
-		tn, err := p.typeName()
-		if err != nil {
-			return nil, err
-		}
-		if err := p.expectSymbol(")"); err != nil {
-			return nil, err
-		}
-		return &ast.Cast{X: x, TypeName: tn}, nil
-	case t.Kind == scan.Ident:
-		name := p.advance().Text
-		// Function call? (call syntax may reuse reserved words such as
-		// intersect).
-		if p.cur().IsSymbol("(") {
-			return p.callTail(name)
-		}
-		// A bare reserved word is a clause keyword leaking into
-		// expression position (e.g. "SELECT FROM t"), not a column.
-		if reserved[strings.ToUpper(name)] {
-			return nil, p.errf("unexpected keyword %s in expression", name)
-		}
-		// Qualified column t.c?
-		if p.acceptSymbol(".") {
-			col, err := p.ident("column name")
-			if err != nil {
-				return nil, err
-			}
-			if reserved[strings.ToUpper(col)] {
-				return nil, p.errf("unexpected keyword %s after %s.", col, name)
-			}
-			return &ast.ColumnRef{Table: name, Column: col}, nil
-		}
-		return &ast.ColumnRef{Column: name}, nil
-	default:
-		return nil, p.errf("unexpected %s in expression", t)
-	}
-}
-
 func (p *parser) callTail(name string) (ast.Expr, error) {
 	p.advance() // (
-	call := &ast.Call{Name: name}
-	if p.cur().IsSymbol("*") {
+	call := p.a.call(name)
+	if p.cur.Sym == scan.SymStar {
 		p.advance()
 		call.Star = true
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSym(scan.SymRParen); err != nil {
 			return nil, err
 		}
 		return call, nil
 	}
-	if p.acceptSymbol(")") {
+	if p.acceptSym(scan.SymRParen) {
 		return call, nil
 	}
-	if p.accept("DISTINCT") {
+	if p.acceptKw(scan.KwDistinct) {
 		call.Distinct = true
 	}
+	call.Args = p.a.exprs()
 	for {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
 		call.Args = append(call.Args, e)
-		if p.acceptSymbol(",") {
+		if p.acceptSym(scan.SymComma) {
 			continue
 		}
 		break
 	}
-	if err := p.expectSymbol(")"); err != nil {
+	if err := p.expectSym(scan.SymRParen); err != nil {
 		return nil, err
 	}
 	return call, nil
@@ -1220,19 +1368,19 @@ func (p *parser) callTail(name string) (ast.Expr, error) {
 func (p *parser) caseExpr() (ast.Expr, error) {
 	p.advance() // CASE
 	c := &ast.Case{}
-	if !p.atKeyword("WHEN") {
+	if p.cur.Kw != scan.KwWhen {
 		op, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
 		c.Operand = op
 	}
-	for p.accept("WHEN") {
+	for p.acceptKw(scan.KwWhen) {
 		cond, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expect("THEN"); err != nil {
+		if err := p.expectKw(scan.KwThen); err != nil {
 			return nil, err
 		}
 		then, err := p.expr()
@@ -1244,14 +1392,14 @@ func (p *parser) caseExpr() (ast.Expr, error) {
 	if len(c.Whens) == 0 {
 		return nil, p.errf("CASE requires at least one WHEN")
 	}
-	if p.accept("ELSE") {
+	if p.acceptKw(scan.KwElse) {
 		e, err := p.expr()
 		if err != nil {
 			return nil, err
 		}
 		c.Else = e
 	}
-	if err := p.expect("END"); err != nil {
+	if err := p.expectKw(scan.KwEnd); err != nil {
 		return nil, err
 	}
 	return c, nil

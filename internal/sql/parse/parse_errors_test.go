@@ -1,6 +1,9 @@
 package parse
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // Negative-path sweep: every malformed clause must produce a parse
 // error, never a panic or a silent mis-parse.
@@ -55,6 +58,56 @@ func TestParseErrorSweep(t *testing.T) {
 		if st, err := Parse(q); err == nil {
 			t.Errorf("Parse(%q) = %#v, want error", q, st)
 		}
+	}
+}
+
+// TestParseErrorPositions pins the full diagnostic format: parse errors
+// carry 1-based line:column plus the raw byte offset.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct{ sql, want string }{
+		{"SELECT *\nFROM",
+			"sql: expected table name, got end of input (line 2:5, offset 13)"},
+		{"SELECT\n  1 2",
+			"sql: unexpected 2 after statement (line 2:5, offset 11)"},
+		{"SELECT FROM t",
+			"sql: unexpected keyword FROM in expression (line 1:13, offset 12)"},
+		{"SELECT a,\n  FROM t",
+			"sql: unexpected keyword FROM in expression (line 2:8, offset 17)"},
+		{"SELECT .5",
+			"sql: unexpected . in expression (line 1:8, offset 7)"},
+		{"UPDATE t SET a 1",
+			`sql: expected "=", got 1 (line 1:16, offset 15)`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil || err.Error() != c.want {
+			t.Errorf("Parse(%q) error = %v, want %q", c.sql, err, c.want)
+		}
+	}
+}
+
+// TestParseMalformedExponents checks that the lexer's exponent fix
+// surfaces through Parse with its pointed message, including when the
+// bad number sits mid-statement or in a later script statement.
+func TestParseMalformedExponents(t *testing.T) {
+	for _, q := range []string{
+		`SELECT 1e`, `SELECT 1E+ FROM t`, `SELECT a FROM t WHERE b > 2e-`,
+		`INSERT INTO t VALUES (3.5e)`,
+	} {
+		_, err := Parse(q)
+		if err == nil || !strings.Contains(err.Error(), "exponent has no digits") {
+			t.Errorf("Parse(%q) error = %v, want exponent message", q, err)
+		}
+	}
+	if _, err := ParseScript(`SELECT 1; SELECT 2e`); err == nil ||
+		!strings.Contains(err.Error(), "exponent has no digits") {
+		t.Errorf("ParseScript error = %v, want exponent message", err)
+	}
+	// A lexical error anywhere in the input wins over a later-positioned
+	// parse failure, as with the eager lexer.
+	if _, err := Parse(`SELECT 1e;`); err == nil ||
+		!strings.Contains(err.Error(), "exponent has no digits") {
+		t.Errorf("Parse error = %v, want exponent message", err)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package parse
+
+// raceEnabled reports that the race detector is active, which inflates
+// allocation counts; the alloc-budget tests skip themselves.
+const raceEnabled = true

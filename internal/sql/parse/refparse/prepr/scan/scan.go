@@ -1,0 +1,217 @@
+// Package scan is the pre-rewrite eager lexer, frozen verbatim for the
+// prepr benchmark baseline (see the prepr package doc). Never edit it.
+//
+// It tokenises SQL text for the pre-rewrite parser. The lexer
+// is a straightforward hand-written scanner: identifiers and keywords
+// (case-insensitive), single-quoted string literals with ” escaping,
+// integer and floating-point numbers, named parameters (:name), operators
+// including the Informix explicit-cast token (::), and -- line comments.
+package scan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF    Kind = iota
+	Ident       // identifier or keyword (Keyword() distinguishes)
+	Number      // integer or float literal; IsFloat distinguishes
+	String      // string literal, unquoted text in Text
+	Param       // :name named parameter, name in Text
+	Symbol      // operator or punctuation, exact text in Text
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind    Kind
+	Text    string // identifier text, literal value, or symbol
+	IsFloat bool   // for Number: contains '.' or exponent
+	Pos     int    // byte offset in the input
+}
+
+// Keyword returns the upper-cased text for keyword comparison.
+func (t Token) Keyword() string { return strings.ToUpper(t.Text) }
+
+// IsKeyword reports whether the token is an identifier matching kw
+// (case-insensitive).
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == Ident && strings.EqualFold(t.Text, kw)
+}
+
+// IsSymbol reports whether the token is the exact symbol s.
+func (t Token) IsSymbol(s string) bool { return t.Kind == Symbol && t.Text == s }
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("'%s'", t.Text)
+	case Param:
+		return ":" + t.Text
+	default:
+		return t.Text
+	}
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{
+	"::", "<=", ">=", "<>", "!=", "||",
+	"(", ")", ",", ".", "*", "/", "+", "-", "%", "=", "<", ">", ";",
+}
+
+// Lexer produces tokens from SQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for unterminated strings and
+// unexpected bytes.
+func (l *Lexer) Next() (Token, error) {
+	l.skip()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: Ident, Text: l.src[start:l.pos], Pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.number(start)
+	case c == '\'':
+		return l.str(start)
+	case c == ':':
+		// "::" is the explicit cast; ":name" is a parameter.
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return Token{Kind: Symbol, Text: "::", Pos: start}, nil
+		}
+		l.pos++
+		ns := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == ns {
+			return Token{}, fmt.Errorf("sql: bare ':' at offset %d", start)
+		}
+		return Token{Kind: Param, Text: l.src[ns:l.pos], Pos: start}, nil
+	default:
+		for _, s := range symbols {
+			if strings.HasPrefix(l.src[l.pos:], s) {
+				l.pos += len(s)
+				return Token{Kind: Symbol, Text: s, Pos: start}, nil
+			}
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", string(c), start)
+	}
+}
+
+// All tokenises the whole input.
+func (l *Lexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skip() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) number(start int) (Token, error) {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !isFloat:
+			// Only a digit after '.' makes this a float; "1." alone is
+			// a number followed by a dot (qualified name syntax).
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				isFloat = true
+				l.pos++
+			} else {
+				return Token{Kind: Number, Text: l.src[start:l.pos], Pos: start}, nil
+			}
+		case c == 'e' || c == 'E':
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				isFloat = true
+				l.pos = j + 1
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+			return Token{Kind: Number, Text: l.src[start:l.pos], IsFloat: isFloat, Pos: start}, nil
+		default:
+			return Token{Kind: Number, Text: l.src[start:l.pos], IsFloat: isFloat, Pos: start}, nil
+		}
+	}
+	return Token{Kind: Number, Text: l.src[start:l.pos], IsFloat: isFloat, Pos: start}, nil
+}
+
+func (l *Lexer) str(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: String, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string starting at offset %d", start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,75 @@
+package scan
+
+import "testing"
+
+// FuzzLexer checks the lexer's structural invariants on arbitrary
+// input: it terminates, token positions are strictly increasing,
+// sub-slice token text stays inside the source bounds and matches the
+// bytes at its position, and an error never co-exists with a token.
+func FuzzLexer(f *testing.F) {
+	seeds := []string{
+		`SELECT a, t.b FROM t WHERE x >= 10 AND y <> 'it''s'`,
+		`'7 00:00:00'::Span * :w`,
+		`INSERT INTO t VALUES (1, 2.5, 1e6, -3, '{[1999-10-01, NOW]}')`,
+		"SELECT a -- comment\nFROM t;",
+		`1.x .5 1e5x`,
+		`select patient, length(group_union(valid)) from Prescription group by patient`,
+		"a!=b a<>b a||b a::INT",
+		"'unterminated",
+		"1e",
+		": @ |",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var l Lexer
+		l.Init(src)
+		prev := -1
+		for steps := 0; ; steps++ {
+			if steps > len(src)+2 {
+				t.Fatalf("lexer made no progress on %q", src)
+			}
+			var tok Token
+			if err := l.Next(&tok); err != nil {
+				return // lexical error ends the stream
+			}
+			pos := int(tok.Pos)
+			if tok.Kind == EOF {
+				if pos < prev || pos > len(src) {
+					t.Fatalf("EOF pos %d out of order (prev %d, len %d)", pos, prev, len(src))
+				}
+				return
+			}
+			if pos <= prev {
+				t.Fatalf("token pos %d not increasing (prev %d) in %q", pos, prev, src)
+			}
+			if pos < 0 || pos >= len(src) {
+				t.Fatalf("token pos %d outside source (len %d)", pos, len(src))
+			}
+			switch tok.Kind {
+			case Ident, Number:
+				end := pos + len(tok.Text)
+				if end > len(src) || src[pos:end] != tok.Text {
+					t.Fatalf("token %q does not alias source at %d", tok.Text, pos)
+				}
+				if tok.Kind == Ident && tok.Kw != LookupKeyword(tok.Text) {
+					t.Fatalf("token %q carries stale keyword id %v", tok.Text, tok.Kw)
+				}
+			case String:
+				if src[tok.Pos] != '\'' {
+					t.Fatalf("string token pos %d not at a quote", tok.Pos)
+				}
+			case Symbol:
+				if tok.Sym == SymNone || tok.Text != tok.Sym.String() {
+					t.Fatalf("symbol token %q carries id %v", tok.Text, tok.Sym)
+				}
+			case Param:
+				if src[tok.Pos] != ':' {
+					t.Fatalf("param token pos %d not at ':'", tok.Pos)
+				}
+			}
+			prev = pos
+		}
+	})
+}

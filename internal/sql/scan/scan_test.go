@@ -1,6 +1,9 @@
 package scan
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func kinds(t *testing.T, src string) []Token {
 	t.Helper()
@@ -37,6 +40,9 @@ func TestLexCastAndParams(t *testing.T) {
 	if toks[0].Kind != String || !toks[1].IsSymbol("::") || toks[2].Text != "Span" {
 		t.Errorf("cast tokens = %v", toks)
 	}
+	if toks[1].Sym != SymCast {
+		t.Errorf("cast Sym = %v", toks[1].Sym)
+	}
 	if toks[4].Kind != Param || toks[4].Text != "w" {
 		t.Errorf("param token = %v", toks[4])
 	}
@@ -62,6 +68,39 @@ func TestLexNumbers(t *testing.T) {
 	}
 }
 
+// TestLexMalformedExponents pins the bug-sweep fix: an exponent with no
+// digits is a lexical error with a pointed message, never a number
+// silently followed by a stray identifier.
+func TestLexMalformedExponents(t *testing.T) {
+	for _, src := range []string{"1e", "1E", "1e+", "1E-", "1eX", "2E+Z", "3.5e", "0e"} {
+		_, err := New(src).All()
+		if err == nil {
+			t.Errorf("All(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "exponent has no digits") {
+			t.Errorf("All(%q) error = %v, want exponent message", src, err)
+		}
+	}
+	// A digit after the exponent (with trailing junk) is still the old
+	// two-token split: "1e5x" is the number 1e5 then the ident x.
+	toks := kinds(t, "1e5x")
+	if len(toks) != 2 || toks[0].Text != "1e5" || !toks[0].IsFloat || toks[1].Text != "x" {
+		t.Errorf("1e5x = %v", toks)
+	}
+}
+
+// TestLexNoLeadingDotFloats documents the decision that ".5" is NOT a
+// float literal: the dot is qualified-name punctuation, so ".5" lexes
+// as Symbol "." then Number "5" (and the parser rejects it in
+// expression position).
+func TestLexNoLeadingDotFloats(t *testing.T) {
+	toks := kinds(t, ".5")
+	if len(toks) != 2 || !toks[0].IsSymbol(".") || toks[1].Text != "5" || toks[1].IsFloat {
+		t.Errorf(".5 = %v", toks)
+	}
+}
+
 func TestLexComments(t *testing.T) {
 	toks := kinds(t, "SELECT -- a comment\n1")
 	if len(toks) != 2 || toks[1].Text != "1" {
@@ -70,14 +109,16 @@ func TestLexComments(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	if _, err := New("'unterminated").All(); err == nil {
-		t.Error("unterminated string should fail")
+	for _, src := range []string{"'unterminated", "a @ b", ": x", "a ! b", "a | b"} {
+		if _, err := New(src).All(); err == nil {
+			t.Errorf("All(%q) should fail", src)
+		}
 	}
-	if _, err := New("a @ b").All(); err == nil {
-		t.Error("unexpected character should fail")
-	}
-	if _, err := New(": x").All(); err == nil {
-		t.Error("bare colon should fail")
+	// Lexical errors carry line:column and the raw offset.
+	_, err := New("SELECT\n  @").All()
+	if err == nil || !strings.Contains(err.Error(), "line 2:3") ||
+		!strings.Contains(err.Error(), "offset 9") {
+		t.Errorf("error position = %v, want line 2:3 offset 9", err)
 	}
 }
 
@@ -85,5 +126,84 @@ func TestKeywordHelpers(t *testing.T) {
 	toks := kinds(t, "select")
 	if !toks[0].IsKeyword("SELECT") || toks[0].Keyword() != "SELECT" {
 		t.Error("case-insensitive keyword matching failed")
+	}
+	if toks[0].Kw != KwSelect {
+		t.Errorf("Kw = %v, want KwSelect", toks[0].Kw)
+	}
+}
+
+// TestKeywordTable checks the length-bucketed lookup end to end: every
+// keyword resolves in any case, near-misses do not.
+func TestKeywordTable(t *testing.T) {
+	for id := KwID(1); id < kwMax; id++ {
+		name := kwNames[id]
+		if name == "" {
+			continue
+		}
+		if got := LookupKeyword(name); got != id {
+			t.Errorf("LookupKeyword(%q) = %v, want %v", name, got, id)
+		}
+		if got := LookupKeyword(strings.ToLower(name)); got != id {
+			t.Errorf("LookupKeyword(%q) = %v, want %v", strings.ToLower(name), got, id)
+		}
+	}
+	for _, s := range []string{"", "x", "selec", "selects", "fro", "zzzz", "statement_timeou"} {
+		if got := LookupKeyword(s); got != KwNone {
+			t.Errorf("LookupKeyword(%q) = %v, want KwNone", s, got)
+		}
+	}
+	// Reserved/non-reserved split matches the parser's alias rules.
+	if !KwSelect.Reserved() || !KwWhere.Reserved() || !KwCross.Reserved() {
+		t.Error("reserved block broken")
+	}
+	if KwAll.Reserved() || KwTable.Reserved() || KwNone.Reserved() {
+		t.Error("non-reserved words marked reserved")
+	}
+}
+
+// TestLexSubslices pins the zero-copy contract: ident, number and
+// escape-free string token text must alias the source string.
+func TestLexSubslices(t *testing.T) {
+	src := `SELECT abc, 12.5 FROM t WHERE s = 'plain' AND e = 'it''s'`
+	toks := kinds(t, src)
+	for _, tok := range toks {
+		switch tok.Kind {
+		case Ident, Number:
+			if got := src[tok.Pos : int(tok.Pos)+len(tok.Text)]; got != tok.Text {
+				t.Errorf("token %q does not sit at its Pos (%d)", tok.Text, tok.Pos)
+			}
+		case String:
+			if src[tok.Pos] != '\'' {
+				t.Errorf("string token Pos %d not at a quote", tok.Pos)
+			}
+		}
+	}
+	// The escape-free literal is a sub-slice; the escaped one is a copy
+	// with the '' collapsed.
+	var plain, escaped Token
+	for _, tok := range toks {
+		if tok.Kind == String {
+			if tok.Text == "plain" {
+				plain = tok
+			} else {
+				escaped = tok
+			}
+		}
+	}
+	if plain.Text != "plain" || escaped.Text != "it's" {
+		t.Fatalf("string tokens = %q, %q", plain.Text, escaped.Text)
+	}
+}
+
+func TestLineCol(t *testing.T) {
+	src := "ab\ncd\nef"
+	cases := []struct{ off, line, col int }{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 2, 1}, {5, 2, 3}, {6, 3, 1}, {8, 3, 3},
+		{99, 3, 3}, // clamped to len(src)
+	}
+	for _, c := range cases {
+		if l, co := LineCol(src, c.off); l != c.line || co != c.col {
+			t.Errorf("LineCol(%d) = %d:%d, want %d:%d", c.off, l, co, c.line, c.col)
+		}
 	}
 }
