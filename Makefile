@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke parse-smoke
+.PHONY: check vet build test race bench obs-smoke crash-smoke fuzz-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke parse-smoke mem-smoke
 
 # check is what CI runs: static checks, a full build, the test suite
 # under the race detector (the engine promises parallel execution across
 # disjoint tables, so plain `go test` is not enough), the crash-recovery
 # torture subset, the wire-fault torture subset, the MVCC snapshot
-# smoke, the planner smoke, the replication smoke, and the
-# metrics-overhead smoke.
-check: vet build race parse-smoke crash-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke obs-smoke
+# smoke, the planner smoke, the replication smoke, the resource-
+# governance smoke, and the metrics-overhead smoke.
+check: vet build race parse-smoke crash-smoke netfault-smoke mvcc-smoke plan-smoke repl-smoke mem-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,23 @@ plan-smoke:
 # replicas.
 repl-smoke:
 	$(GO) test -race -count=1 ./internal/repl
+
+# mem-smoke runs the resource-governance battery under the race
+# detector: SET STATEMENT_MEMORY surface and budget aborts (typed
+# error, all-or-nothing writes, reusable session, bounded overshoot),
+# the accounting-leak invariant across the operator matrix under every
+# ending (success, memory abort, timeout, interrupt, rollback), the
+# >=90% accounting-coverage floor, bounded top-K parity and engagement,
+# the memory-hog workload mix with and without a budget, and the wire
+# layer: budget aborts as client.ErrResource on a connection that stays
+# usable, memory-pressure shedding ridden out by the retry policy, the
+# response frame cap, and an OOM storm with bounded heap and zero
+# goroutine leaks.
+mem-smoke:
+	$(GO) test -race -run 'TestSetStatementMemory|TestBudgetAbort|TestMemAccountingLeakInvariant|TestAccountingCoverage' -count=1 ./internal/engine
+	$(GO) test -race -run 'TestTopK' -count=1 ./internal/exec
+	$(GO) test -race -run 'TestMemHog' -count=1 ./internal/workload
+	$(GO) test -race -run 'TestBudgetAbortOverWire|TestMemShedThenRetry|TestResultFrameCapOverWire|TestOOMStorm' -count=1 ./internal/server
 
 # obs-smoke compares writer throughput with the metrics subsystem on
 # (BenchmarkDisjointWritersPerTable) and off (...PerTableNoObs). The

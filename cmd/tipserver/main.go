@@ -13,6 +13,8 @@
 //	tipserver -addr :4711 -metrics :8711       # expvar-style /stats endpoint
 //	tipserver -addr :4711 -slowquery 50ms      # log statements slower than 50ms
 //	tipserver -stmt-timeout 30s                # cap every statement's runtime
+//	tipserver -stmt-mem 64MB                   # cap every statement's buffered bytes
+//	tipserver -mem-budget 1GB                  # engine-wide budget; shed under pressure
 //	tipserver -max-conns 512 -max-inflight 64  # admission control
 //	tipserver -drain-timeout 10s               # graceful-shutdown drain budget
 //
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"tip"
+	"tip/internal/engine"
 	"tip/internal/repl"
 	"tip/internal/server"
 	"tip/internal/workload"
@@ -52,6 +55,10 @@ func main() {
 	slow := flag.Duration("slowquery", 0, "log statements slower than this (0 disables)")
 	stmtTimeout := flag.Duration("stmt-timeout", 0,
 		"cap statement runtime; sessions may override with SET STATEMENT_TIMEOUT (0 disables)")
+	stmtMem := flag.String("stmt-mem", "0",
+		"cap each statement's buffered bytes ('64MB'); sessions may override with SET STATEMENT_MEMORY (0 disables)")
+	memBudget := flag.String("mem-budget", "0",
+		"engine-wide memory budget ('1GB'); queries are shed while usage is near it (0 disables)")
 	maxConns := flag.Int("max-conns", 0, "reject connections beyond this limit with a busy error (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "shed queries beyond this many executing statements (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
@@ -120,8 +127,18 @@ func main() {
 		log.Printf("metrics on http://%s/stats", *metrics)
 	}
 
+	stmtMemBytes, err := engine.ParseMemSize(*stmtMem)
+	if err != nil {
+		log.Fatalf("-stmt-mem: %v", err)
+	}
+	memBudgetBytes, err := engine.ParseMemSize(*memBudget)
+	if err != nil {
+		log.Fatalf("-mem-budget: %v", err)
+	}
 	srvOpts := []server.Option{
 		server.WithStmtTimeout(*stmtTimeout),
+		server.WithStmtMem(stmtMemBytes),
+		server.WithMemBudget(memBudgetBytes),
 		server.WithMaxConns(*maxConns),
 		server.WithMaxInflight(*maxInflight),
 		server.WithLogger(log.Printf),

@@ -485,6 +485,11 @@ var (
 	// ErrReadOnly matches writes rejected by a read-only replica; send
 	// them to the primary instead (a Router does this automatically).
 	ErrReadOnly = errors.New("client: server is a read-only replica")
+	// ErrResource matches statements rejected or aborted by resource
+	// governance: shed under memory pressure, over the statement memory
+	// budget, or a result too large for one response frame. No change
+	// was applied, so retrying (after backoff) is safe.
+	ErrResource = errors.New("client: resource limit exceeded")
 )
 
 // Is classifies the error code against the sentinel targets.
@@ -500,6 +505,8 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == protocol.ErrCodeShutdown
 	case ErrReadOnly:
 		return e.Code == protocol.ErrCodeReadOnly
+	case ErrResource:
+		return e.Code == protocol.ErrCodeResource
 	}
 	return false
 }

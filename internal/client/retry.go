@@ -62,8 +62,8 @@ func (p *RetryPolicy) Backoff(attempt int) time.Duration {
 // retryable reports whether err is worth another attempt of sql.
 func (p *RetryPolicy) retryable(sql string, err error) bool {
 	switch {
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrShutdown):
-		return true // rejected before running: always safe
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrShutdown), errors.Is(err, ErrResource):
+		return true // rejected or aborted without applying anything: always safe
 	case errors.Is(err, ErrConnClosed):
 		return IdempotentSQL(sql)
 	}

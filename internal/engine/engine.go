@@ -85,6 +85,11 @@ type Database struct {
 	// readOnly marks a replica: loggable statements from ordinary
 	// sessions fail with ErrReadOnly; see SetReadOnly.
 	readOnly atomic.Bool
+
+	// mem is the engine-wide memory account: the parent of every
+	// session's statement account, so Used() sums the intermediate
+	// state of all in-flight statements. See mem.go.
+	mem exec.MemAccount
 }
 
 // New creates an empty in-memory database using the given registry (which
@@ -123,6 +128,12 @@ func New(reg *blade.Registry) *Database {
 		}
 		return float64(seq)
 	})
+	// Memory-governance gauges: accounted bytes across all in-flight
+	// statements, the high-water mark, and the engine-wide budget the
+	// server sheds load against (0 = unlimited).
+	db.obs.reg.RegisterFunc("mem.used", func() float64 { return float64(db.mem.Used()) })
+	db.obs.reg.RegisterFunc("mem.peak", func() float64 { return float64(db.mem.Peak()) })
+	db.obs.reg.RegisterFunc("mem.budget", func() float64 { return float64(db.mem.Budget()) })
 	return db
 }
 
@@ -167,6 +178,15 @@ type Session struct {
 	stmtTimeout    time.Duration
 	defaultTimeout time.Duration
 
+	// mem is the session's statement memory account, parented to the
+	// engine-wide account; see mem.go for the lifecycle. stmtMem caps
+	// each statement's buffered bytes (0 = none); defaultStmtMem is
+	// what SET STATEMENT_MEMORY = DEFAULT reverts to.
+	mem            exec.MemAccount
+	stmtMem        int64
+	defaultStmtMem int64
+	lastPeak       int64 // peak accounted bytes of the last Exec'd statement
+
 	// snaps holds the table versions the current statement pinned at
 	// start (lower-cased table name → version); see captureSnaps.
 	snaps map[string]*exec.TableVersion
@@ -177,7 +197,11 @@ type Session struct {
 }
 
 // NewSession opens a session.
-func (db *Database) NewSession() *Session { return &Session{db: db} }
+func (db *Database) NewSession() *Session {
+	s := &Session{db: db}
+	s.mem.SetParent(&db.mem)
+	return s
+}
 
 // Database returns the engine this session belongs to (to open sibling
 // sessions or reach engine-level knobs from code holding only a session).
@@ -231,8 +255,15 @@ func (s *Session) Exec(sql string, params map[string]types.Value) (*exec.Result,
 		timer := time.AfterFunc(d, func() { s.cancel.Cancel(exec.CauseTimeout) })
 		defer timer.Stop()
 	}
+	// The memory account likewise covers exactly one statement: arm
+	// the budget, run, then return the statement's charges to the
+	// engine-wide account. The reset is deferred so obsFinish can still
+	// read the statement's peak for the slow-query log.
+	defer s.mem.Reset()
+	s.mem.SetBudget(s.stmtMem)
 	res, err := s.execLogged(stmt, sql, params)
 	s.obsFinish(stmt, sql)
+	s.lastPeak = s.mem.Peak()
 	return res, err
 }
 
@@ -247,7 +278,10 @@ func (s *Session) ExecScript(sql string, params map[string]types.Value) (*exec.R
 	}
 	var last *exec.Result
 	for _, p := range parts {
-		if last, err = s.execLogged(p.Stmt, p.SQL, params); err != nil {
+		s.mem.SetBudget(s.stmtMem)
+		last, err = s.execLogged(p.Stmt, p.SQL, params)
+		s.mem.Reset()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -339,6 +373,8 @@ func (s *Session) ExecStmt(stmt ast.Statement, params map[string]types.Value) (*
 				o.cancelled.Inc()
 			} else if errors.Is(err, exec.ErrTimeout) {
 				o.timeouts.Inc()
+			} else if errors.Is(err, exec.ErrMemory) {
+				o.memExceeded.Inc()
 			}
 		case res != nil:
 			if n := len(res.Rows); n > 0 {
@@ -399,6 +435,8 @@ func (s *Session) execLocked(stmt ast.Statement, params map[string]types.Value) 
 		return s.setNow(st, params)
 	case *ast.SetTimeout:
 		return s.setTimeout(st, params)
+	case *ast.SetMemory:
+		return s.setMemory(st, params)
 	case *ast.ShowTables:
 		res := &exec.Result{Cols: []string{"table"}}
 		for _, n := range s.db.cat.TableNames() {
@@ -433,6 +471,7 @@ func (s *Session) env(params map[string]types.Value) *exec.Env {
 			return v, ok
 		},
 		Cancel:     &s.cancel,
+		Mem:        &s.mem,
 		PlanChoice: s.db.obs.planChoice,
 	}
 }

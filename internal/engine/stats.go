@@ -83,11 +83,12 @@ type obsState struct {
 
 	stmts     [nKinds]*obs.Counter
 	lats      [nKinds]*obs.Histogram
-	errors    *obs.Counter
-	cancelled *obs.Counter
-	timeouts  *obs.Counter
-	rowsRead  *obs.Counter
-	rowsWrit  *obs.Counter
+	errors      *obs.Counter
+	cancelled   *obs.Counter
+	timeouts    *obs.Counter
+	memExceeded *obs.Counter
+	rowsRead    *obs.Counter
+	rowsWrit    *obs.Counter
 
 	pcHits      *obs.Counter
 	pcMisses    *obs.Counter
@@ -115,6 +116,7 @@ func newObsState() *obsState {
 	o.errors = o.reg.Counter("stmt.errors")
 	o.cancelled = o.reg.Counter("stmt.cancelled")
 	o.timeouts = o.reg.Counter("stmt.timeout")
+	o.memExceeded = o.reg.Counter("stmt.mem_exceeded")
 	o.rowsRead = o.reg.Counter("rows.read")
 	o.rowsWrit = o.reg.Counter("rows.written")
 	o.pcHits = o.reg.Counter("plancache.hits")
@@ -226,7 +228,8 @@ func (s *Session) obsFinish(stmt ast.Statement, sql string) {
 	o.lockWait.Observe(s.tr.Lock.Nanoseconds())
 	if ns := o.slowNs.Load(); ns > 0 && total.Nanoseconds() >= ns {
 		if v := o.slowLog.Load(); v != nil {
-			v.(func(string))(fmt.Sprintf("slow query (%s): %s", s.tr.Phases(total), sql))
+			v.(func(string))(fmt.Sprintf("slow query (%s, peak_mem=%dB): %s",
+				s.tr.Phases(total), s.mem.Peak(), sql))
 		}
 	}
 }

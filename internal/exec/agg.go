@@ -161,6 +161,7 @@ func (a *aggAcc) add(rt *runtime) error {
 		if _, dup := a.seen[k]; dup {
 			return nil
 		}
+		rt.charge(int64(len(k)) + mapEntryOverhead)
 		a.seen[k] = struct{}{}
 	}
 	a.count++

@@ -66,10 +66,12 @@ func ExplainAnalyze(env *Env, sel *ast.Select) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	if _, err := plan.run(&runtime{env: env}); err != nil {
+	rt := &runtime{env: env}
+	if _, err := plan.run(rt); err != nil {
 		return nil, err
 	}
 	total := time.Since(start)
+	rt.flushMem()
 	res := &Result{Cols: []string{"plan"}}
 	for _, n := range b.explain.notes {
 		line := n.text
@@ -80,6 +82,10 @@ func ExplainAnalyze(env *Env, sel *ast.Select) (*Result, error) {
 	}
 	res.Rows = append(res.Rows, Row{types.NewString(
 		fmt.Sprintf("execution time: %s", total.Round(time.Microsecond)))})
+	if env.Mem != nil {
+		res.Rows = append(res.Rows, Row{types.NewString(
+			fmt.Sprintf("peak memory: %d bytes", env.Mem.Peak()))})
+	}
 	res.Types = []*types.Type{types.TString}
 	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 
 var timeRe = regexp.MustCompile(`time=[^)]+\)`)
 var execTimeRe = regexp.MustCompile(`execution time: .*`)
+var peakMemRe = regexp.MustCompile(`peak memory: .*`)
 
 // analyzed runs EXPLAIN ANALYZE sql and returns the plan with wall
 // times replaced by time=X.
@@ -27,6 +28,7 @@ func analyzed(t *testing.T, s *engine.Session, sql string) string {
 	for _, r := range res.Rows {
 		line := timeRe.ReplaceAllString(r[0].Str(), "time=X)")
 		line = execTimeRe.ReplaceAllString(line, "execution time: X")
+		line = peakMemRe.ReplaceAllString(line, "peak memory: X")
 		lines = append(lines, line)
 	}
 	return strings.Join(lines, "\n")
@@ -45,6 +47,7 @@ func TestExplainAnalyzePeriodJoin(t *testing.T) {
 		"  join v: period-index nested loop on during (1 filter(s) re-checked) (actual rows=2 loops=1 time=X)",
 		"  sort: 2 key(s) (actual rows=2 loops=1 time=X)",
 		"execution time: X",
+		"peak memory: X",
 	}, "\n")
 	if got != want {
 		t.Errorf("period join EXPLAIN ANALYZE mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -64,6 +67,7 @@ func TestExplainAnalyzeGroupUnion(t *testing.T) {
 		"select: 1 source(s) (actual rows=3 loops=1 time=X)",
 		"  scan dept: full scan (0 filter(s)) (actual rows=3 loops=1 time=X)",
 		"execution time: X",
+		"peak memory: X",
 	}, "\n")
 	if got != want {
 		t.Errorf("group/union EXPLAIN ANALYZE mismatch:\ngot:\n%s\nwant:\n%s", got, want)

@@ -51,10 +51,12 @@ type rowArena struct {
 	buf []types.Value
 }
 
-// alloc returns a zeroed row of the given width carved from the current
-// chunk (full capacity: appends to the row never bleed into its
-// neighbours).
-func (a *rowArena) alloc(w int) Row {
+// alloc returns a zeroed row of the given width carved from the
+// arena's current chunk (full capacity: appends to the row never bleed
+// into its neighbours). It is a runtime method so each fresh chunk is
+// charged to the statement's memory account (mem.go).
+func (rt *runtime) alloc(w int) Row {
+	a := &rt.arena
 	if w <= 0 {
 		return Row{}
 	}
@@ -64,6 +66,7 @@ func (a *rowArena) alloc(w int) Row {
 			n = 1024
 		}
 		a.buf = make([]types.Value, n)
+		rt.charge(int64(n) * valueSize)
 	}
 	r := a.buf[:w:w]
 	a.buf = a.buf[w:]

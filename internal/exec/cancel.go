@@ -80,11 +80,18 @@ func (e *Env) CancelErr() error {
 // checkCancel is the executor's rationed cancel point: call it once per
 // row-loop iteration; it polls the token every BatchRows calls (once
 // per batch). At typical scan speeds (millions of rows per second) this
-// bounds cancellation latency to well under a millisecond.
+// bounds cancellation latency to well under a millisecond. The same
+// slow path flushes pending memory charges and polls the statement's
+// memory budget (mem.go), so a budget overrun aborts on the identical
+// schedule — and with the identical write-atomicity guarantee — as a
+// cancel.
 func (rt *runtime) checkCancel() error {
 	rt.ticks++
 	if rt.ticks&(BatchRows-1) != 0 {
 		return nil
 	}
-	return rt.env.CancelErr()
+	if err := rt.env.CancelErr(); err != nil {
+		return err
+	}
+	return rt.pollMem()
 }

@@ -189,6 +189,20 @@ type coalesceScratch struct {
 
 var coalesceScratchPool = sync.Pool{New: func() any { return new(coalesceScratch) }}
 
+// footprint is the scratch's resident byte size (slice capacities).
+// Charged to the statement at acquisition: a pooled scratch's reused
+// capacity is real memory held for the statement's whole run, whether
+// or not this run allocated it.
+func (sc *coalesceScratch) footprint() int64 {
+	return int64(cap(sc.ord))*4 + int64(cap(sc.keys)) + int64(cap(sc.offs))*4 +
+		int64(cap(sc.ents))*16 + int64(cap(sc.tmp))*16 + int64(cap(sc.first))*4 +
+		int64(cap(sc.perm))*4 + int64(cap(sc.rank))*4 + int64(cap(sc.ordered))*4 +
+		int64(cap(sc.rowsPer))*8 + int64(cap(sc.cnt64))*8 +
+		int64(cap(sc.ivs))*intervalSize + int64(cap(sc.ivg))*4 +
+		int64(cap(sc.grouped))*intervalSize +
+		int64(cap(sc.cnt))*4 + int64(cap(sc.fill))*4 + int64(cap(sc.saw))
+}
+
 // i32buf returns buf resized to n (contents undefined), growing only
 // when the capacity is exhausted.
 func i32buf(buf []int32, n int) []int32 {
@@ -196,6 +210,14 @@ func i32buf(buf []int32, n int) []int32 {
 		return make([]int32, n)
 	}
 	return buf[:n]
+}
+
+// i32bufRT is i32buf with any growth charged to the statement.
+func i32bufRT(rt *runtime, buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		rt.charge(int64(n) * 4)
+	}
+	return i32buf(buf, n)
 }
 
 // radixSortByHash sorts ents by h with a stable byte-wise counting
@@ -248,8 +270,14 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 	sc := coalesceScratchPool.Get().(*coalesceScratch)
 	defer coalesceScratchPool.Put(sc)
 
+	// The pooled scratch's resident capacity is charged fallibly up
+	// front; every growth site below charges its delta.
+	if err := rt.grow(sc.footprint()); err != nil {
+		return nil, false, err
+	}
+
 	// Pass 1: group ordinals. first[g] is the group's first input row.
-	ord := i32buf(sc.ord, n)
+	ord := i32bufRT(rt, sc.ord, n)
 	sc.ord = ord
 	first := sc.first[:0]
 	if cp.strategy == "hash" {
@@ -262,6 +290,7 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 			g, ok := m[string(rt.keybuf)]
 			if !ok {
 				g = int32(len(first))
+				rt.charge(int64(len(rt.keybuf)) + mapEntryOverhead + 4)
 				m[string(rt.keybuf)] = g
 				first = append(first, int32(i))
 			}
@@ -280,16 +309,19 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 		// (insertion sort, stable), which for the overwhelmingly common
 		// all-duplicates run costs one equality check per adjacent pair.
 		keys := sc.keys[:0]
-		offs := i32buf(sc.offs, n+1)
+		keysCap := cap(keys)
+		offs := i32bufRT(rt, sc.offs, n+1)
 		sc.offs = offs
 		ents := sc.ents
 		if cap(ents) < n {
+			rt.charge(int64(n) * 16)
 			ents = make([]smEnt, n)
 		}
 		ents = ents[:n]
 		sc.ents = ents
 		tmp := sc.tmp
 		if cap(tmp) < n {
+			rt.charge(int64(n) * 16)
 			tmp = make([]smEnt, n)
 		}
 		tmp = tmp[:n]
@@ -310,6 +342,10 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 				return nil, false, err
 			}
 			keys = rt.appendKeyCols(keys, fr, cp.groupCols)
+			if c := cap(keys); c != keysCap {
+				rt.charge(int64(c - keysCap))
+				keysCap = c
+			}
 			offs[i+1] = int32(len(keys))
 			h := uint64(14695981039346656037) // FNV-1a offset basis
 			for _, b := range keys[offs[i]:] {
@@ -411,6 +447,7 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 					cnt[ord[i]]++
 				}
 			}
+			rt.charge(int64(numGroups) * valueSize)
 			vs := make([]types.Value, numGroups)
 			for g, c := range cnt {
 				vs[g] = types.NewInt(c)
@@ -426,12 +463,15 @@ func (cp *coalescePlan) run(rt *runtime, fromRows []Row) ([]Row, bool, error) {
 	}
 
 	// Pass 3: emission.
+	if err := rt.grow(int64(numGroups) * rowHeaderSize); err != nil {
+		return nil, false, err
+	}
 	out := make([]Row, numGroups)
 	for g := 0; g < numGroups; g++ {
 		if err := rt.checkCancel(); err != nil {
 			return nil, false, err
 		}
-		row := rt.arena.alloc(groupByN + len(cp.aggs))
+		row := rt.alloc(groupByN + len(cp.aggs))
 		fr := fromRows[first[g]]
 		for j, c := range cp.groupCols {
 			row[j] = fr[c]
@@ -478,6 +518,7 @@ func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32
 		cnt[g] = 0
 	}
 	var vT *types.Type
+	ivsCap := cap(ivs)
 	for i, fr := range fromRows {
 		if err := rt.checkCancel(); err != nil {
 			return nil, false, err
@@ -502,6 +543,13 @@ func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32
 		saw[g] = true
 		at := len(ivs)
 		ivs = el.AppendBound(ivs, now)
+		// The interval array is the coalesce's dominant buffer; charge
+		// its capacity growth (the parallel group-ordinal array grows in
+		// lockstep) so a giant coalesce hits its budget mid-collection.
+		if c := cap(ivs); c != ivsCap {
+			rt.charge(int64(c-ivsCap) * (intervalSize + 4))
+			ivsCap = c
+		}
 		for range ivs[at:] {
 			ivg = append(ivg, g)
 		}
@@ -516,6 +564,9 @@ func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32
 	}
 	grouped := sc.grouped
 	if cap(grouped) < len(ivs) {
+		if err := rt.grow(int64(len(ivs)) * intervalSize); err != nil {
+			return nil, false, err
+		}
 		grouped = make([]temporal.Interval, len(ivs))
 	}
 	grouped = grouped[:len(ivs)]
@@ -530,6 +581,7 @@ func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32
 		grouped[cnt[g]+fill[g]] = iv
 		fill[g]++
 	}
+	rt.charge(int64(numGroups) * valueSize)
 	out := make([]types.Value, numGroups)
 	for g := 0; g < numGroups; g++ {
 		if err := rt.checkCancel(); err != nil {
@@ -567,6 +619,8 @@ func unionColumnar(rt *runtime, sc *coalesceScratch, fromRows []Row, ord []int32
 				}
 			})
 		}
+		// The element's own period slice escapes into the result row.
+		rt.charge(int64(len(run)) * intervalSize)
 		out[g] = types.NewUDT(vT, temporal.ElementOfIntervals(run))
 	}
 	return out, true, nil

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"unsafe"
+
+	"tip/internal/temporal"
+	"tip/internal/types"
+)
+
+// Per-statement memory accounting. Execution is materialised: every
+// operator buffers its full output (rows, grouping tables, DISTINCT
+// sets, sort keys, coalesce interval arrays), so the natural failure
+// mode of an oversized query is an OOM kill that takes the whole
+// process — and every replica stream — down with it. The accountant
+// turns that into a per-statement, typed error: each buffering site
+// charges the bytes it retains, charges accumulate into a runtime-local
+// counter with plain adds, and the counter is flushed to the statement's
+// MemAccount on the same rationed schedule as the cancel poll (once per
+// BatchRows loop iterations). A statement over its budget aborts with
+// ErrMemory at the next poll — the same discipline, and therefore the
+// same all-or-nothing write atomicity, as cooperative cancellation.
+//
+// Accounts nest: the session's statement account has the engine-wide
+// account as its parent, so every charge also lands in the global
+// account and the server can shed new statements under global pressure.
+// Release is deliberately coarse: materialised execution keeps buffers
+// alive until the statement completes, so the account is charge-only
+// during execution and Reset returns the whole balance at the statement
+// boundary. That makes the leak invariant structural: after Reset both
+// the statement and global accounts must read exactly what they did
+// before the statement started.
+
+// ErrMemory reports a statement aborted because it exceeded its memory
+// budget (SET STATEMENT_MEMORY / tipserver -stmt-mem), or because the
+// engine-wide budget (-mem-budget) was exhausted.
+var ErrMemory = errors.New("exec: statement memory budget exceeded")
+
+// valueSize is the in-memory footprint of one types.Value (64 bytes on
+// 64-bit platforms). String and UDT payloads are charged separately at
+// the sites that retain them.
+const valueSize = int64(unsafe.Sizeof(types.Value{}))
+
+// rowHeaderSize is the footprint of one Row slice header in a []Row
+// buffer (the row's backing array is charged where it is allocated).
+const rowHeaderSize = int64(unsafe.Sizeof(Row{}))
+
+// intervalSize is the footprint of one temporal.Interval in the
+// coalesce operator's flat (group, lo, hi) arrays.
+const intervalSize = int64(unsafe.Sizeof(temporal.Interval{}))
+
+// mapEntryOverhead approximates the per-entry bookkeeping of a Go map
+// (bucket slot, hash, padding) beyond the key and value payloads.
+const mapEntryOverhead = 48
+
+// groupOverhead and aggAccSize approximate the generic grouped path's
+// per-group bookkeeping: the group struct with its two slice headers,
+// and one aggregate accumulator (spec pointer, counters, boxed state).
+const (
+	groupOverhead = 64
+	aggAccSize    = 96
+)
+
+// memFlushBytes bounds how many locally-accumulated bytes a runtime may
+// hold before force-flushing to the shared account. Keeps the global
+// account honest within one batch-ish allocation even between rationed
+// polls.
+const memFlushBytes = 64 << 10
+
+// MemAccount tracks bytes of intermediate state retained by a
+// statement. The zero value is ready to use with no budget (unlimited)
+// and no parent. Charges are atomic: one writer (the statement's
+// goroutine) and any number of concurrent readers (metrics, the
+// server's pressure check).
+type MemAccount struct {
+	used   atomic.Int64
+	peak   atomic.Int64
+	budget atomic.Int64 // 0 = unlimited
+	parent *MemAccount
+}
+
+// SetParent nests this account inside p: every charge and release is
+// mirrored there. Must be called before the account is used.
+func (a *MemAccount) SetParent(p *MemAccount) { a.parent = p }
+
+// SetBudget sets the byte budget; 0 means unlimited.
+func (a *MemAccount) SetBudget(n int64) { a.budget.Store(n) }
+
+// Budget returns the current byte budget (0 = unlimited).
+func (a *MemAccount) Budget() int64 { return a.budget.Load() }
+
+// Used returns the bytes currently charged.
+func (a *MemAccount) Used() int64 { return a.used.Load() }
+
+// Peak returns the high-water mark since the last Reset.
+func (a *MemAccount) Peak() int64 { return a.peak.Load() }
+
+// Charge adds n bytes (n may be negative for the rare explicit
+// release). Charging never fails: budget violations surface at the next
+// rationed poll via Err, keeping the hot path branch-light.
+func (a *MemAccount) Charge(n int64) {
+	for acc := a; acc != nil; acc = acc.parent {
+		u := acc.used.Add(n)
+		for {
+			p := acc.peak.Load()
+			if u <= p || acc.peak.CompareAndSwap(p, u) {
+				break
+			}
+		}
+	}
+}
+
+// Err returns ErrMemory if this account (or any ancestor) is over its
+// budget, nil otherwise.
+func (a *MemAccount) Err() error {
+	for acc := a; acc != nil; acc = acc.parent {
+		if b := acc.budget.Load(); b > 0 && acc.used.Load() > b {
+			return ErrMemory
+		}
+	}
+	return nil
+}
+
+// Over reports whether used exceeds the given threshold fraction of the
+// budget (for pressure checks); always false with no budget.
+func (a *MemAccount) Over(frac float64) bool {
+	b := a.budget.Load()
+	return b > 0 && float64(a.used.Load()) > frac*float64(b)
+}
+
+// Reset returns the account's whole balance to its parent and zeroes
+// used and peak, re-arming it for the next statement. The budget is
+// left as set.
+func (a *MemAccount) Reset() {
+	u := a.used.Swap(0)
+	a.peak.Store(0)
+	if a.parent != nil && u != 0 {
+		a.parent.used.Add(-u)
+	}
+}
+
+// MemErr polls the environment's memory account (nil-safe).
+func (e *Env) MemErr() error {
+	if e.Mem == nil {
+		return nil
+	}
+	return e.Mem.Err()
+}
+
+// charge accumulates n bytes into the runtime-local counter (a plain
+// add — this is the per-row hot path). The counter drains to the shared
+// account at every rationed poll and whenever it crosses memFlushBytes.
+func (rt *runtime) charge(n int64) {
+	rt.memLocal += n
+	if rt.memLocal >= memFlushBytes {
+		rt.flushMem()
+	}
+}
+
+// chargeRow charges the backing storage of a freshly-copied row.
+func (rt *runtime) chargeRow(r Row) {
+	rt.charge(int64(cap(r)) * valueSize)
+}
+
+// flushMem drains the local counter into the statement account.
+func (rt *runtime) flushMem() {
+	if rt.memLocal != 0 && rt.env.Mem != nil {
+		rt.env.Mem.Charge(rt.memLocal)
+		rt.memLocal = 0
+	}
+}
+
+// pollMem is the rationed budget check: flush pending charges, then ask
+// the account chain. Called from checkCancel's slow path and from grow.
+func (rt *runtime) pollMem() error {
+	rt.flushMem()
+	return rt.env.MemErr()
+}
+
+// grow is the fallible charge for large upfront allocations (a scan's
+// row-slice hint, a hash build side sized from statistics): charge n
+// bytes and immediately check the budget, so a single allocation far
+// beyond the budget fails before the make, not a batch later.
+func (rt *runtime) grow(n int64) error {
+	rt.charge(n)
+	return rt.pollMem()
+}

@@ -24,7 +24,10 @@ func Run(env *Env, sel *ast.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return plan.run(&runtime{env: env})
+	rt := &runtime{env: env}
+	res, err := plan.run(rt)
+	rt.flushMem() // the account's peak should include the tail charges
+	return res, err
 }
 
 // source is one bound FROM item.
@@ -295,7 +298,11 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			stDistinct = b.note("distinct")
 		}
 		if len(sel.OrderBy) > 0 {
-			stSort = b.note("sort: %d key(s)", len(sel.OrderBy))
+			if sel.Limit != nil && !sel.Distinct {
+				stSort = b.note("sort: %d key(s) (top-k when limit+offset <= %d)", len(sel.OrderBy), topKMaxRows)
+			} else {
+				stSort = b.note("sort: %d key(s)", len(sel.OrderBy))
+			}
 		}
 		if sel.Limit != nil || sel.Offset != nil {
 			stLimit = b.note("limit/offset")
@@ -471,8 +478,15 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		}
 		var out []outEntry
 
-		projectRow := func(rt *runtime) (outEntry, error) {
-			e := outEntry{row: rt.arena.alloc(len(proj))}
+		// projectRow evaluates the select list (and sort keys) for the
+		// row on top of the scope stack. reuseRow/reuseKeys, when
+		// non-nil, supply recycled storage (the top-K freelist) instead
+		// of fresh arena rows.
+		projectRow := func(rt *runtime, reuseRow Row, reuseKeys []types.Value) (outEntry, error) {
+			e := outEntry{row: reuseRow}
+			if e.row == nil {
+				e.row = rt.alloc(len(proj))
+			}
 			for i, p := range proj {
 				v, err := p.ce(rt)
 				if err != nil {
@@ -481,7 +495,10 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				e.row[i] = v
 			}
 			if len(orders) > 0 {
-				e.keys = rt.arena.alloc(len(orders))
+				e.keys = reuseKeys
+				if e.keys == nil {
+					e.keys = rt.alloc(len(orders))
+				}
 				for i, o := range orders {
 					if o.outIdx >= 0 {
 						e.keys[i] = e.row[o.outIdx]
@@ -495,6 +512,69 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 				}
 			}
 			return e, nil
+		}
+
+		// Bounded top-K: when the statement sorts and limits (and does
+		// not deduplicate), the answer is the stable-sorted first
+		// LIMIT+OFFSET rows, so a fixed-size heap replaces full
+		// materialisation + sort.SliceStable. LIMIT/OFFSET are bound
+		// against the outer chain only, so evaluating them up front sees
+		// the same scope stack the post-sort evaluation would. The
+		// scalar (SetVectorized(false)) executor keeps the full sort as
+		// the parity oracle.
+		var tk *topkHeap
+		if len(orders) > 0 && limitC != nil && !distinct && Vectorized() {
+			lim, err := evalCount(rt, limitC, "LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			off := 0
+			if offsetC != nil {
+				if off, err = evalCount(rt, offsetC, "OFFSET"); err != nil {
+					return nil, err
+				}
+			}
+			if k := lim + off; k <= topKMaxRows {
+				tk = newTopK(rt, k, func(a, b *topkEntry) (int, error) {
+					for i, o := range orders {
+						c, err := orderCompare(rt, a.keys[i], b.keys[i])
+						if err != nil {
+							return 0, err
+						}
+						if o.desc {
+							c = -c
+						}
+						if c != 0 {
+							return c, nil
+						}
+					}
+					return 0, nil
+				})
+				if rt.env.PlanChoice != nil {
+					rt.env.PlanChoice("sort.topk")
+				}
+			}
+		}
+
+		// emit routes one projected row to the collector in play: the
+		// top-K heap (recycling evicted storage) or the out buffer.
+		emitted := 0
+		emit := func(rt *runtime) error {
+			emitted++
+			if tk != nil {
+				row, keys := tk.spare()
+				e, err := projectRow(rt, row, keys)
+				if err != nil {
+					return err
+				}
+				return tk.offer(e.row, e.keys)
+			}
+			e, err := projectRow(rt, nil, nil)
+			if err != nil {
+				return err
+			}
+			out = append(out, e)
+			return nil
 		}
 
 		if grouped {
@@ -537,7 +617,7 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 					rt.keybuf = rt.appendKey(rt.keybuf[:0], vals)
 					g, ok := groups[string(rt.keybuf)]
 					if !ok {
-						gv := rt.arena.alloc(groupByN)
+						gv := rt.alloc(groupByN)
 						copy(gv, vals)
 						g = &group{vals: gv, accs: make([]*aggAcc, len(aggSpecs))}
 						for i, spec := range aggSpecs {
@@ -545,6 +625,8 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 						}
 						groups[string(rt.keybuf)] = g
 						order = append(order, g)
+						rt.charge(int64(len(rt.keybuf)) + mapEntryOverhead +
+							groupOverhead + int64(len(aggSpecs))*aggAccSize)
 					}
 					for _, acc := range g.accs {
 						if err := acc.add(rt); err != nil {
@@ -562,9 +644,12 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 					}
 					order = append(order, g)
 				}
+				if err := rt.grow(int64(len(order)) * rowHeaderSize); err != nil {
+					return nil, err
+				}
 				groupRows = make([]Row, 0, len(order))
 				for _, g := range order {
-					groupRow := rt.arena.alloc(groupByN + len(aggSpecs))
+					groupRow := rt.alloc(groupByN + len(aggSpecs))
 					copy(groupRow, g.vals)
 					for i, acc := range g.accs {
 						v, err := acc.final(rt)
@@ -594,29 +679,44 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 						continue
 					}
 				}
-				e, err := projectRow(rt)
+				eErr := emit(rt)
 				rt.pop()
-				if err != nil {
-					return nil, err
+				if eErr != nil {
+					return nil, eErr
 				}
-				out = append(out, e)
 			}
 			if stAgg != nil {
-				stAgg.record(aggStart, len(out))
+				stAgg.record(aggStart, emitted)
 			}
 		} else {
-			out = make([]outEntry, 0, len(fromRows))
+			if tk == nil {
+				if err := rt.grow(int64(len(fromRows)) * 2 * rowHeaderSize); err != nil {
+					return nil, err
+				}
+				out = make([]outEntry, 0, len(fromRows))
+			}
 			for _, fr := range fromRows {
 				if err := rt.checkCancel(); err != nil {
 					return nil, err
 				}
 				rt.push(fr)
-				e, err := projectRow(rt)
+				eErr := emit(rt)
 				rt.pop()
-				if err != nil {
-					return nil, err
+				if eErr != nil {
+					return nil, eErr
 				}
-				out = append(out, e)
+			}
+		}
+
+		if tk != nil {
+			ents, err := tk.finish()
+			if err != nil {
+				return nil, err
+			}
+			rt.charge(int64(len(ents)) * 2 * rowHeaderSize)
+			out = make([]outEntry, 0, len(ents))
+			for i := range ents {
+				out = append(out, outEntry{row: ents[i].row, keys: ents[i].keys})
 			}
 		}
 
@@ -636,6 +736,7 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 					continue
 				}
 				seen[string(rt.keybuf)] = struct{}{}
+				rt.charge(int64(len(rt.keybuf)) + mapEntryOverhead)
 				kept = append(kept, e)
 			}
 			out = kept
@@ -644,7 +745,7 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 			}
 		}
 
-		if len(orders) > 0 {
+		if len(orders) > 0 && tk == nil {
 			var sStart time.Time
 			if stSort != nil {
 				sStart = time.Now()
@@ -713,6 +814,9 @@ func (b *binder) bindSelect(sel *ast.Select, parent *bindScope) (*selectPlan, er
 		res := &Result{Cols: make([]string, len(outSchema))}
 		for i, c := range outSchema {
 			res.Cols[i] = c.Name
+		}
+		if err := rt.grow(int64(hi-lo) * rowHeaderSize); err != nil {
+			return nil, err
 		}
 		res.Rows = make([]Row, 0, hi-lo)
 		for _, e := range out[lo:hi] {

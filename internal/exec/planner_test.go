@@ -63,6 +63,7 @@ func TestExplainAnalyzeCoalesceSortMerge(t *testing.T) {
 		"  scan g: full scan (0 filter(s)) (actual rows=4 loops=1 time=X)",
 		"  aggregate: 1 group expr(s), 1 aggregate(s); coalesce: sort-merge (est rows=4 groups=4, cost merge=8 hash=72) (actual rows=2 loops=1 time=X)",
 		"execution time: X",
+		"peak memory: X",
 	}, "\n")
 	if got != want {
 		t.Errorf("coalesce EXPLAIN ANALYZE mismatch:\ngot:\n%s\nwant:\n%s", got, want)

@@ -185,6 +185,12 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 		if candidates != nil && len(candidates) < hint {
 			hint = len(candidates)
 		}
+		// The output headers are a single upfront allocation sized by the
+		// hint; charge fallibly so a scan hopelessly beyond the budget
+		// fails before the make, not a batch later.
+		if err := rt.grow(int64(hint) * rowHeaderSize); err != nil {
+			return nil, err
+		}
 		out := make([]Row, 0, hint)
 		alias := Vectorized()
 		consider := func(r Row) error {
@@ -205,6 +211,7 @@ func (b *binder) bindScan(src *source, pushed []ast.Expr, parent *bindScope) (fu
 				}
 				row := make(Row, width)
 				copy(row, r)
+				rt.chargeRow(row)
 				out = append(out, row)
 			}
 			return nil
@@ -564,8 +571,9 @@ func periodIndexJoin(rt *runtime, acc []Row, src *source, width int, pc *periodJ
 		if err != nil || !ok {
 			return err
 		}
-		m := rt.arena.alloc(width)
+		m := rt.alloc(width)
 		copy(m, scratch)
+		rt.charge(rowHeaderSize)
 		joined = append(joined, m)
 		return nil
 	}
@@ -751,6 +759,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 				}
 				continue
 			}
+			if err := rt.grow(int64(len(srcRows)) * rowHeaderSize); err != nil {
+				return nil, err
+			}
 			acc = make([]Row, 0, len(srcRows))
 			scratch := make(Row, width)
 			for _, sr := range srcRows {
@@ -763,7 +774,7 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 					return nil, err
 				}
 				if ok {
-					full := rt.arena.alloc(width)
+					full := rt.alloc(width)
 					copy(full, scratch)
 					acc = append(acc, full)
 				}
@@ -787,8 +798,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 			if err != nil || !ok {
 				return err
 			}
-			m := rt.arena.alloc(width)
+			m := rt.alloc(width)
 			copy(m, scratch)
+			rt.charge(rowHeaderSize)
 			joined = append(joined, m)
 			return nil
 		}
@@ -814,8 +826,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 						return nil, err
 					}
 					if keep {
-						m := rt.arena.alloc(width)
+						m := rt.alloc(width)
 						copy(m, scratch)
+						rt.charge(rowHeaderSize)
 						joined = append(joined, m)
 					}
 				}
@@ -831,8 +844,9 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 						return nil, err
 					}
 					if keep {
-						m := rt.arena.alloc(width)
+						m := rt.alloc(width)
 						copy(m, scratch)
+						rt.charge(rowHeaderSize)
 						joined = append(joined, m)
 					}
 				}
@@ -865,6 +879,7 @@ func joinSources(rt *runtime, sources []*source, width int, hashConds []*hashJoi
 					continue
 				}
 				k := kv.Key(rt.env.Now)
+				rt.charge(int64(len(k)) + rowHeaderSize + mapEntryOverhead)
 				buildMap[k] = append(buildMap[k], sr)
 			}
 			for _, a := range acc {

@@ -194,6 +194,12 @@ type Env struct {
 	// "coalesce.sort_merge", ...). The engine wires it to its
 	// planner.* counters.
 	PlanChoice func(choice string)
+	// Mem, when non-nil, is the statement's memory account: every
+	// buffering site charges the bytes it retains and the rationed poll
+	// aborts the statement with ErrMemory once the account (or an
+	// ancestor, e.g. the engine-wide account) is over budget. nil means
+	// the statement is not accounted.
+	Mem *MemAccount
 
 	ctx *blade.Ctx // cached evaluation context; Now is fixed per statement
 }
@@ -224,13 +230,15 @@ func (e *Env) Ctx() *blade.Ctx {
 // stack of rows for correlated evaluation. rows[len-1] is the innermost
 // scope. ticks counts row-loop iterations to ration cancel polls;
 // arena and keybuf are the statement's batch allocator and reused
-// grouping-key buffer (batch.go).
+// grouping-key buffer (batch.go); memLocal accumulates memory charges
+// between flushes to env.Mem (mem.go).
 type runtime struct {
-	env    *Env
-	rows   []Row
-	ticks  uint32
-	arena  rowArena
-	keybuf []byte
+	env      *Env
+	rows     []Row
+	ticks    uint32
+	arena    rowArena
+	keybuf   []byte
+	memLocal int64
 }
 
 func (rt *runtime) push(r Row) { rt.rows = append(rt.rows, r) }

@@ -102,6 +102,7 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 			}
 			switch {
 			case p.op == "UNION" && p.all:
+				rt.charge(int64(len(rres.Rows)) * rowHeaderSize)
 				rows = append(rows, rres.Rows...)
 			case p.op == "UNION":
 				rows, err = dedup(rt, append(rows, rres.Rows...))
@@ -137,7 +138,61 @@ func (b *binder) bindCompound(sel *ast.Select, parent *bindScope) (*selectPlan, 
 				p.st.record(pStart, len(rows))
 			}
 		}
-		if len(orders) > 0 {
+		// Bounded top-K over the combined rows: the set-operation parts
+		// are materialised either way, but a small LIMIT still skips the
+		// full sort and bounds the surviving buffer. The scalar executor
+		// keeps the full sort as the parity oracle.
+		sorted := false
+		if len(orders) > 0 && limitC != nil && Vectorized() {
+			lim, err := evalCount(rt, limitC, "LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			off := 0
+			if offsetC != nil {
+				if off, err = evalCount(rt, offsetC, "OFFSET"); err != nil {
+					return nil, err
+				}
+			}
+			if k := lim + off; k <= topKMaxRows {
+				tk := newTopK(rt, k, func(a, b *topkEntry) (int, error) {
+					for _, o := range orders {
+						cmp, err := orderCompare(rt, a.row[o.idx], b.row[o.idx])
+						if err != nil {
+							return 0, err
+						}
+						if o.desc {
+							cmp = -cmp
+						}
+						if cmp != 0 {
+							return cmp, nil
+						}
+					}
+					return 0, nil
+				})
+				if rt.env.PlanChoice != nil {
+					rt.env.PlanChoice("sort.topk")
+				}
+				for _, r := range rows {
+					if err := rt.checkCancel(); err != nil {
+						return nil, err
+					}
+					if err := tk.offer(r, nil); err != nil {
+						return nil, err
+					}
+				}
+				ents, err := tk.finish()
+				if err != nil {
+					return nil, err
+				}
+				rows = rows[:0]
+				for i := range ents {
+					rows = append(rows, ents[i].row)
+				}
+				sorted = true
+			}
+		}
+		if len(orders) > 0 && !sorted {
 			var sortErr error
 			sort.SliceStable(rows, func(i, j int) bool {
 				if sortErr != nil {
@@ -208,6 +263,7 @@ func dedup(rt *runtime, rows []Row) ([]Row, error) {
 			continue
 		}
 		seen[string(rt.keybuf)] = struct{}{}
+		rt.charge(int64(len(rt.keybuf)) + mapEntryOverhead + rowHeaderSize)
 		out = append(out, r)
 	}
 	return out, nil
@@ -218,7 +274,10 @@ func keySet(rt *runtime, rows []Row) map[string]struct{} {
 	set := make(map[string]struct{}, len(rows))
 	for _, r := range rows {
 		rt.keybuf = rt.appendKey(rt.keybuf[:0], r)
-		set[string(rt.keybuf)] = struct{}{}
+		if _, dup := set[string(rt.keybuf)]; !dup {
+			rt.charge(int64(len(rt.keybuf)) + mapEntryOverhead)
+			set[string(rt.keybuf)] = struct{}{}
+		}
 	}
 	return set
 }

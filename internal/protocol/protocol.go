@@ -121,6 +121,13 @@ const (
 	// primary restarted into a new WAL lineage). The replica must
 	// re-bootstrap via MsgSnapshot.
 	ErrCodeWALGone
+	// ErrCodeResource reports a statement rejected or aborted by
+	// resource governance: its memory budget ran out, the server shed
+	// it under global memory pressure, or its result exceeded the
+	// response frame bound. The connection stays usable and a retry
+	// after backoff is safe (the statement either never ran or was
+	// aborted before applying any change).
+	ErrCodeResource
 )
 
 // Version identifies the protocol revision.
@@ -132,6 +139,12 @@ const MaxFrame = 64 << 20
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("protocol: malformed message")
+
+// ErrFrameTooLarge reports a frame the sender refused to write because
+// its payload exceeds the agreed bound — the send-path mirror of
+// ReadFrameLimit, so an oversized result is refused before it hits the
+// wire (where the peer would reject it anyway).
+var ErrFrameTooLarge = errors.New("protocol: frame exceeds limit")
 
 // Query is a parsed MsgQuery.
 type Query struct {
@@ -150,6 +163,18 @@ func WriteFrame(w *bufio.Writer, payload []byte) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// WriteFrameLimit writes one length-prefixed frame, rejecting (with
+// ErrFrameTooLarge, before writing anything) any payload larger than
+// limit. Use it wherever the peer is known to read with a matching
+// ReadFrameLimit, so oversized frames fail typed on the sending side
+// instead of killing the connection on the receiving one.
+func WriteFrameLimit(w *bufio.Writer, payload []byte, limit uint64) error {
+	if uint64(len(payload)) > limit {
+		return fmt.Errorf("%w: frame of %d bytes (limit %d)", ErrFrameTooLarge, len(payload), limit)
+	}
+	return WriteFrame(w, payload)
 }
 
 // ReadFrame reads one length-prefixed frame, bounded by MaxFrame.

@@ -39,6 +39,12 @@ import (
 // DefaultReadTimeout bounds how long a started frame may take to arrive.
 const DefaultReadTimeout = 10 * time.Second
 
+// memShedFrac is the global-memory-pressure watermark: while the
+// engine-wide account (see WithMemBudget) is above this fraction of its
+// budget, new queries are shed with a typed resource error rather than
+// admitted on top of the statements already holding the memory.
+const memShedFrac = 0.9
+
 // ReplSource is what a replication primary plugs into the server (see
 // WithReplication); internal/repl.Primary implements it. The server
 // keeps the interface structural so it never imports the repl package.
@@ -71,10 +77,13 @@ type Server struct {
 	logf func(format string, args ...any)
 
 	stmtTimeout time.Duration // per-statement cap for every session (0 = none)
+	stmtMem     int64         // per-statement memory budget for every session (0 = none)
+	memBudget   int64         // engine-wide memory budget (0 = none)
 	maxConns    int           // connection limit (0 = unlimited)
 	maxInflight int64         // executing-statement watermark (0 = unlimited)
 	readTimeout time.Duration // per-frame read deadline
 	maxFrame    uint64        // receive-path frame bound
+	maxResult   uint64        // send-path bound on one result frame
 
 	repl     ReplSource                 // non-nil on a replication primary
 	statusFn func() protocol.ReplStatus // MsgReplStatus answer (replicas override)
@@ -95,6 +104,7 @@ type Server struct {
 	cQueries   *obs.Counter // MsgQuery frames served
 	cErrors    *obs.Counter // queries answered with MsgError
 	cShed      *obs.Counter // work rejected by admission control
+	cMemShed   *obs.Counter // queries shed under global memory pressure
 	cCancels   *obs.Counter // MsgCancel frames handled
 	cSlowReads *obs.Counter // frames that missed the read deadline
 }
@@ -112,6 +122,35 @@ func WithLogger(logf func(format string, args ...any)) Option {
 // reverts to this value. Zero (the default) means no cap.
 func WithStmtTimeout(d time.Duration) Option {
 	return func(s *Server) { s.stmtTimeout = d }
+}
+
+// WithStmtMem caps every statement's buffered intermediate state in
+// bytes. Sessions can lower or raise their own cap with SET
+// STATEMENT_MEMORY; DEFAULT reverts to this value. Zero (the default)
+// means no cap.
+func WithStmtMem(n int64) Option {
+	return func(s *Server) { s.stmtMem = n }
+}
+
+// WithMemBudget installs the engine-wide memory budget: the cap on the
+// summed accounted bytes of all in-flight statements. While usage is
+// above memShedFrac of the budget, new queries are shed with a typed
+// resource error instead of admitted. Zero (the default) means no
+// budget.
+func WithMemBudget(n int64) Option {
+	return func(s *Server) { s.memBudget = n }
+}
+
+// WithMaxResult bounds one result frame's encoded size; a query whose
+// result would exceed it is answered with a typed resource error
+// instead (the send-path mirror of the receive frame bound). Zero means
+// the protocol default.
+func WithMaxResult(n uint64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxResult = n
+		}
+	}
 }
 
 // WithMaxConns limits concurrent connections; connections beyond the
@@ -163,6 +202,7 @@ func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 		logf:        func(string, ...any) {},
 		readTimeout: DefaultReadTimeout,
 		maxFrame:    protocol.MaxFrame,
+		maxResult:   protocol.MaxFrame,
 		conns:       make(map[net.Conn]*engine.Session),
 		drainCh:     make(chan struct{}),
 		cConns:      m.Counter("server.connections"),
@@ -170,11 +210,15 @@ func Listen(db *engine.Database, addr string, opts ...Option) (*Server, error) {
 		cQueries:    m.Counter("server.queries"),
 		cErrors:     m.Counter("server.errors"),
 		cShed:       m.Counter("server.shed"),
+		cMemShed:    m.Counter("server.shed.memory"),
 		cCancels:    m.Counter("server.cancels"),
 		cSlowReads:  m.Counter("conn.slow_reads"),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.memBudget > 0 {
+		db.SetMemBudget(s.memBudget)
 	}
 	m.RegisterFunc("server.inflight", func() float64 { return float64(s.inflight.Load()) })
 	s.wg.Add(1)
@@ -289,6 +333,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// transaction would otherwise pin the reclamation horizon forever).
 	defer sess.Close()
 	sess.SetDefaultStmtTimeout(s.stmtTimeout)
+	sess.SetDefaultStmtMem(s.stmtMem)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -389,8 +434,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.cQueries.Inc()
 			connQueries++
 			payload, fatal := s.runQuery(sess, frame[1:], &connErrors)
-			if err := protocol.WriteFrame(w, payload); err != nil {
-				return
+			if err := protocol.WriteFrameLimit(w, payload, s.maxResult); err != nil {
+				if !errors.Is(err, protocol.ErrFrameTooLarge) {
+					return
+				}
+				// The result outgrew the response bound: the statement
+				// ran, but the reply is refused typed so the client can
+				// narrow the query; the connection stays usable.
+				s.cErrors.Inc()
+				connErrors++
+				if err := protocol.WriteFrame(w, protocol.EncodeErrorCode(
+					protocol.ErrCodeResource, "server: "+err.Error())); err != nil {
+					return
+				}
 			}
 			if fatal {
 				return
@@ -446,6 +502,12 @@ func (s *Server) runQuery(sess *engine.Session, body []byte, connErrors *uint64)
 		return protocol.EncodeErrorCode(protocol.ErrCodeShutdown, "server shutting down"), true
 	default:
 	}
+	if s.db.MemAccount().Over(memShedFrac) {
+		s.cShed.Inc()
+		s.cMemShed.Inc()
+		return protocol.EncodeErrorCode(protocol.ErrCodeResource,
+			"server busy: memory pressure"), false
+	}
 	if max := s.maxInflight; max > 0 {
 		if n := s.inflight.Add(1); n > max {
 			s.inflight.Add(-1)
@@ -482,6 +544,8 @@ func encodeExecError(err error) []byte {
 		return protocol.EncodeErrorCode(protocol.ErrCodeTimeout, err.Error())
 	case errors.Is(err, engine.ErrReadOnly):
 		return protocol.EncodeErrorCode(protocol.ErrCodeReadOnly, err.Error())
+	case errors.Is(err, engine.ErrMemory):
+		return protocol.EncodeErrorCode(protocol.ErrCodeResource, err.Error())
 	}
 	return protocol.EncodeError(err.Error())
 }

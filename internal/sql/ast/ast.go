@@ -169,6 +169,16 @@ type SetTimeout struct {
 	Value Expr
 }
 
+// SetMemory is SET STATEMENT_MEMORY = <expr> or = DEFAULT. It caps how
+// many bytes of intermediate state each subsequent statement of the
+// session may buffer before it is aborted with a memory error. The
+// value is an integer (bytes) or a size string ('64MB', '512k'); 0
+// disables the cap, DEFAULT reverts to the server-configured default.
+type SetMemory struct {
+	// Value is nil for SET STATEMENT_MEMORY = DEFAULT.
+	Value Expr
+}
+
 // ShowTables is SHOW TABLES.
 type ShowTables struct{}
 
@@ -195,6 +205,7 @@ func (*Commit) stmt()      {}
 func (*Rollback) stmt()    {}
 func (*SetNow) stmt()      {}
 func (*SetTimeout) stmt()  {}
+func (*SetMemory) stmt()   {}
 func (*ShowTables) stmt()  {}
 func (*Describe) stmt()    {}
 func (*Explain) stmt()     {}

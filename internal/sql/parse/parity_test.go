@@ -45,6 +45,9 @@ var parityCorpus = []string{
 	`SET NOW = DEFAULT`,
 	`SET STATEMENT_TIMEOUT = 100`,
 	`SET STATEMENT_TIMEOUT = DEFAULT`,
+	`SET STATEMENT_MEMORY = 1048576`,
+	`SET STATEMENT_MEMORY = '64MB'`,
+	`SET STATEMENT_MEMORY = DEFAULT`,
 
 	// Statement variety.
 	`CREATE TABLE IF NOT EXISTS t (a INT NOT NULL, b DECIMAL(10, 2))`,

@@ -572,20 +572,25 @@ func (p *parser) delete() (ast.Statement, error) {
 
 func (p *parser) set() (ast.Statement, error) {
 	p.advance() // SET
-	timeout := false
+	kind := 0 // 0 = NOW, 1 = STATEMENT_TIMEOUT, 2 = STATEMENT_MEMORY
 	switch {
 	case p.acceptKw(scan.KwNow):
 	case p.acceptKw(scan.KwStatementTimeout):
-		timeout = true
+		kind = 1
+	case p.acceptKw(scan.KwStatementMemory):
+		kind = 2
 	default:
-		return nil, p.errf("only SET NOW and SET STATEMENT_TIMEOUT are supported")
+		return nil, p.errf("only SET NOW, SET STATEMENT_TIMEOUT and SET STATEMENT_MEMORY are supported")
 	}
 	if err := p.expectSym(scan.SymEq); err != nil {
 		return nil, err
 	}
 	if p.acceptKw(scan.KwDefault) {
-		if timeout {
+		switch kind {
+		case 1:
 			return &ast.SetTimeout{}, nil
+		case 2:
+			return &ast.SetMemory{}, nil
 		}
 		return &ast.SetNow{}, nil
 	}
@@ -593,8 +598,11 @@ func (p *parser) set() (ast.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if timeout {
+	switch kind {
+	case 1:
 		return &ast.SetTimeout{Value: e}, nil
+	case 2:
+		return &ast.SetMemory{Value: e}, nil
 	}
 	return &ast.SetNow{Value: e}, nil
 }

@@ -496,20 +496,25 @@ func (p *parser) delete() (ast.Statement, error) {
 
 func (p *parser) set() (ast.Statement, error) {
 	p.advance() // SET
-	timeout := false
+	kind := 0 // 0 = NOW, 1 = STATEMENT_TIMEOUT, 2 = STATEMENT_MEMORY
 	switch {
 	case p.accept("NOW"):
 	case p.accept("STATEMENT_TIMEOUT"):
-		timeout = true
+		kind = 1
+	case p.accept("STATEMENT_MEMORY"):
+		kind = 2
 	default:
-		return nil, p.errf("only SET NOW and SET STATEMENT_TIMEOUT are supported")
+		return nil, p.errf("only SET NOW, SET STATEMENT_TIMEOUT and SET STATEMENT_MEMORY are supported")
 	}
 	if err := p.expectSymbol("="); err != nil {
 		return nil, err
 	}
 	if p.accept("DEFAULT") {
-		if timeout {
+		switch kind {
+		case 1:
 			return &ast.SetTimeout{}, nil
+		case 2:
+			return &ast.SetMemory{}, nil
 		}
 		return &ast.SetNow{}, nil
 	}
@@ -517,8 +522,11 @@ func (p *parser) set() (ast.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if timeout {
+	switch kind {
+	case 1:
 		return &ast.SetTimeout{Value: e}, nil
+	case 2:
+		return &ast.SetMemory{Value: e}, nil
 	}
 	return &ast.SetNow{Value: e}, nil
 }

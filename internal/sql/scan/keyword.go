@@ -81,6 +81,7 @@ const (
 	KwPeriod
 	KwRollback
 	KwShow
+	KwStatementMemory
 	KwStatementTimeout
 	KwTable
 	KwTables
@@ -112,6 +113,7 @@ var kwNames = [kwMax]string{
 	KwHash: "HASH", KwIf: "IF",
 	KwIndex: "INDEX", KwInto: "INTO", KwNow: "NOW", KwOuter: "OUTER",
 	KwPeriod: "PERIOD", KwRollback: "ROLLBACK", KwShow: "SHOW",
+	KwStatementMemory: "STATEMENT_MEMORY",
 	KwStatementTimeout: "STATEMENT_TIMEOUT", KwTable: "TABLE",
 	KwTables: "TABLES", KwTransaction: "TRANSACTION", KwUsing: "USING",
 	KwWork: "WORK",

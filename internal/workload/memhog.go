@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"tip/internal/engine"
+)
+
+// The memory-hog mix: adversarial statements over the Prescription
+// table whose intermediate state is far larger than the base data —
+// quadratic cross joins, per-group coalesces over the whole history,
+// wide multi-key sorts and DISTINCT sets. It exists to exercise the
+// statement memory accountant: under a budget every one of these must
+// abort with a typed memory error in bounded space, and without one
+// they must still complete. Load the table with LoadTIP first.
+
+// MemHogQueries returns the adversarial statement mix, roughly ordered
+// from hungriest to tamest.
+func MemHogQueries() []string {
+	return []string{
+		// Quadratic cross join materialised through a wide multi-key
+		// sort (no LIMIT, so top-k cannot rescue it).
+		`SELECT a.patient, a.drug, b.patient, b.drug
+		   FROM Prescription a, Prescription b
+		  ORDER BY a.patient DESC, b.drug, a.dosage`,
+		// Cross join funnelled into a DISTINCT set.
+		`SELECT DISTINCT a.doctor, b.patient FROM Prescription a, Prescription b`,
+		// Giant coalesce: the cross product's histories unioned per
+		// doctor (the coalesce scratch sees Rows² intervals).
+		`SELECT a.doctor, group_union(a.valid)
+		   FROM Prescription a, Prescription b GROUP BY a.doctor`,
+		// Whole-table coalesce per patient.
+		`SELECT patient, group_union(valid) FROM Prescription GROUP BY patient`,
+		// UNION duplicate elimination across two full scans.
+		`SELECT patient, drug FROM Prescription
+		  UNION SELECT drug, patient FROM Prescription ORDER BY 1, 2`,
+		// Full-table wide sort.
+		`SELECT doctor, patient, drug, dosage, valid FROM Prescription
+		  ORDER BY dosage DESC, patient, drug`,
+	}
+}
+
+// RunMemHog executes the mix on one session, reporting how many
+// statements completed and how many the statement memory budget aborted
+// (engine.ErrMemory). Any other failure stops the run and is returned.
+func RunMemHog(sess *engine.Session) (completed, overBudget int, err error) {
+	for _, q := range MemHogQueries() {
+		_, e := sess.Exec(q, nil)
+		switch {
+		case e == nil:
+			completed++
+		case errors.Is(e, engine.ErrMemory):
+			overBudget++
+		default:
+			return completed, overBudget, fmt.Errorf("memhog %q: %w", q, e)
+		}
+	}
+	return completed, overBudget, nil
+}

@@ -1,0 +1,66 @@
+package workload_test
+
+import (
+	"testing"
+
+	"tip/internal/blade"
+	"tip/internal/core"
+	"tip/internal/engine"
+	"tip/internal/temporal"
+	"tip/internal/workload"
+)
+
+// memHogDB loads a small demo table for the memory-hog mix.
+func memHogDB(t *testing.T, rows int) (*engine.Database, *engine.Session) {
+	t.Helper()
+	reg := blade.NewRegistry()
+	b, err := core.Register(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.New(reg)
+	db.SetClock(func() temporal.Chronon { return testNow })
+	sess := db.NewSession()
+	if err := workload.LoadTIP(sess, b, workload.Generate(workload.DefaultConfig(rows))); err != nil {
+		t.Fatal(err)
+	}
+	return db, sess
+}
+
+func TestMemHogUnbudgeted(t *testing.T) {
+	_, sess := memHogDB(t, 40)
+	completed, overBudget, err := workload.RunMemHog(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overBudget != 0 || completed != len(workload.MemHogQueries()) {
+		t.Errorf("unbudgeted run: completed=%d overBudget=%d, want %d/0",
+			completed, overBudget, len(workload.MemHogQueries()))
+	}
+}
+
+func TestMemHogBudgeted(t *testing.T) {
+	db, sess := memHogDB(t, 60)
+	// A budget far below the cross products' intermediate state: the
+	// hungry statements must abort typed, and every abort must return
+	// its charges (accounts drain to zero, session stays usable).
+	sess.SetDefaultStmtMem(64 << 10)
+	_, overBudget, err := workload.RunMemHog(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overBudget == 0 {
+		t.Error("no statement hit the 64KiB budget")
+	}
+	if used := db.MemAccount().Used(); used != 0 {
+		t.Errorf("global account holds %d bytes after the run, want 0", used)
+	}
+	sess.SetDefaultStmtMem(0)
+	res, err := sess.Exec(`SELECT COUNT(*) FROM Prescription`, nil)
+	if err != nil {
+		t.Fatalf("session unusable after budget aborts: %v", err)
+	}
+	if res.Rows[0][0].Int() != 60 {
+		t.Errorf("count = %d, want 60", res.Rows[0][0].Int())
+	}
+}
